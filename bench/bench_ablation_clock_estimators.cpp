@@ -1,0 +1,176 @@
+// Ablation for Section 2.2: the paper's RMS-of-slope-segments estimator
+// against the two alternatives it discusses — the overall (last-pair)
+// slope and the piecewise per-segment mapping — under read jitter,
+// descheduling outliers, and a temperature-style rate change.
+//
+// Prints reconstruction error tables; the microbenchmarks compare
+// estimator costs.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "clock/clock_model.h"
+#include "clock/sync.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace ute;
+
+std::vector<TimestampPair> samplePairs(const LocalClockModel& clock, int n,
+                                       Tick periodNs, Rng& rng,
+                                       double outlierChance = 0.0) {
+  std::vector<TimestampPair> pairs;
+  for (int i = 0; i < n; ++i) {
+    const Tick t = static_cast<Tick>(i + 1) * periodNs;
+    TimestampPair p{t, clock.read(t, rng.unit())};
+    if (outlierChance > 0 && rng.chance(outlierChance)) {
+      p.local += 500 * kUs;  // daemon descheduled between the two reads
+    }
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+/// Max |reconstructed - true| over the run, in ns.
+double reconstructionError(const ClockMap& map, const LocalClockModel& clock,
+                           Tick span) {
+  double worst = 0;
+  for (Tick t = span / 20; t <= span; t += span / 20) {
+    const Tick mapped = map.toGlobal(clock.read(t));
+    worst = std::max(worst, std::abs(static_cast<double>(mapped) -
+                                     static_cast<double>(t)));
+  }
+  return worst;
+}
+
+void printAblation() {
+  std::printf("=== Ablation (Section 2.2): clock ratio estimators ===\n");
+  std::printf("max reconstruction error (us) over a 140 s trace, 2 s "
+              "sample period, 2 us read jitter\n");
+  std::printf("%-28s %12s %12s %12s\n", "scenario", "rms-segments",
+              "last-pair", "piecewise");
+
+  struct Scenario {
+    const char* name;
+    double outlierChance;
+    bool filter;
+  };
+  const Scenario scenarios[] = {
+      {"clean", 0.0, false},
+      {"5% outliers, unfiltered", 0.05, false},
+      {"5% outliers, filtered", 0.05, true},
+  };
+  for (const Scenario& sc : scenarios) {
+    LocalClockModel::Params p;
+    p.driftPpm = 22.0;
+    p.offsetNs = 300 * kUs;
+    p.jitterNs = 2 * kUs;
+    const LocalClockModel clock(p);
+    Rng rng(99);
+    auto pairs = samplePairs(clock, 70, 2 * kSec, rng, sc.outlierChance);
+    if (sc.filter) pairs = filterOutlierPairs(pairs);
+
+    std::printf("%-28s", sc.name);
+    for (const SyncMethod method :
+         {SyncMethod::kRmsSegments, SyncMethod::kLastPair,
+          SyncMethod::kPiecewise}) {
+      const ClockMap map(pairs, method);
+      std::printf(" %12.2f",
+                  reconstructionError(map, clock, 140 * kSec) / 1e3);
+    }
+    std::printf("\n");
+  }
+
+  // A rate change halfway (temperature drift): piecewise adapts.
+  std::printf("%-28s", "rate change at t=70s");
+  std::vector<TimestampPair> pairs;
+  Tick local = 400 * kUs;
+  for (int i = 0; i <= 70; ++i) {
+    pairs.push_back({static_cast<Tick>(i) * 2 * kSec, local});
+    // +44 us per 2 s sample before the change, -28 us after.
+    const TickDelta slopeUs = i < 35 ? 44 : -28;
+    local = static_cast<Tick>(static_cast<TickDelta>(local) +
+                              2 * static_cast<TickDelta>(kSec) +
+                              slopeUs * static_cast<TickDelta>(kUs));
+  }
+  for (const SyncMethod method :
+       {SyncMethod::kRmsSegments, SyncMethod::kLastPair,
+        SyncMethod::kPiecewise}) {
+    const ClockMap map(pairs, method);
+    // Evaluate against the piecewise ground truth embedded in the pairs.
+    double worst = 0;
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      const Tick mapped = map.toGlobal(pairs[i].local);
+      worst = std::max(worst, std::abs(static_cast<double>(mapped) -
+                                       static_cast<double>(pairs[i].global)));
+    }
+    std::printf(" %12.2f", worst / 1e3);
+  }
+  std::printf("\n\n");
+}
+
+const std::vector<TimestampPair>& benchPairs() {
+  static const std::vector<TimestampPair> pairs = [] {
+    LocalClockModel::Params p;
+    p.driftPpm = 22.0;
+    p.jitterNs = 2 * kUs;
+    const LocalClockModel clock(p);
+    Rng rng(5);
+    return samplePairs(clock, 1000, kSec, rng);
+  }();
+  return pairs;
+}
+
+void BM_RatioRmsSegments(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ratioRmsSegments(benchPairs()));
+  }
+}
+BENCHMARK(BM_RatioRmsSegments);
+
+void BM_RatioLastPair(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ratioLastPair(benchPairs()));
+  }
+}
+BENCHMARK(BM_RatioLastPair);
+
+void BM_BuildPiecewiseMap(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClockMap(benchPairs(), SyncMethod::kPiecewise));
+  }
+}
+BENCHMARK(BM_BuildPiecewiseMap);
+
+void BM_ToGlobalUniform(benchmark::State& state) {
+  const ClockMap map(benchPairs(), SyncMethod::kRmsSegments);
+  Tick t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.toGlobal(t += 12345));
+  }
+}
+BENCHMARK(BM_ToGlobalUniform);
+
+void BM_ToGlobalPiecewise(benchmark::State& state) {
+  const ClockMap map(benchPairs(), SyncMethod::kPiecewise);
+  Tick t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.toGlobal(t += 12345));
+  }
+}
+BENCHMARK(BM_ToGlobalPiecewise);
+
+void BM_FilterOutliers(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filterOutlierPairs(benchPairs()));
+  }
+}
+BENCHMARK(BM_FilterOutliers);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printAblation();
+  return ute::benchutil::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,75 @@
+// Figure 1: accumulated timestamp discrepancies among 4 local clocks over
+// roughly 140 seconds.
+//
+// Prints the discrepancy series as CSV (one row per second of reference
+// elapsed time) — the data behind the figure: near-linear growth with
+// slopes of both signs, reaching milliseconds. The microbenchmarks then
+// measure the cost of clock reads and of the full study.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "clock/drift_study.h"
+
+namespace {
+
+using namespace ute;
+
+void printFigure1() {
+  DriftStudyConfig config = figure1Config();
+  const DriftStudyResult result = runDriftStudy(config);
+  std::printf("=== Figure 1: accumulated timestamp discrepancies (4 local "
+              "clocks, reference = clock %d) ===\n",
+              result.referenceClock);
+  const std::string csv = driftStudyCsv(result);
+  // Print every 10th sample to keep the series readable; the final row
+  // carries the headline numbers.
+  std::size_t line = 0;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t next = csv.find('\n', pos);
+    if (line == 0 || line % 10 == 0 || next + 1 >= csv.size()) {
+      std::printf("%s\n", csv.substr(pos, next - pos).c_str());
+    }
+    pos = next + 1;
+    ++line;
+  }
+  // Shape check mirrored from the figure: growth to milliseconds with
+  // both signs.
+  const DriftSeries& fast = result.series[0];   // +22 ppm
+  const DriftSeries& slow = result.series[1];   // -14 ppm
+  std::printf("final discrepancies: clock1 %+0.3f ms, clock2 %+0.3f ms, "
+              "clock3 %+0.3f ms over %.0f s\n\n",
+              static_cast<double>(fast.discrepancyNs.back()) / 1e6,
+              static_cast<double>(slow.discrepancyNs.back()) / 1e6,
+              static_cast<double>(result.series[2].discrepancyNs.back()) /
+                  1e6,
+              static_cast<double>(fast.referenceElapsedNs.back()) / 1e9);
+}
+
+void BM_LocalClockRead(benchmark::State& state) {
+  LocalClockModel::Params p;
+  p.driftPpm = 22.0;
+  p.offsetNs = 12345;
+  const LocalClockModel clock(p);
+  Tick t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(clock.read(t));
+  }
+}
+BENCHMARK(BM_LocalClockRead);
+
+void BM_DriftStudy140s(benchmark::State& state) {
+  const DriftStudyConfig config = figure1Config();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runDriftStudy(config));
+  }
+}
+BENCHMARK(BM_DriftStudy140s);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure1();
+  return ute::benchutil::runBenchmarks(argc, argv);
+}

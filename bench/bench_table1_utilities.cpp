@@ -1,0 +1,156 @@
+// Table 1: speed of the convert and slogmerge utilities as the raw event
+// count scales — the paper's scalability claim is that sec/event stays
+// roughly constant from 40 K to 11.2 M raw events (the test program with
+// 4 MPI tasks of 4 threads each, run at different problem sizes).
+//
+// Prints the same two rows the paper reports, then runs per-event
+// microbenchmarks on a mid-size trace. Set UTE_TABLE1_SMALL=1 to skip
+// the two multi-million-event rows (for quick runs).
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "bench_util.h"
+#include "convert/converter.h"
+#include "interval/standard_profile.h"
+#include "merge/merger.h"
+#include "mpisim/mpi_runtime.h"
+#include "sim/simulation.h"
+#include "slog/slog_writer.h"
+#include "support/text.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ute;
+
+struct SizedRun {
+  std::uint64_t rawEvents = 0;
+  std::vector<std::string> rawFiles;
+  std::vector<std::string> intervalFiles;
+  double convertSecPerEvent = 0;
+  double slogmergeSecPerEvent = 0;
+};
+
+SizedRun runAtSize(const std::string& dir, std::uint64_t targetEvents) {
+  SizedRun out;
+  // Trace generation (not part of the utility timings).
+  TestProgramOptions workload;
+  workload.iterations = testProgramIterationsFor(targetEvents);
+  SimulationConfig config = testProgram(workload);
+  config.trace.filePrefix = dir + "/t" + std::to_string(targetEvents);
+  {
+    Simulation sim(std::move(config));
+    MpiRuntime mpi(sim);
+    sim.setMpiService(&mpi);
+    sim.run();
+    out.rawFiles = sim.traceFilePaths();
+    for (NodeId n = 0; static_cast<std::size_t>(n) <
+                       sim.config().nodes.size(); ++n) {
+      out.rawEvents += sim.sessionStats(n).eventsCut;
+    }
+  }
+
+  // Convert, timed (Table 1 row 1).
+  auto t0 = benchutil::now();
+  const auto converted =
+      convertRun(out.rawFiles, dir + "/t" + std::to_string(targetEvents));
+  out.convertSecPerEvent =
+      benchutil::secondsSince(t0) / static_cast<double>(out.rawEvents);
+  for (const auto& c : converted) out.intervalFiles.push_back(c.outputPath);
+
+  // slogmerge (merge + SLOG emission in one pass), timed (row 2).
+  const Profile profile = makeStandardProfile();
+  std::vector<ThreadEntry> threads;
+  std::map<std::uint32_t, std::string> markers;
+  for (const std::string& path : out.intervalFiles) {
+    IntervalFileReader reader(path);
+    threads.insert(threads.end(), reader.threads().begin(),
+                   reader.threads().end());
+    for (const auto& [id, name] : reader.markers()) markers.emplace(id, name);
+  }
+  t0 = benchutil::now();
+  {
+    IntervalMerger merger(out.intervalFiles, profile);
+    SlogWriter slog(dir + "/t" + std::to_string(targetEvents) + ".slog",
+                    SlogOptions{}, profile, threads, markers);
+    merger.mergeTo(dir + "/t" + std::to_string(targetEvents) + ".merged.uti",
+                   [&slog](const RecordView& r) { slog.addRecord(r); });
+    slog.close();
+  }
+  out.slogmergeSecPerEvent =
+      benchutil::secondsSince(t0) / static_cast<double>(out.rawEvents);
+  return out;
+}
+
+std::string gScratch;
+std::vector<std::string> gMidIntervalFiles;
+std::vector<std::string> gMidRawFiles;
+
+void printTable1() {
+  // The paper's six problem sizes (raw event counts).
+  std::vector<std::uint64_t> sizes = {40282, 128378, 254225,
+                                      641354, 4613568, 11216936};
+  if (std::getenv("UTE_TABLE1_SMALL") != nullptr) sizes.resize(4);
+
+  std::printf("=== Table 1: utility speed (sec/event), test program with 4 "
+              "MPI tasks x 4 threads ===\n");
+  std::vector<SizedRun> runs;
+  for (std::uint64_t target : sizes) {
+    runs.push_back(runAtSize(gScratch, target));
+  }
+  std::printf("%-24s", "# raw events");
+  for (const SizedRun& r : runs) {
+    std::printf(" %12s", withCommas(r.rawEvents).c_str());
+  }
+  std::printf("\n%-24s", "sec/event in convert");
+  for (const SizedRun& r : runs) {
+    std::printf(" %12.7f", r.convertSecPerEvent);
+  }
+  std::printf("\n%-24s", "sec/event in slogmerge");
+  for (const SizedRun& r : runs) {
+    std::printf(" %12.7f", r.slogmergeSecPerEvent);
+  }
+  const double first = runs.front().convertSecPerEvent;
+  const double last = runs.back().convertSecPerEvent;
+  std::printf("\nconvert sec/event ratio largest/smallest: %.2f "
+              "(the paper's claim: roughly constant)\n\n",
+              last / first);
+  gMidRawFiles = runs[1].rawFiles;
+  gMidIntervalFiles = runs[1].intervalFiles;
+}
+
+void BM_ConvertPerEvent(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const auto results =
+        convertRun(gMidRawFiles, gScratch + "/bm_convert");
+    for (const auto& r : results) events += r.rawEvents;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_ConvertPerEvent)->Unit(benchmark::kMillisecond);
+
+void BM_SlogmergePerEvent(benchmark::State& state) {
+  const Profile profile = makeStandardProfile();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    IntervalMerger merger(gMidIntervalFiles, profile);
+    SlogWriter slog(gScratch + "/bm.slog", SlogOptions{}, profile, {}, {});
+    const MergeResult result = merger.mergeTo(
+        gScratch + "/bm.merged.uti",
+        [&slog](const RecordView& r) { slog.addRecord(r); });
+    slog.close();
+    records += result.recordsIn;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_SlogmergePerEvent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gScratch = ute::makeScratchDir("bench_table1");
+  printTable1();
+  return ute::benchutil::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the benchmark binaries: each bench first prints the
+// paper artifact it reproduces (the table rows / figure series), then
+// runs its google-benchmark microbenchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "workloads/pipeline.h"
+
+namespace ute::benchutil {
+
+inline double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+inline std::chrono::steady_clock::time_point now() {
+  return std::chrono::steady_clock::now();
+}
+
+/// Standard bench main body: print the artifact, then run benchmarks.
+inline int runBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ute::benchutil

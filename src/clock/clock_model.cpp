@@ -1,0 +1,24 @@
+#include "clock/clock_model.h"
+
+#include <cmath>
+
+namespace ute {
+
+Tick LocalClockModel::read(Tick trueNs, double jitterDraw) const {
+  double value = idealRead(trueNs);
+  if (p_.jitterNs > 0) {
+    // Uniform in [-jitterNs, +jitterNs].
+    value += (jitterDraw * 2.0 - 1.0) * static_cast<double>(p_.jitterNs);
+  }
+  if (value < 0) value = 0;
+  auto ticks = static_cast<Tick>(value);
+  if (p_.granularityNs > 1) ticks -= ticks % p_.granularityNs;
+  return ticks;
+}
+
+double LocalClockModel::idealRead(Tick trueNs) const {
+  return static_cast<double>(p_.offsetNs) +
+         static_cast<double>(trueNs) * rate();
+}
+
+}  // namespace ute

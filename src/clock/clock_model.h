@@ -1,0 +1,71 @@
+// Models of the clocks available on an SMP-cluster node.
+//
+// The paper's substrate is an IBM SP: each node has a local crystal
+// oscillator whose frequency differs from nominal by a (temperature-
+// dependent, but short-term constant) drift of tens of parts per million,
+// and the switch adapter exposes one globally synchronized clock that is
+// expensive to read. These classes reproduce both behaviours over the
+// simulator's "true time" axis so the synchronization algorithms of
+// Section 2.2 can be exercised and evaluated against ground truth.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.h"
+
+namespace ute {
+
+/// A node-local crystal clock: reads are an affine function of true time
+/// (offset + drifted rate) quantized to the crystal's tick granularity,
+/// plus an optional bounded read jitter that models bus/readout noise.
+class LocalClockModel {
+ public:
+  struct Params {
+    /// Value the clock shows at true time 0 (power-on skew), ns.
+    TickDelta offsetNs = 0;
+    /// Rate error in parts per million; +20 means the clock runs fast by
+    /// 20 us per second of true time.
+    double driftPpm = 0.0;
+    /// Reads are floored to a multiple of this many ns (crystal period).
+    Tick granularityNs = 1;
+    /// Half-width of uniform read jitter in ns (0 = deterministic). The
+    /// jitter is supplied by the caller per read so the model itself stays
+    /// stateless and deterministic.
+    Tick jitterNs = 0;
+  };
+
+  LocalClockModel() = default;
+  explicit LocalClockModel(const Params& p) : p_(p) {}
+
+  /// The timestamp this clock shows at true time `trueNs`.
+  /// `jitterDraw` must be uniform in [0,1); it is consumed only when
+  /// Params::jitterNs > 0.
+  Tick read(Tick trueNs, double jitterDraw = 0.0) const;
+
+  /// Exact (unquantized, jitter-free) reading — ground truth for tests.
+  double idealRead(Tick trueNs) const;
+
+  double rate() const { return 1.0 + p_.driftPpm * 1e-6; }
+  const Params& params() const { return p_; }
+
+ private:
+  Params p_;
+};
+
+/// The switch-adapter global clock: drift-free by construction (it *is*
+/// the time base the cluster synchronizes to) but costly to access.
+class GlobalClock {
+ public:
+  explicit GlobalClock(Tick accessCostNs = 500) : accessCostNs_(accessCostNs) {}
+
+  Tick read(Tick trueNs) const { return trueNs; }
+
+  /// Cost in ns of one read (the paper: "accessing the global clock is
+  /// much more expensive than accessing a local clock").
+  Tick accessCostNs() const { return accessCostNs_; }
+
+ private:
+  Tick accessCostNs_;
+};
+
+}  // namespace ute

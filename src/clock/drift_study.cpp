@@ -1,0 +1,102 @@
+#include "clock/drift_study.h"
+
+#include <cstddef>
+
+#include "support/errors.h"
+#include "support/rng.h"
+#include "support/text.h"
+
+namespace ute {
+
+DriftStudyResult runDriftStudy(const DriftStudyConfig& config) {
+  if (config.clocks.size() < 2) {
+    throw UsageError("drift study needs at least two clocks");
+  }
+  if (config.referenceClock < 0 ||
+      static_cast<std::size_t>(config.referenceClock) >=
+          config.clocks.size()) {
+    throw UsageError("drift study: reference clock index out of range");
+  }
+  if (config.samplePeriodNs == 0) {
+    throw UsageError("drift study: sample period must be positive");
+  }
+
+  std::vector<LocalClockModel> clocks;
+  clocks.reserve(config.clocks.size());
+  for (const auto& p : config.clocks) clocks.emplace_back(p);
+
+  Rng rng(config.jitterSeed);
+  const auto ref = static_cast<std::size_t>(config.referenceClock);
+
+  DriftStudyResult result;
+  result.referenceClock = config.referenceClock;
+  for (std::size_t j = 0; j < clocks.size(); ++j) {
+    if (j == ref) continue;
+    DriftSeries s;
+    s.clockIndex = static_cast<int>(j);
+    result.series.push_back(std::move(s));
+  }
+
+  std::vector<Tick> start(clocks.size());
+  for (std::size_t j = 0; j < clocks.size(); ++j) {
+    start[j] = clocks[j].read(0, rng.unit());
+  }
+
+  for (Tick t = config.samplePeriodNs; t <= config.durationNs;
+       t += config.samplePeriodNs) {
+    const Tick refElapsed = clocks[ref].read(t, rng.unit()) - start[ref];
+    std::size_t out = 0;
+    for (std::size_t j = 0; j < clocks.size(); ++j) {
+      if (j == ref) continue;
+      const Tick elapsed = clocks[j].read(t, rng.unit()) - start[j];
+      auto& series = result.series[out++];
+      series.referenceElapsedNs.push_back(refElapsed);
+      series.discrepancyNs.push_back(static_cast<TickDelta>(elapsed) -
+                                     static_cast<TickDelta>(refElapsed));
+    }
+  }
+  return result;
+}
+
+DriftStudyConfig figure1Config() {
+  DriftStudyConfig config;
+  // Four crystals with rate errors of both signs; clock 0 is the
+  // reference. Magnitudes chosen so discrepancies reach a few
+  // milliseconds over 140 s, matching the scale of the published figure.
+  const double ppm[] = {0.0, +22.0, -14.0, +8.5};
+  for (double d : ppm) {
+    LocalClockModel::Params p;
+    p.driftPpm = d;
+    p.offsetNs = 0;
+    p.granularityNs = 1;
+    p.jitterNs = 2 * kUs;  // readout noise visible at small elapsed times
+    config.clocks.push_back(p);
+  }
+  return config;
+}
+
+std::string driftStudyCsv(const DriftStudyResult& result) {
+  std::string out = "ref_elapsed_s";
+  for (const auto& s : result.series) {
+    out += ",clock" + std::to_string(s.clockIndex) + "_discrepancy_us";
+  }
+  out += "\n";
+  if (result.series.empty()) return out;
+  const std::size_t nSamples = result.series.front().referenceElapsedNs.size();
+  for (std::size_t i = 0; i < nSamples; ++i) {
+    out += fixed(static_cast<double>(
+                     result.series.front().referenceElapsedNs[i]) /
+                     static_cast<double>(kSec),
+                 3);
+    for (const auto& s : result.series) {
+      out += ",";
+      out += fixed(static_cast<double>(s.discrepancyNs[i]) /
+                       static_cast<double>(kUs),
+                   1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ute

@@ -1,0 +1,52 @@
+// Reproduction of the paper's Figure 1: accumulated timestamp
+// discrepancies among several free-running local clocks.
+//
+// The figure samples all clocks together over ~140 seconds and plots, for
+// a chosen reference clock, how far each other clock's elapsed time has
+// drifted from the reference's elapsed time. The discrepancy grows
+// near-linearly because each crystal's rate error is (short-term)
+// constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clock/clock_model.h"
+#include "support/types.h"
+
+namespace ute {
+
+struct DriftStudyConfig {
+  std::vector<LocalClockModel::Params> clocks;
+  Tick durationNs = 140 * kSec;  // the figure spans roughly 140 s
+  Tick samplePeriodNs = kSec;
+  int referenceClock = 0;
+  std::uint64_t jitterSeed = 1;
+};
+
+/// Discrepancy series for one clock against the reference.
+struct DriftSeries {
+  int clockIndex = 0;
+  /// Elapsed time of the reference clock at each sample, ns.
+  std::vector<Tick> referenceElapsedNs;
+  /// (clock elapsed) - (reference elapsed) at each sample, ns.
+  std::vector<TickDelta> discrepancyNs;
+};
+
+struct DriftStudyResult {
+  int referenceClock = 0;
+  std::vector<DriftSeries> series;  // one per non-reference clock
+};
+
+/// Samples every clock at the configured period and accumulates pairwise
+/// discrepancies against the reference clock.
+DriftStudyResult runDriftStudy(const DriftStudyConfig& config);
+
+/// The four-clock configuration used for the Figure 1 reproduction:
+/// drift rates of both signs, tens of ppm apart, as in the measured data.
+DriftStudyConfig figure1Config();
+
+/// Renders a result as CSV: ref_elapsed_s,clock<i>_discrepancy_us,...
+std::string driftStudyCsv(const DriftStudyResult& result);
+
+}  // namespace ute

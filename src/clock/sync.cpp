@@ -1,0 +1,131 @@
+#include "clock/sync.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+double segmentSlope(const TimestampPair& a, const TimestampPair& b) {
+  const double dg =
+      static_cast<double>(b.global) - static_cast<double>(a.global);
+  const double dl = static_cast<double>(b.local) - static_cast<double>(a.local);
+  return dg / dl;
+}
+
+void requirePairs(std::span<const TimestampPair> pairs) {
+  if (pairs.size() < 2) {
+    throw UsageError("clock sync needs at least two timestamp pairs");
+  }
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    if (pairs[i].local <= pairs[i - 1].local) {
+      throw UsageError("timestamp pairs must have increasing local times");
+    }
+  }
+}
+
+}  // namespace
+
+double ratioRmsSegments(std::span<const TimestampPair> pairs) {
+  requirePairs(pairs);
+  double sumSq = 0.0;
+  const std::size_t n = pairs.size() - 1;
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const double s = segmentSlope(pairs[i - 1], pairs[i]);
+    sumSq += s * s;
+  }
+  return std::sqrt(sumSq / static_cast<double>(n));
+}
+
+double ratioLastPair(std::span<const TimestampPair> pairs) {
+  requirePairs(pairs);
+  return segmentSlope(pairs.front(), pairs.back());
+}
+
+std::vector<TimestampPair> filterOutlierPairs(
+    std::span<const TimestampPair> pairs, double tolerance) {
+  if (pairs.size() < 3) return {pairs.begin(), pairs.end()};
+  requirePairs(pairs);
+
+  std::vector<double> slopes;
+  slopes.reserve(pairs.size() - 1);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    slopes.push_back(segmentSlope(pairs[i - 1], pairs[i]));
+  }
+  std::vector<double> sorted = slopes;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  // A pair corrupted by descheduling between the global and local read
+  // shows up as one segment with too-low slope followed by one with
+  // too-high slope (or vice versa); dropping the shared middle point
+  // removes both excursions. We keep a point if the slope of the segment
+  // arriving at it is within tolerance of the median.
+  std::vector<TimestampPair> out;
+  out.push_back(pairs[0]);
+  for (std::size_t i = 1; i < pairs.size(); ++i) {
+    const double s = segmentSlope(out.back(), pairs[i]);
+    if (std::abs(s - median) <= tolerance * std::abs(median)) {
+      out.push_back(pairs[i]);
+    }
+  }
+  if (out.size() < 2) {  // filtered too aggressively; fall back to input
+    return {pairs.begin(), pairs.end()};
+  }
+  return out;
+}
+
+ClockMap::ClockMap(std::span<const TimestampPair> pairs, SyncMethod method)
+    : method_(method) {
+  requirePairs(pairs);
+  local0_ = pairs.front().local;
+  global0_ = pairs.front().global;
+  ratio_ = method == SyncMethod::kLastPair ? ratioLastPair(pairs)
+                                           : ratioRmsSegments(pairs);
+  if (method == SyncMethod::kPiecewise) {
+    segments_.reserve(pairs.size() - 1);
+    for (std::size_t i = 1; i < pairs.size(); ++i) {
+      segments_.push_back({pairs[i - 1].local, pairs[i - 1].global,
+                           segmentSlope(pairs[i - 1], pairs[i])});
+    }
+  }
+  valid_ = true;
+}
+
+Tick ClockMap::toGlobal(Tick local) const {
+  if (!valid_) return local;
+  if (method_ == SyncMethod::kPiecewise && !segments_.empty()) {
+    // Find the last segment whose localBegin <= local (extrapolate with
+    // the first/last segment outside the sampled range).
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), local,
+        [](Tick v, const Segment& s) { return v < s.localBegin; });
+    const Segment& seg = it == segments_.begin() ? segments_.front() : *(it - 1);
+    const double dl =
+        static_cast<double>(local) - static_cast<double>(seg.localBegin);
+    const double g = static_cast<double>(seg.globalBegin) + seg.slope * dl;
+    return g <= 0 ? 0 : static_cast<Tick>(std::llround(g));
+  }
+  const double dl =
+      static_cast<double>(local) - static_cast<double>(local0_);
+  const double g = static_cast<double>(global0_) + ratio_ * dl;
+  return g <= 0 ? 0 : static_cast<Tick>(std::llround(g));
+}
+
+Tick ClockMap::scaleDuration(Tick localDuration) const {
+  if (!valid_) return localDuration;
+  return static_cast<Tick>(
+      std::llround(ratio_ * static_cast<double>(localDuration)));
+}
+
+ClockMap ClockMap::identity() {
+  ClockMap m;
+  m.valid_ = false;
+  return m;
+}
+
+}  // namespace ute

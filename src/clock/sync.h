@@ -1,0 +1,94 @@
+// Clock synchronization from periodic (global, local) timestamp pairs.
+//
+// Section 2.2 of the paper: each node's tracing daemon periodically reads
+// the switch-adapter global clock and the local clock together, producing a
+// sequence of timestamp pairs (G_i, L_i). After tracing, the merge utility
+// estimates the global-to-local clock ratio R and maps every local
+// timestamp onto the global time base. The paper's estimator is the root
+// mean square of the slopes of adjacent-pair segments:
+//
+//     R = sqrt( (1/n) * sum_{i=1..n} ((G_i - G_{i-1}) / (L_i - L_{i-1}))^2 )
+//
+// Two alternatives the paper discusses are also implemented: the slope of
+// the (first, last) pair, and a piecewise mapping with one ratio per
+// segment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/types.h"
+
+namespace ute {
+
+/// One global-clock record: simultaneous readings of the switch-adapter
+/// global clock and the node's local clock.
+struct TimestampPair {
+  Tick global = 0;
+  Tick local = 0;
+};
+
+/// Which ratio estimator a ClockMap uses.
+enum class SyncMethod {
+  kRmsSegments,  ///< the paper's choice (root mean square of segment slopes)
+  kLastPair,     ///< slope of the segment from the first to the last pair
+  kPiecewise,    ///< one ratio per adjacent-pair segment
+};
+
+/// R via root mean square of adjacent-segment slopes (paper Section 2.2).
+/// Requires at least two pairs with strictly increasing local timestamps.
+double ratioRmsSegments(std::span<const TimestampPair> pairs);
+
+/// R via the overall slope (G_n - G_0) / (L_n - L_0).
+double ratioLastPair(std::span<const TimestampPair> pairs);
+
+/// Removes pairs whose instantaneous segment slope deviates from the
+/// median slope by more than `tolerance` (relative). This implements the
+/// filtering the paper's Summary suggests for pairs corrupted by the
+/// daemon being descheduled between the two clock reads. The first pair is
+/// always kept. Returns the surviving pairs in order.
+std::vector<TimestampPair> filterOutlierPairs(
+    std::span<const TimestampPair> pairs, double tolerance = 5e-5);
+
+/// Maps local timestamps (and durations) onto the global clock, anchored
+/// at the first pair: G(L) = G_0 + R * (L - L_0). With kPiecewise the
+/// total elapsed time is partitioned into n segments, each with its own
+/// ratio (extrapolating with the edge segments outside the sampled range).
+class ClockMap {
+ public:
+  ClockMap() = default;
+  ClockMap(std::span<const TimestampPair> pairs, SyncMethod method);
+
+  /// Adjusted global timestamp for a local timestamp.
+  Tick toGlobal(Tick local) const;
+
+  /// Adjusted duration (the paper: duration D becomes R * D).
+  Tick scaleDuration(Tick localDuration) const;
+
+  /// The single ratio (for kPiecewise: the RMS aggregate, used for
+  /// durations that span segments).
+  double ratio() const { return ratio_; }
+
+  SyncMethod method() const { return method_; }
+  bool valid() const { return valid_; }
+
+  /// Identity map (for traces that carry no global clock records).
+  static ClockMap identity();
+
+ private:
+  struct Segment {
+    Tick localBegin = 0;
+    Tick globalBegin = 0;
+    double slope = 1.0;
+  };
+
+  SyncMethod method_ = SyncMethod::kRmsSegments;
+  bool valid_ = false;
+  double ratio_ = 1.0;
+  Tick local0_ = 0;
+  Tick global0_ = 0;
+  std::vector<Segment> segments_;  // only for kPiecewise
+};
+
+}  // namespace ute

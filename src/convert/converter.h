@@ -1,0 +1,77 @@
+// The convert utility: raw event trace files -> interval files
+// (Section 3.1).
+//
+// Matching events is the first step: a begin event is matched with its
+// end event to create an interval; if other events intervene (thread
+// dispatch, nested user markers, nested MPI calls) the interval is
+// divided into multiple pieces typed by bebits. The converter maintains,
+// per thread, a stack of open states with the Running default state at
+// the bottom; a piece of the innermost state is open exactly while the
+// thread occupies a processor.
+//
+// The converter also re-assigns one unique identifier to each distinct
+// user-marker string across all tasks (the tracing library hands out
+// task-local identifiers without cross-task communication, so the same
+// string may carry different ids in different tasks — and different
+// strings the same id).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interval/file_writer.h"
+#include "interval/standard_profile.h"
+#include "support/types.h"
+#include "trace/reader.h"
+
+namespace ute {
+
+/// Run-wide marker string -> unique identifier assignment, shared by all
+/// per-node conversions of one run.
+class MarkerUnifier {
+ public:
+  std::uint32_t unify(const std::string& name);
+  const std::map<std::uint32_t, std::string>& table() const { return table_; }
+
+ private:
+  std::uint32_t nextId_ = 1;
+  std::map<std::string, std::uint32_t> byName_;
+  std::map<std::uint32_t, std::string> table_;
+};
+
+struct ConvertOptions {
+  std::size_t targetFrameBytes = 32 << 10;
+  int framesPerDirectory = 64;
+};
+
+struct ConvertResult {
+  std::string outputPath;
+  std::uint64_t rawEvents = 0;
+  std::uint64_t intervalRecords = 0;
+};
+
+class EventToIntervalConverter {
+ public:
+  EventToIntervalConverter(MarkerUnifier& markers, ConvertOptions options = {});
+
+  /// Converts one raw per-node trace file into one interval file.
+  ConvertResult convertFile(const std::string& rawPath,
+                            const std::string& outPath);
+
+ private:
+  MarkerUnifier& markers_;
+  ConvertOptions options_;
+};
+
+/// Converts every raw file of a run ("<prefix>.<node>.utr"), producing
+/// "<outPrefix>.<node>.uti" files with a shared marker unification.
+std::vector<ConvertResult> convertRun(const std::vector<std::string>& rawPaths,
+                                      const std::string& outPrefix,
+                                      ConvertOptions options = {});
+
+/// Output path convention for per-node interval files.
+std::string intervalFilePath(const std::string& prefix, NodeId node);
+
+}  // namespace ute

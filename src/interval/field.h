@@ -1,0 +1,130 @@
+// Field description words and interval types — the core vocabulary of the
+// self-defining interval format (Section 2.3.1, Figure 3).
+//
+// Each field of a record is described by one 32-bit field description
+// word packing: a vector bit, a counter length, a data type, an element
+// length, a field selection attribute, and a field name index. The field
+// selection attribute is matched against the field selection mask stored
+// in a given interval file's header to decide whether the field exists in
+// that file — this is how the same profile describes both individual
+// (per-node) and merged interval files that carry different fields for
+// the same record type.
+//
+// An *interval type* combines an event type with two "bebits" (begin/end
+// bits) that say whether a record is a complete interval or the begin /
+// continuation / end piece of an interval that was interrupted (thread
+// descheduled, or a nested state started).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/errors.h"
+#include "trace/events.h"
+
+namespace ute {
+
+/// Data types representable in a field description word (5 bits).
+enum class DataType : std::uint8_t {
+  kU8 = 0,
+  kU16 = 1,
+  kU32 = 2,
+  kU64 = 3,
+  kI8 = 4,
+  kI16 = 5,
+  kI32 = 6,
+  kI64 = 7,
+  kF64 = 8,
+  kChar = 9,  ///< byte of a character string (vector fields)
+};
+
+inline std::uint8_t dataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::kU8:
+    case DataType::kI8:
+    case DataType::kChar:
+      return 1;
+    case DataType::kU16:
+    case DataType::kI16:
+      return 2;
+    case DataType::kU32:
+    case DataType::kI32:
+      return 4;
+    case DataType::kU64:
+    case DataType::kI64:
+    case DataType::kF64:
+      return 8;
+  }
+  throw FormatError("unknown data type " +
+                    std::to_string(static_cast<int>(t)));
+}
+
+std::string dataTypeName(DataType t);
+
+/// The begin/end bits. kComplete marks an uninterrupted interval; an
+/// interrupted one becomes a kBegin piece, zero or more kContinuation
+/// pieces, and a kEnd piece. The encoding is chosen so that
+/// (bebits & kBeginBit) means "first piece" and (bebits & kEndBit) means
+/// "last piece".
+enum class Bebits : std::uint8_t {
+  kContinuation = 0b00,
+  kEnd = 0b01,
+  kBegin = 0b10,
+  kComplete = 0b11,
+};
+
+inline bool isFirstPiece(Bebits b) {
+  return (static_cast<std::uint8_t>(b) & 0b10) != 0;
+}
+inline bool isLastPiece(Bebits b) {
+  return (static_cast<std::uint8_t>(b) & 0b01) != 0;
+}
+
+std::string bebitsName(Bebits b);
+
+/// Interval type = event type + bebits (Section 2.3.1).
+using IntervalType = std::uint32_t;
+
+inline IntervalType makeIntervalType(EventType event, Bebits bebits) {
+  return (static_cast<IntervalType>(event) << 2) |
+         static_cast<IntervalType>(bebits);
+}
+inline EventType intervalEventType(IntervalType t) {
+  return static_cast<EventType>(t >> 2);
+}
+inline Bebits intervalBebits(IntervalType t) {
+  return static_cast<Bebits>(t & 0b11);
+}
+
+/// Pseudo event types that exist only at the interval level (they are
+/// derived by the convert utility, not cut as raw events).
+inline constexpr EventType kRunningState = static_cast<EventType>(32);
+inline constexpr EventType kClockSyncState = static_cast<EventType>(33);
+
+/// One decoded field description word.
+struct FieldSpec {
+  bool isVector = false;
+  std::uint8_t counterLen = 0;  ///< 0, 1, 2 or 4 bytes (vector fields)
+  DataType type = DataType::kU64;
+  std::uint8_t elemLen = 8;
+  std::uint8_t attr = 0;  ///< field selection attribute, 0..15
+  std::uint16_t nameIndex = 0;
+
+  /// Whether the field exists in a file whose header carries `mask`.
+  bool selectedBy(std::uint64_t mask) const {
+    return (mask & (std::uint64_t{1} << attr)) != 0;
+  }
+};
+
+// Field description word layout (32 bits):
+//   bit 31     : vector flag
+//   bits 30..29: counter length code (0: none, 1: 1 byte, 2: 2, 3: 4)
+//   bits 28..24: data type
+//   bits 23..16: element length in bytes
+//   bits 15..12: field selection attribute
+//   bits 11..0 : field name index
+
+std::uint32_t encodeFieldWord(const FieldSpec& f);
+FieldSpec decodeFieldWord(std::uint32_t word);
+
+}  // namespace ute

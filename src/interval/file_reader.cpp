@@ -1,0 +1,206 @@
+#include "interval/file_reader.h"
+
+namespace ute {
+
+IntervalFileReader::IntervalFileReader(const std::string& path)
+    : file_(path) {
+  const auto headerBytes = file_.read(kIntervalHeaderBytes);
+  ByteReader r(headerBytes);
+  if (r.u32() != kIntervalMagic) {
+    throw FormatError("not an interval file: " + path);
+  }
+  header_.profileVersion = r.u32();
+  header_.headerVersion = r.u32();
+  if (header_.headerVersion != kIntervalHeaderVersion) {
+    throw FormatError("unsupported interval header version in " + path);
+  }
+  header_.flags = r.u32();
+  header_.fieldSelectionMask = r.u64();
+  header_.threadCount = r.u32();
+  header_.markerTableOffset = r.u64();
+  header_.markerCount = r.u32();
+  header_.firstDirOffset = r.u64();
+  header_.totalRecords = r.u64();
+  header_.minStart = r.u64();
+  header_.maxEnd = r.u64();
+
+  const auto tableBytes =
+      file_.read(header_.threadCount * kThreadEntryBytes);
+  ByteReader tr(tableBytes);
+  threads_.reserve(header_.threadCount);
+  for (std::uint32_t i = 0; i < header_.threadCount; ++i) {
+    ThreadEntry t;
+    t.task = tr.i32();
+    t.pid = tr.i32();
+    t.systemTid = tr.i32();
+    t.node = tr.i32();
+    t.ltid = tr.i32();
+    t.type = static_cast<ThreadType>(tr.u8());
+    threads_.push_back(t);
+  }
+
+  if (header_.markerCount > 0) {
+    file_.seek(header_.markerTableOffset);
+    const auto markerBytes = file_.read(
+        static_cast<std::size_t>(file_.size() - header_.markerTableOffset));
+    ByteReader mr(markerBytes);
+    for (std::uint32_t i = 0; i < header_.markerCount; ++i) {
+      const std::uint32_t id = mr.u32();
+      markers_.emplace(id, mr.lstring());
+    }
+  }
+}
+
+void IntervalFileReader::checkProfile(const Profile& profile) const {
+  if (profile.versionId() != header_.profileVersion) {
+    throw FormatError("profile version mismatch: file " + file_.path() +
+                      " was written with profile version " +
+                      std::to_string(header_.profileVersion) +
+                      " but the profile has version " +
+                      std::to_string(profile.versionId()));
+  }
+}
+
+FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
+  if (offset == 0 || offset >= file_.size()) {
+    return FrameDirectory{};  // empty file or end of chain
+  }
+
+  file_.seek(offset);
+  const auto headerBytes = file_.read(kDirHeaderBytes);
+  ByteReader r(headerBytes);
+  FrameDirectory dir;
+  dir.offset = offset;
+  const std::uint32_t dirSize = r.u32();
+  const std::uint32_t frameCount = r.u32();
+  dir.prevOffset = r.u64();
+  dir.nextOffset = r.u64();
+  if (dirSize != kDirHeaderBytes + frameCount * kFrameEntryBytes) {
+    throw FormatError("inconsistent frame directory size in " + file_.path());
+  }
+  if (dir.nextOffset != 0 && dir.nextOffset <= offset) {
+    throw FormatError("frame directory chain does not advance in " +
+                      file_.path());
+  }
+  const auto entryBytes = file_.read(frameCount * kFrameEntryBytes);
+  ByteReader er(entryBytes);
+  dir.frames.reserve(frameCount);
+  for (std::uint32_t i = 0; i < frameCount; ++i) {
+    FrameInfo f;
+    f.offset = er.u64();
+    f.sizeBytes = er.u32();
+    f.records = er.u32();
+    f.startTime = er.u64();
+    f.endTime = er.u64();
+    dir.frames.push_back(f);
+  }
+  return dir;
+}
+
+std::vector<std::uint8_t> IntervalFileReader::readFrame(
+    const FrameInfo& frame) {
+  file_.seek(frame.offset);
+  return file_.read(frame.sizeBytes);
+}
+
+std::vector<std::uint8_t> IntervalFileReader::recordAt(
+    std::uint64_t frameOffset, std::uint32_t index) {
+  for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
+       dir = readDirectory(dir.nextOffset)) {
+    for (const FrameInfo& f : dir.frames) {
+      if (f.offset != frameOffset) continue;
+      if (index >= f.records) {
+        throw UsageError("recordAt: index " + std::to_string(index) +
+                         " out of range for frame with " +
+                         std::to_string(f.records) + " records");
+      }
+      const auto bytes = readFrame(f);
+      ByteReader r(bytes);
+      for (std::uint32_t i = 0; i < index; ++i) {
+        readLengthPrefixedRecord(r);
+      }
+      const auto body = readLengthPrefixedRecord(r);
+      return {body.begin(), body.end()};
+    }
+    if (dir.nextOffset == 0) break;
+  }
+  throw UsageError("recordAt: no frame starts at offset " +
+                   std::to_string(frameOffset));
+}
+
+std::optional<FrameInfo> IntervalFileReader::frameContaining(Tick t) {
+  for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
+       dir = readDirectory(dir.nextOffset)) {
+    for (const FrameInfo& f : dir.frames) {
+      if (t >= f.startTime && t <= f.endTime) return f;
+    }
+    if (dir.nextOffset == 0) break;
+  }
+  return std::nullopt;
+}
+
+Tick IntervalFileReader::totalElapsed() {
+  Tick minStart = ~Tick{0};
+  Tick maxEnd = 0;
+  bool any = false;
+  for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
+       dir = readDirectory(dir.nextOffset)) {
+    for (const FrameInfo& f : dir.frames) {
+      any = true;
+      minStart = std::min(minStart, f.startTime);
+      maxEnd = std::max(maxEnd, f.endTime);
+    }
+    if (dir.nextOffset == 0) break;
+  }
+  return any ? maxEnd - minStart : 0;
+}
+
+std::uint64_t IntervalFileReader::countRecordsViaDirectories() {
+  std::uint64_t total = 0;
+  for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
+       dir = readDirectory(dir.nextOffset)) {
+    for (const FrameInfo& f : dir.frames) total += f.records;
+    if (dir.nextOffset == 0) break;
+  }
+  return total;
+}
+
+IntervalFileReader::RecordStream::RecordStream(IntervalFileReader& reader)
+    : reader_(reader) {
+  dir_ = reader_.firstDirectory();
+  if (dir_.frames.empty()) exhausted_ = true;
+}
+
+bool IntervalFileReader::RecordStream::loadNextFrame() {
+  for (;;) {
+    if (frameIdx_ < dir_.frames.size()) {
+      frameBytes_ = reader_.readFrame(dir_.frames[frameIdx_]);
+      ++frameIdx_;
+      pos_ = 0;
+      return true;
+    }
+    if (dir_.nextOffset == 0) return false;
+    dir_ = reader_.readDirectory(dir_.nextOffset);
+    frameIdx_ = 0;
+    if (dir_.frames.empty()) return false;
+  }
+}
+
+bool IntervalFileReader::RecordStream::next(RecordView& out) {
+  if (exhausted_) return false;
+  for (;;) {
+    if (pos_ < frameBytes_.size()) {
+      ByteReader r(std::span<const std::uint8_t>(frameBytes_).subspan(pos_));
+      const auto body = readLengthPrefixedRecord(r);
+      pos_ += r.pos();
+      out = RecordView::parse(body);
+      return true;
+    }
+    if (!loadNextFrame()) {
+      exhausted_ = true;
+      return false;
+    }
+  }
+}
+
+}  // namespace ute

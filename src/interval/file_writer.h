@@ -1,0 +1,120 @@
+// Interval file writer: header, thread table, and interval records
+// partitioned into frames grouped under doubly-linked frame directories
+// (Section 2.3.3, Figure 4).
+//
+// Records must be appended in ascending end-time order (the invariant the
+// merge utility and all readers rely on). Frames close when they reach a
+// target byte size; a directory is flushed to disk when it holds its full
+// complement of frames, and its "next directory" link is back-patched
+// when the following directory's position becomes known. The marker
+// string table (marker id -> string, Section 2.4) is written as a trailer
+// whose offset the header carries.
+//
+// A frame-start hook lets the merge utility inject its zero-duration
+// continuation pseudo-intervals at the beginning of every frame
+// (Section 3.3) without this writer knowing anything about state nesting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "interval/profile.h"
+#include "interval/record.h"
+#include "support/file_io.h"
+#include "support/types.h"
+#include "trace/events.h"
+
+namespace ute {
+
+/// One entry of the thread table (Section 2.3.3): MPI task ID, process
+/// ID, system thread ID, node ID, logical thread ID, and thread type.
+struct ThreadEntry {
+  TaskId task = -1;
+  std::int32_t pid = 0;
+  std::int32_t systemTid = 0;
+  NodeId node = 0;
+  LogicalThreadId ltid = 0;
+  ThreadType type = ThreadType::kUser;
+};
+
+struct IntervalFileOptions {
+  std::uint32_t profileVersion = 0;
+  std::uint64_t fieldSelectionMask = 1;
+  bool merged = false;
+  std::size_t targetFrameBytes = 32 << 10;
+  int framesPerDirectory = 64;
+};
+
+class IntervalFileWriter {
+ public:
+  /// Called when a new frame is about to start; may append record bodies
+  /// (zero-duration continuation pseudo-intervals) that become the first
+  /// records of the frame. `frameStart` is the end time of the last
+  /// record of the previous frame.
+  using FrameStartHook =
+      std::function<void(Tick frameStart, std::vector<ByteWriter>& out)>;
+
+  IntervalFileWriter(const std::string& path,
+                     const IntervalFileOptions& options,
+                     std::vector<ThreadEntry> threads);
+
+  void setFrameStartHook(FrameStartHook hook) { hook_ = std::move(hook); }
+
+  /// Registers one marker string/identifier pair; duplicates by id are
+  /// ignored, conflicting strings for one id throw.
+  void addMarker(std::uint32_t id, const std::string& name);
+
+  /// Appends one record body (as produced by encodeRecordBody). Bodies
+  /// must arrive in ascending end-time order.
+  void addRecord(std::span<const std::uint8_t> body);
+
+  /// Finalizes frames and directories, writes the marker table, patches
+  /// the header, and closes the file.
+  void close();
+
+  std::uint64_t recordsWritten() const { return totalRecords_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  struct PendingFrame {
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t records = 0;
+    Tick minStart = 0;
+    Tick maxEnd = 0;
+  };
+
+  void appendToFrame(std::span<const std::uint8_t> body,
+                     const RecordView& view);
+  void finalizeFrame();
+  void flushDirectory();
+
+  std::string path_;
+  IntervalFileOptions options_;
+  FileWriter file_;
+  FrameStartHook hook_;
+  std::map<std::uint32_t, std::string> markers_;
+
+  PendingFrame current_;
+  std::vector<PendingFrame> pendingFrames_;
+  std::uint64_t prevDirOffset_ = 0;  ///< 0 = none yet
+  std::uint64_t totalRecords_ = 0;
+  Tick lastEnd_ = 0;
+  Tick minStart_ = ~Tick{0};
+  Tick maxEnd_ = 0;
+  bool inHook_ = false;
+  bool closed_ = false;
+};
+
+// Shared layout constants (used by the reader).
+inline constexpr std::uint32_t kIntervalMagic = 0x49455455;  // "UTEI"
+inline constexpr std::uint32_t kIntervalHeaderVersion = 1;
+inline constexpr std::size_t kIntervalHeaderBytes = 72;
+inline constexpr std::size_t kThreadEntryBytes = 21;
+inline constexpr std::size_t kDirHeaderBytes = 24;
+inline constexpr std::size_t kFrameEntryBytes = 32;
+inline constexpr std::uint32_t kIntervalFlagMerged = 0x1;
+
+}  // namespace ute

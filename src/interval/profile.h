@@ -1,0 +1,98 @@
+// The description profile: record specifications for every interval type
+// (Section 2.3.1).
+//
+// Interval records and their specifications live in separate files: the
+// records in an interval file, the specifications in a description
+// profile. The profile header carries a version ID, the number of record
+// types, and the string arrays for record and field names; utilities
+// verify the version ID in an interval file against the profile before
+// decoding anything.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "interval/field.h"
+#include "support/bytes.h"
+
+namespace ute {
+
+/// Specification of one record (interval) type: Figure 3.
+struct RecordSpec {
+  IntervalType intervalType = 0;
+  std::uint16_t nameIndex = 0;
+  std::vector<FieldSpec> fields;
+};
+
+class Profile {
+ public:
+  std::uint32_t versionId() const { return versionId_; }
+
+  const RecordSpec* find(IntervalType t) const;
+  const std::map<IntervalType, RecordSpec>& specs() const { return specs_; }
+
+  const std::string& recordName(const RecordSpec& spec) const {
+    return recordNames_.at(spec.nameIndex);
+  }
+  const std::string& fieldName(const FieldSpec& field) const {
+    return fieldNames_.at(field.nameIndex);
+  }
+  const std::vector<std::string>& recordNames() const { return recordNames_; }
+  const std::vector<std::string>& fieldNames() const { return fieldNames_; }
+
+  /// Index of `name` in the field-name array, if interned.
+  std::optional<std::uint16_t> fieldNameIndex(std::string_view name) const;
+
+  // --- serialization -----------------------------------------------------
+  ByteWriter encode() const;
+  static Profile decode(std::span<const std::uint8_t> bytes);
+  void writeFile(const std::string& path) const;
+  static Profile readFile(const std::string& path);
+
+  /// Human-readable dump (for the utedump tool and for debugging).
+  std::string describe() const;
+
+ private:
+  friend class ProfileBuilder;
+
+  std::uint32_t versionId_ = 0;
+  std::vector<std::string> recordNames_;
+  std::vector<std::string> fieldNames_;
+  std::map<IntervalType, RecordSpec> specs_;
+};
+
+/// Assembles a Profile, interning names and validating field words.
+class ProfileBuilder {
+ public:
+  explicit ProfileBuilder(std::uint32_t versionId);
+
+  /// Starts (or extends) the spec for an interval type.
+  ProfileBuilder& record(IntervalType type, const std::string& name);
+
+  /// Appends a scalar field to the record opened by the last record().
+  ProfileBuilder& scalar(const std::string& name, DataType type,
+                         std::uint8_t attr = 0);
+
+  /// Appends a vector field (counterLen-byte element count, then elements).
+  ProfileBuilder& vector(const std::string& name, DataType type,
+                         std::uint8_t counterLen, std::uint8_t attr = 0);
+
+  Profile build();
+
+ private:
+  std::uint16_t internRecordName(const std::string& name);
+  std::uint16_t internFieldName(const std::string& name);
+  RecordSpec& current();
+
+  Profile profile_;
+  std::map<std::string, std::uint16_t> recordNameIndex_;
+  std::map<std::string, std::uint16_t> fieldNameIndex_;
+  IntervalType currentType_ = 0;
+  bool haveCurrent_ = false;
+};
+
+}  // namespace ute

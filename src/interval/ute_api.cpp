@@ -1,0 +1,218 @@
+#include "interval/ute_api.h"
+
+#include <cstring>
+#include <memory>
+
+#include "interval/file_reader.h"
+#include "interval/profile.h"
+#include "interval/record.h"
+
+namespace ute::api {
+
+struct UteFile {
+  explicit UteFile(const char* path)
+      : reader(path), stream(reader.records()) {}
+  IntervalFileReader reader;
+  IntervalFileReader::RecordStream stream;
+};
+
+namespace {
+struct ProfileHandle {
+  Profile profile;
+};
+
+const Profile* profileOf(const table_format* table) {
+  if (table == nullptr || table->impl == nullptr) return nullptr;
+  return &static_cast<const ProfileHandle*>(table->impl)->profile;
+}
+}  // namespace
+
+UteFile* readHeader(const char* path, interval_header* header) {
+  try {
+    auto file = std::make_unique<UteFile>(path);
+    if (header != nullptr) {
+      const IntervalFileHeader& h = file->reader.header();
+      header->profile_version = h.profileVersion;
+      header->header_version = h.headerVersion;
+      header->masks = h.fieldSelectionMask;
+      header->thread_count = h.threadCount;
+      header->total_records = h.totalRecords;
+      header->min_start = h.minStart;
+      header->max_end = h.maxEnd;
+    }
+    return file.release();
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+int readFrameDir(UteFile* file, frame_directory* dir) {
+  if (file == nullptr || dir == nullptr) return -1;
+  try {
+    const FrameDirectory first = file->reader.firstDirectory();
+    dir->owner = file;
+    dir->frames_in_first_dir = static_cast<std::uint32_t>(first.frames.size());
+    return static_cast<int>(first.frames.size());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int readProfile(const char* path, table_format* table, std::uint64_t masks) {
+  if (table == nullptr) return -1;
+  try {
+    auto handle = std::make_unique<ProfileHandle>();
+    handle->profile = Profile::readFile(path);
+    table->impl = handle.release();
+    table->masks = masks;
+    return 0;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+long getInterval(UteFile* file, frame_directory* dir, void* buffer,
+                 std::size_t bufSize) {
+  if (file == nullptr || dir == nullptr || dir->owner != file) return -1;
+  try {
+    RecordView view;
+    if (!file->stream.next(view)) return 0;
+    if (view.body.size() > bufSize) return -1;
+    std::memcpy(buffer, view.body.data(), view.body.size());
+    return static_cast<long>(view.body.size());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+long getIntervalAt(UteFile* file, std::uint64_t frameOffset,
+                   std::uint32_t index, void* buffer, std::size_t bufSize) {
+  if (file == nullptr || buffer == nullptr) return -1;
+  try {
+    const auto body = file->reader.recordAt(frameOffset, index);
+    if (body.size() > bufSize) return -1;
+    std::memcpy(buffer, body.data(), body.size());
+    return static_cast<long>(body.size());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int getItemByName(const table_format* table, const void* record, long length,
+                  const char* name, long long* out) {
+  const Profile* profile = profileOf(table);
+  if (profile == nullptr || record == nullptr || length <= 0 || out == nullptr) {
+    return -1;
+  }
+  try {
+    const std::span<const std::uint8_t> body(
+        static_cast<const std::uint8_t*>(record),
+        static_cast<std::size_t>(length));
+    const RecordView view = RecordView::parse(body);
+    const RecordSpec* spec = profile->find(view.intervalType);
+    if (spec == nullptr) return -1;
+    const auto value = getScalarByName(*profile, table->masks, view, name);
+    if (!value) return -1;
+    *out = *value;
+    // Return the item's size in bytes, as the paper's API does.
+    for (const FieldSpec& f : spec->fields) {
+      if (profile->fieldName(f) == name) return f.elemLen;
+    }
+    return -1;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int getItemDoubleByName(const table_format* table, const void* record,
+                        long length, const char* name, double* out) {
+  const Profile* profile = profileOf(table);
+  if (profile == nullptr || record == nullptr || length <= 0 || out == nullptr) {
+    return -1;
+  }
+  try {
+    const std::span<const std::uint8_t> body(
+        static_cast<const std::uint8_t*>(record),
+        static_cast<std::size_t>(length));
+    const RecordView view = RecordView::parse(body);
+    const auto value = getF64ByName(*profile, table->masks, view, name);
+    if (!value) return -1;
+    *out = *value;
+    return 8;
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int getVectorCharByName(const table_format* table, const void* record,
+                        long length, const char* name, char* buf,
+                        std::size_t bufSize) {
+  const Profile* profile = profileOf(table);
+  if (profile == nullptr || record == nullptr || length <= 0 || buf == nullptr) {
+    return -1;
+  }
+  try {
+    const std::span<const std::uint8_t> body(
+        static_cast<const std::uint8_t*>(record),
+        static_cast<std::size_t>(length));
+    const RecordView view = RecordView::parse(body);
+    const auto value = getStringByName(*profile, table->masks, view, name);
+    if (!value || value->size() + 1 > bufSize) return -1;
+    std::memcpy(buf, value->data(), value->size());
+    buf[value->size()] = '\0';
+    return static_cast<int>(value->size());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+int isVectorField(const table_format* table, std::uint32_t recordType,
+                  const char* name) {
+  const Profile* profile = profileOf(table);
+  if (profile == nullptr) return -1;
+  const RecordSpec* spec = profile->find(recordType);
+  if (spec == nullptr) return -1;
+  for (const FieldSpec& f : spec->fields) {
+    if (profile->fieldName(f) == name) return f.isVector ? 1 : 0;
+  }
+  return -1;
+}
+
+int getMarkerString(UteFile* file, std::uint32_t markerId, char* buf,
+                    std::size_t bufSize) {
+  if (file == nullptr || buf == nullptr) return -1;
+  const auto& markers = file->reader.markers();
+  const auto it = markers.find(markerId);
+  if (it == markers.end() || it->second.size() + 1 > bufSize) return -1;
+  std::memcpy(buf, it->second.data(), it->second.size());
+  buf[it->second.size()] = '\0';
+  return static_cast<int>(it->second.size());
+}
+
+long long totalElapsedTime(UteFile* file) {
+  if (file == nullptr) return -1;
+  try {
+    return static_cast<long long>(file->reader.totalElapsed());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+long long totalRecordCount(UteFile* file) {
+  if (file == nullptr) return -1;
+  try {
+    return static_cast<long long>(file->reader.countRecordsViaDirectories());
+  } catch (const std::exception&) {
+    return -1;
+  }
+}
+
+void closeInterval(UteFile* file) { delete file; }
+
+void freeProfile(table_format* table) {
+  if (table == nullptr || table->impl == nullptr) return;
+  delete static_cast<ProfileHandle*>(table->impl);
+  table->impl = nullptr;
+}
+
+}  // namespace ute::api

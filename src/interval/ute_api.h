@@ -1,0 +1,105 @@
+// The simple C-style API of Section 2.4 (Figure 5).
+//
+// This is a thin compatibility layer over IntervalFileReader / Profile so
+// that the paper's example — computing the total bytes sent by summing
+// the "msgSizeSent" field over every record — can be written essentially
+// verbatim (examples/quickstart.cpp does exactly that). The C++ classes
+// are the primary interface; this one exists because the paper specifies
+// it, and the utilities built "using the API" (the statistics generator)
+// are tested against both.
+//
+// Error convention follows the paper: readHeader returns NULL on failure,
+// the readers return <= 0, getItemByName returns the item size in bytes
+// (> 0) on success and -1 when the record has no such field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ute::api {
+
+/// Opaque handle for an open interval file (the paper used FILE*).
+struct UteFile;
+
+struct interval_header {
+  std::uint32_t profile_version = 0;
+  std::uint32_t header_version = 0;
+  std::uint64_t masks = 0;  ///< field selection mask
+  std::uint32_t thread_count = 0;
+  std::uint64_t total_records = 0;
+  std::uint64_t min_start = 0;
+  std::uint64_t max_end = 0;
+};
+
+/// Sequential-access anchor. readFrameDir() initializes it from the first
+/// frame directory; getInterval() then walks all subsequent frames and
+/// directories transparently ("hides all subsequent frames and frame
+/// directories from the user").
+struct frame_directory {
+  UteFile* owner = nullptr;
+  std::uint32_t frames_in_first_dir = 0;
+};
+
+/// Loaded profile restricted to a field selection mask.
+struct table_format {
+  void* impl = nullptr;  ///< owns a profile handle; free with freeProfile()
+  std::uint64_t masks = 0;
+};
+
+/// Opens an interval file and fills `header`. Returns NULL on error.
+UteFile* readHeader(const char* path, interval_header* header);
+
+/// Positions `dir` at the first frame directory; returns the number of
+/// frames in it (> 0), or <= 0 on error.
+int readFrameDir(UteFile* file, frame_directory* dir);
+
+/// Loads a profile file, keeping only fields selected by `masks`.
+/// Returns 0 on success, < 0 on error (including version mismatch when
+/// the file was opened first — pass the header's masks as in Figure 5).
+int readProfile(const char* path, table_format* table, std::uint64_t masks);
+
+/// Copies the next record body into `buffer` and returns its length in
+/// bytes, 0 at end of file, or < 0 on error (e.g. buffer too small).
+long getInterval(UteFile* file, frame_directory* dir, void* buffer,
+                 std::size_t bufSize);
+
+/// Looks up the scalar field `name` in `record` (a body returned by
+/// getInterval, of length `length`). On success stores the value in
+/// `*out` and returns the item size in bytes; returns -1 otherwise.
+int getItemByName(const table_format* table, const void* record, long length,
+                  const char* name, long long* out);
+
+/// Variant returning the value as double (for f64 fields).
+int getItemDoubleByName(const table_format* table, const void* record,
+                        long length, const char* name, double* out);
+
+/// Retrieves a char-vector field as a NUL-terminated string; returns the
+/// string length, or -1 if absent / bufSize too small.
+int getVectorCharByName(const table_format* table, const void* record,
+                        long length, const char* name, char* buf,
+                        std::size_t bufSize);
+
+/// True (1) if the named field of this record type is a vector field.
+int isVectorField(const table_format* table, std::uint32_t recordType,
+                  const char* name);
+
+/// Retrieves the interval at a specific location (Section 2.4): record
+/// `index` of the frame starting at file offset `frameOffset` (both from
+/// the frame directory entries). Returns the record length, or < 0.
+long getIntervalAt(UteFile* file, std::uint64_t frameOffset,
+                   std::uint32_t index, void* buffer, std::size_t bufSize);
+
+/// Retrieves the marker string for a marker identifier (Section 2.4).
+/// Returns the string length, or -1 when unknown / buffer too small.
+int getMarkerString(UteFile* file, std::uint32_t markerId, char* buf,
+                    std::size_t bufSize);
+
+/// Aggregates over frame directory structures (Section 2.4): total
+/// elapsed time and total number of records in the trace file.
+long long totalElapsedTime(UteFile* file);
+long long totalRecordCount(UteFile* file);
+
+void closeInterval(UteFile* file);
+void freeProfile(table_format* table);
+
+}  // namespace ute::api

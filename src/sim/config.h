@@ -1,0 +1,90 @@
+// Configuration of a simulated SMP cluster run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "clock/clock_model.h"
+#include "sim/program.h"
+#include "support/types.h"
+#include "trace/events.h"
+#include "trace/writer.h"
+
+namespace ute {
+
+/// One SMP node: its processor count and the drift model of its local
+/// crystal clock.
+struct NodeConfig {
+  int cpuCount = 1;
+  LocalClockModel::Params clock;
+};
+
+/// One thread of a process: what it executes and how the interval-file
+/// thread table categorizes it.
+struct ThreadConfig {
+  Program program;
+  ThreadType type = ThreadType::kUser;
+};
+
+/// One MPI process (task). Its rank is its index in
+/// SimulationConfig::processes.
+struct ProcessConfig {
+  NodeId node = 0;
+  std::vector<ThreadConfig> threads;
+};
+
+struct SchedulerParams {
+  /// Round-robin time slice (AIX default is 10 ms).
+  Tick quantumNs = 10 * kMs;
+  /// Context-switch cost charged before a dispatched thread makes progress.
+  Tick dispatchCostNs = 2 * kUs;
+};
+
+/// The per-node daemon that periodically reads the switch-adapter global
+/// clock together with the local clock and cuts a GlobalClock record
+/// (Section 2.2).
+struct ClockDaemonParams {
+  Tick firstAtNs = 1 * kMs;
+  Tick periodNs = 2 * kSec;
+  /// Probability that the daemon is descheduled *between* the global and
+  /// the local clock read, producing the outlier pairs the paper's
+  /// Summary discusses; the merge utility must filter these.
+  double outlierChance = 0.0;
+  Tick outlierDelayNs = 500 * kUs;
+  /// Section 5: "an atomic operation would totally eliminate such
+  /// possibilities" — with an atomic paired read the daemon can never be
+  /// descheduled between the two reads, so outlierChance is ignored.
+  bool atomicRead = false;
+};
+
+/// Costs of the tracing library's user-level entry points, plus the
+/// Section 5 extension activities (I/O, page faults).
+struct SimCosts {
+  Tick markerCallNs = 300;
+  Tick traceControlNs = 300;
+  /// Blocking I/O: latency plus per-byte transfer (a 2000-era local disk:
+  /// ~5 ms seek, ~30 MB/s).
+  Tick ioLatencyNs = 5 * kMs;
+  double ioNsPerByte = 33.0;
+  /// CPU time consumed inside the I/O call before it blocks (posting the
+  /// request) — gives the call a non-empty begin piece, like MPI calls.
+  Tick ioSetupNs = 2 * kUs;
+  /// Each compute burst takes a page fault with this probability; the
+  /// fault stalls the thread off-CPU for pageFaultServiceNs.
+  double pageFaultChance = 0.0;
+  Tick pageFaultServiceNs = 200 * kUs;
+};
+
+struct SimulationConfig {
+  std::vector<NodeConfig> nodes;
+  std::vector<ProcessConfig> processes;
+  SchedulerParams scheduler;
+  ClockDaemonParams clockDaemon;
+  TraceOptions trace;
+  SimCosts costs;
+  std::uint64_t seed = 42;
+  /// Hard stop guarding against deadlocked workloads.
+  Tick maxSimTimeNs = 3600 * kSec;
+};
+
+}  // namespace ute

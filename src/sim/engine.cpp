@@ -1,0 +1,27 @@
+#include "sim/engine.h"
+
+namespace ute {
+
+void Engine::scheduleAt(Tick t, Action action) {
+  if (t < now_) {
+    throw UsageError("Engine: cannot schedule an event in the past");
+  }
+  queue_.push({t, nextSeq_++, std::move(action)});
+}
+
+void Engine::run(Tick maxTime) {
+  stop_ = false;
+  while (!queue_.empty() && !stop_) {
+    // Move the action out before popping so it can schedule new events.
+    Scheduled ev = std::move(const_cast<Scheduled&>(queue_.top()));
+    queue_.pop();
+    if (ev.time > maxTime) {
+      throw UsageError("Engine: simulation exceeded its time limit");
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.action();
+  }
+}
+
+}  // namespace ute

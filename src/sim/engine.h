@@ -1,0 +1,64 @@
+// Discrete-event simulation core.
+//
+// A single min-heap of (time, sequence) ordered events; ties break in
+// scheduling order, which makes whole-cluster runs bit-for-bit
+// reproducible. Everything in the simulated cluster — dispatches, quantum
+// expiries, message deliveries, clock-daemon ticks — is an event here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/errors.h"
+#include "support/types.h"
+
+namespace ute {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated true time, ns.
+  Tick now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now()).
+  void scheduleAt(Tick t, Action action);
+
+  /// Schedules `action` `delay` ns from now.
+  void scheduleAfter(Tick delay, Action action) {
+    scheduleAt(now_ + delay, std::move(action));
+  }
+
+  /// Runs until the event queue drains, requestStop() is called, or
+  /// `maxTime` is exceeded (guarding against runaway simulations).
+  void run(Tick maxTime = ~Tick{0});
+
+  /// Makes run() return after the current event completes. Remaining
+  /// events stay queued (the caller is abandoning the simulation).
+  void requestStop() { stop_ = true; }
+
+  std::uint64_t eventsProcessed() const { return processed_; }
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  struct Scheduled {
+    Tick time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  bool stop_ = false;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+};
+
+}  // namespace ute

@@ -1,0 +1,214 @@
+#include "sim/program.h"
+
+#include "support/errors.h"
+
+namespace ute {
+
+bool isMpiOp(OpKind kind) {
+  return kind >= OpKind::kMpiInit && kind <= OpKind::kMpiAlltoall;
+}
+
+std::string opKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCompute: return "compute";
+    case OpKind::kSleep: return "sleep";
+    case OpKind::kMarkerBegin: return "markerBegin";
+    case OpKind::kMarkerEnd: return "markerEnd";
+    case OpKind::kLoopBegin: return "loopBegin";
+    case OpKind::kLoopEnd: return "loopEnd";
+    case OpKind::kTraceOn: return "traceOn";
+    case OpKind::kTraceOff: return "traceOff";
+    case OpKind::kIoRead: return "ioRead";
+    case OpKind::kIoWrite: return "ioWrite";
+    case OpKind::kMpiInit: return "MPI_Init";
+    case OpKind::kMpiFinalize: return "MPI_Finalize";
+    case OpKind::kMpiSend: return "MPI_Send";
+    case OpKind::kMpiRecv: return "MPI_Recv";
+    case OpKind::kMpiIsend: return "MPI_Isend";
+    case OpKind::kMpiIrecv: return "MPI_Irecv";
+    case OpKind::kMpiWait: return "MPI_Wait";
+    case OpKind::kMpiBarrier: return "MPI_Barrier";
+    case OpKind::kMpiBcast: return "MPI_Bcast";
+    case OpKind::kMpiReduce: return "MPI_Reduce";
+    case OpKind::kMpiAllreduce: return "MPI_Allreduce";
+    case OpKind::kMpiAlltoall: return "MPI_Alltoall";
+  }
+  return "?";
+}
+
+Op& ProgramBuilder::push(OpKind kind) {
+  ops_.emplace_back();
+  ops_.back().kind = kind;
+  return ops_.back();
+}
+
+ProgramBuilder& ProgramBuilder::compute(Tick ns) {
+  push(OpKind::kCompute).duration = ns;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sleep(Tick ns) {
+  push(OpKind::kSleep).duration = ns;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::markerBegin(const std::string& name) {
+  push(OpKind::kMarkerBegin).marker = name;
+  markerStack_.push_back(name);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::markerEnd(const std::string& name) {
+  if (markerStack_.empty() || markerStack_.back() != name) {
+    throw UsageError("markerEnd('" + name + "') does not match open marker");
+  }
+  markerStack_.pop_back();
+  push(OpKind::kMarkerEnd).marker = name;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::loop(std::uint32_t count) {
+  loopStack_.push_back(ops_.size());
+  push(OpKind::kLoopBegin).count = count;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::endLoop() {
+  if (loopStack_.empty()) throw UsageError("endLoop without open loop");
+  const std::size_t beginIdx = loopStack_.back();
+  loopStack_.pop_back();
+  Op& end = push(OpKind::kLoopEnd);
+  end.match = static_cast<std::int32_t>(beginIdx);
+  ops_[beginIdx].match = static_cast<std::int32_t>(ops_.size() - 1);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::traceOn() {
+  push(OpKind::kTraceOn);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::traceOff() {
+  push(OpKind::kTraceOff);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ioRead(std::uint32_t bytes) {
+  push(OpKind::kIoRead).bytes = bytes;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ioWrite(std::uint32_t bytes) {
+  push(OpKind::kIoWrite).bytes = bytes;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mpiInit() {
+  push(OpKind::kMpiInit);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::mpiFinalize() {
+  push(OpKind::kMpiFinalize);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::send(TaskId dest, std::int32_t tag,
+                                     std::uint32_t bytes) {
+  Op& op = push(OpKind::kMpiSend);
+  op.peer = dest;
+  op.tag = tag;
+  op.bytes = bytes;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::recv(TaskId src, std::int32_t tag) {
+  Op& op = push(OpKind::kMpiRecv);
+  op.peer = src;
+  op.tag = tag;
+  return *this;
+}
+
+std::int32_t ProgramBuilder::isend(TaskId dest, std::int32_t tag,
+                                   std::uint32_t bytes) {
+  Op& op = push(OpKind::kMpiIsend);
+  op.peer = dest;
+  op.tag = tag;
+  op.bytes = bytes;
+  op.reqSlot = nextReqSlot_++;
+  return op.reqSlot;
+}
+
+std::int32_t ProgramBuilder::irecv(TaskId src, std::int32_t tag) {
+  Op& op = push(OpKind::kMpiIrecv);
+  op.peer = src;
+  op.tag = tag;
+  op.reqSlot = nextReqSlot_++;
+  return op.reqSlot;
+}
+
+ProgramBuilder& ProgramBuilder::wait(std::int32_t reqSlot) {
+  if (reqSlot < 0 || reqSlot >= nextReqSlot_) {
+    throw UsageError("wait on unknown request slot");
+  }
+  push(OpKind::kMpiWait).reqSlot = reqSlot;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::barrier() {
+  push(OpKind::kMpiBarrier);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bcast(std::uint32_t bytes, TaskId root) {
+  Op& op = push(OpKind::kMpiBcast);
+  op.bytes = bytes;
+  op.root = root;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reduce(std::uint32_t bytes, TaskId root) {
+  Op& op = push(OpKind::kMpiReduce);
+  op.bytes = bytes;
+  op.root = root;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::allreduce(std::uint32_t bytes) {
+  push(OpKind::kMpiAllreduce).bytes = bytes;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::alltoall(std::uint32_t bytes) {
+  push(OpKind::kMpiAlltoall).bytes = bytes;
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  if (!loopStack_.empty()) throw UsageError("program has an unclosed loop");
+  if (!markerStack_.empty()) {
+    throw UsageError("program has an unclosed marker '" + markerStack_.back() +
+                     "'");
+  }
+  return std::move(ops_);
+}
+
+std::uint64_t dynamicOpCount(const Program& program) {
+  // Walk with an explicit loop stack, multiplying body counts.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> multiplier{1};
+  for (const Op& op : program) {
+    if (op.kind == OpKind::kLoopBegin) {
+      total += multiplier.back();  // the loop-begin op itself
+      multiplier.push_back(multiplier.back() * op.count);
+    } else if (op.kind == OpKind::kLoopEnd) {
+      total += multiplier.back();  // each iteration's loop-end bookkeeping
+      multiplier.pop_back();
+    } else {
+      total += multiplier.back();
+    }
+  }
+  return total;
+}
+
+}  // namespace ute

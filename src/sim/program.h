@@ -1,0 +1,111 @@
+// Thread programs for the cluster simulator.
+//
+// A Program is a compact op list describing what one thread of one MPI
+// process does: compute bursts, MPI calls, user-marker regions, sleeps,
+// loops, and trace on/off control. Workload generators (src/workloads)
+// assemble Programs via ProgramBuilder; the simulator interprets them with
+// per-thread program counters and a loop stack, so a million-iteration
+// loop costs two ops, not a million.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+
+namespace ute {
+
+enum class OpKind : std::uint8_t {
+  kCompute,      ///< occupy the CPU for `duration` ns (preemptible)
+  kSleep,        ///< leave the CPU for `duration` ns (timed block)
+  kMarkerBegin,  ///< begin user-marker region `marker`
+  kMarkerEnd,    ///< end user-marker region `marker`
+  kLoopBegin,    ///< repeat the ops up to the matching kLoopEnd `count` times
+  kLoopEnd,
+  kTraceOn,      ///< enable tracing on this thread's node (Section 2.1)
+  kTraceOff,
+  kIoRead,       ///< blocking file read of `bytes` (off-CPU wait)
+  kIoWrite,      ///< blocking file write of `bytes`
+  // MPI calls; executed through the installed MpiService.
+  kMpiInit,
+  kMpiFinalize,
+  kMpiSend,
+  kMpiRecv,
+  kMpiIsend,
+  kMpiIrecv,
+  kMpiWait,
+  kMpiBarrier,
+  kMpiBcast,
+  kMpiReduce,
+  kMpiAllreduce,
+  kMpiAlltoall,
+};
+
+bool isMpiOp(OpKind kind);
+std::string opKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kCompute;
+  Tick duration = 0;          ///< kCompute / kSleep
+  std::int32_t peer = -1;     ///< send dest / recv src (-1 = any source)
+  std::int32_t tag = 0;
+  std::uint32_t bytes = 0;    ///< message or collective payload size
+  std::int32_t root = 0;      ///< collective root task
+  std::int32_t reqSlot = -1;  ///< request slot for isend/irecv/wait
+  std::uint32_t count = 0;    ///< kLoopBegin iteration count
+  std::int32_t match = -1;    ///< kLoopBegin <-> kLoopEnd partner index
+  std::string marker;         ///< kMarkerBegin / kMarkerEnd region name
+};
+
+using Program = std::vector<Op>;
+
+/// Fluent builder that validates loop and marker nesting and resolves
+/// loop partner indices. Throws UsageError on malformed structure.
+class ProgramBuilder {
+ public:
+  ProgramBuilder& compute(Tick ns);
+  ProgramBuilder& sleep(Tick ns);
+  ProgramBuilder& markerBegin(const std::string& name);
+  ProgramBuilder& markerEnd(const std::string& name);
+  ProgramBuilder& loop(std::uint32_t count);
+  ProgramBuilder& endLoop();
+  ProgramBuilder& traceOn();
+  ProgramBuilder& traceOff();
+  ProgramBuilder& ioRead(std::uint32_t bytes);
+  ProgramBuilder& ioWrite(std::uint32_t bytes);
+
+  ProgramBuilder& mpiInit();
+  ProgramBuilder& mpiFinalize();
+  ProgramBuilder& send(TaskId dest, std::int32_t tag, std::uint32_t bytes);
+  ProgramBuilder& recv(TaskId src, std::int32_t tag);
+  /// Returns the request slot to pass to wait().
+  std::int32_t isend(TaskId dest, std::int32_t tag, std::uint32_t bytes);
+  std::int32_t irecv(TaskId src, std::int32_t tag);
+  ProgramBuilder& wait(std::int32_t reqSlot);
+  ProgramBuilder& barrier();
+  ProgramBuilder& bcast(std::uint32_t bytes, TaskId root);
+  ProgramBuilder& reduce(std::uint32_t bytes, TaskId root);
+  ProgramBuilder& allreduce(std::uint32_t bytes);
+  ProgramBuilder& alltoall(std::uint32_t bytes);
+
+  /// Validates that all loops and markers are closed and returns the ops.
+  Program build();
+
+  /// Number of request slots the built program uses.
+  std::int32_t requestSlots() const { return nextReqSlot_; }
+
+ private:
+  Op& push(OpKind kind);
+
+  Program ops_;
+  std::vector<std::size_t> loopStack_;
+  std::vector<std::string> markerStack_;
+  std::int32_t nextReqSlot_ = 0;
+};
+
+/// Counts the ops a program executes at runtime (loops expanded) —
+/// used by workload generators to size runs for target event counts.
+std::uint64_t dynamicOpCount(const Program& program);
+
+}  // namespace ute

@@ -1,0 +1,105 @@
+#include "slog/preview.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace ute {
+
+PreviewAccumulator::PreviewAccumulator(std::uint32_t bins,
+                                       Tick initialBinWidth)
+    : bins_(bins), binWidth_(initialBinWidth) {
+  if (bins_ == 0) throw UsageError("preview needs at least one bin");
+  if (binWidth_ == 0) binWidth_ = 1;
+}
+
+void PreviewAccumulator::ensureCovers(Tick t) {
+  if (t <= origin_) return;
+  while (origin_ + binWidth_ * bins_ < t) {
+    // Double the bin width, merging bins pairwise.
+    for (auto& [state, row] : perState_) {
+      for (std::uint32_t i = 0; i < bins_ / 2; ++i) {
+        row[i] = row[2 * i] + (2 * i + 1 < bins_ ? row[2 * i + 1] : 0.0);
+      }
+      std::fill(row.begin() + bins_ / 2, row.end(), 0.0);
+    }
+    binWidth_ *= 2;
+  }
+}
+
+void PreviewAccumulator::add(std::uint32_t stateId, Tick start, Tick dura) {
+  if (!haveOrigin_) {
+    origin_ = start;
+    haveOrigin_ = true;
+  }
+  if (start < origin_) start = origin_;  // clamp (should not happen)
+  ensureCovers(start + dura);
+
+  auto [it, inserted] = perState_.try_emplace(stateId);
+  if (inserted) it->second.assign(bins_, 0.0);
+  std::vector<double>& row = it->second;
+
+  if (dura == 0) return;
+  // Spread [start, start+dura) over the bins it overlaps.
+  Tick t = start;
+  const Tick end = start + dura;
+  while (t < end) {
+    const std::uint64_t bin = (t - origin_) / binWidth_;
+    const Tick binEnd = origin_ + (bin + 1) * binWidth_;
+    const Tick chunk = std::min(end, binEnd) - t;
+    if (bin < bins_) row[bin] += static_cast<double>(chunk);
+    t += chunk;
+  }
+}
+
+SlogPreview PreviewAccumulator::snapshot(
+    const std::vector<std::uint32_t>& stateOrder) const {
+  SlogPreview p;
+  p.origin = origin_;
+  p.binWidth = binWidth_;
+  p.bins = bins_;
+  p.perStateBinTime.reserve(stateOrder.size());
+  for (std::uint32_t id : stateOrder) {
+    const auto it = perState_.find(id);
+    if (it == perState_.end()) {
+      p.perStateBinTime.emplace_back(bins_, 0.0);
+    } else {
+      p.perStateBinTime.push_back(it->second);
+    }
+  }
+  return p;
+}
+
+SlogPreview rebinPreview(const SlogPreview& preview,
+                         std::uint32_t targetBins) {
+  if (targetBins == 0) throw UsageError("rebinPreview: zero target bins");
+  SlogPreview out;
+  out.origin = preview.origin;
+  const Tick total = preview.binWidth * preview.bins;
+  out.binWidth = (total + targetBins - 1) / targetBins;
+  if (out.binWidth == 0) out.binWidth = 1;
+  out.bins = targetBins;
+  for (const auto& row : preview.perStateBinTime) {
+    std::vector<double> newRow(targetBins, 0.0);
+    for (std::uint32_t i = 0; i < preview.bins; ++i) {
+      if (row[i] == 0.0) continue;
+      // Spread source bin i proportionally over the target bins.
+      const Tick srcStart = preview.binWidth * i;
+      const Tick srcEnd = srcStart + preview.binWidth;
+      Tick t = srcStart;
+      while (t < srcEnd) {
+        const std::uint64_t bin = std::min<std::uint64_t>(
+            t / out.binWidth, targetBins - 1);
+        const Tick binEnd = (bin + 1) * out.binWidth;
+        const Tick chunk = std::min(srcEnd, binEnd) - t;
+        newRow[bin] += row[i] * static_cast<double>(chunk) /
+                       static_cast<double>(preview.binWidth);
+        t += chunk;
+      }
+    }
+    out.perStateBinTime.push_back(std::move(newRow));
+  }
+  return out;
+}
+
+}  // namespace ute

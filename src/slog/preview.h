@@ -1,0 +1,46 @@
+// Streaming preview accumulator.
+//
+// The total time range is unknown while the SLOG file is being built, so
+// the accumulator starts with a fine bin width and doubles it (merging
+// adjacent bins pairwise) whenever the run outgrows the binned range.
+// Proportional allocation is exact under merging because bin contents are
+// plain sums of overlap durations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "slog/slog_format.h"
+#include "support/types.h"
+
+namespace ute {
+
+class PreviewAccumulator {
+ public:
+  explicit PreviewAccumulator(std::uint32_t bins = 240,
+                              Tick initialBinWidth = kMs);
+
+  /// Adds `dura` ns of state `stateId` starting at `start`, spread
+  /// proportionally over the bins the interval overlaps.
+  void add(std::uint32_t stateId, Tick start, Tick dura);
+
+  /// Snapshot with rows ordered by `stateOrder` (ids absent from the
+  /// accumulator produce zero rows).
+  SlogPreview snapshot(const std::vector<std::uint32_t>& stateOrder) const;
+
+ private:
+  void ensureCovers(Tick t);
+
+  std::uint32_t bins_;
+  Tick origin_ = 0;
+  bool haveOrigin_ = false;
+  Tick binWidth_;
+  std::map<std::uint32_t, std::vector<double>> perState_;
+};
+
+/// Re-bins a preview to `targetBins` equal bins over its full range
+/// (the viewer's "fixed number of time bins", e.g. the paper's 50).
+SlogPreview rebinPreview(const SlogPreview& preview, std::uint32_t targetBins);
+
+}  // namespace ute

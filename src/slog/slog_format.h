@@ -1,0 +1,84 @@
+// SLOG ("scalable log") file format shared definitions (Section 4).
+//
+// SLOG answers the two problems a viewer of huge trace files faces:
+// rapid access to any time interval (a frame index keyed by time — given
+// a time it is easy to locate the frame containing it), and accurate
+// portrayal near frame edges (pseudo-interval records restating the
+// states and messages that cross into a frame from outside it). A
+// preview histogram — state counters accumulated during SLOG
+// construction with proportional allocation of durations into a fixed
+// number of time bins — lets the viewer draw the whole run instantly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interval/file_writer.h"
+#include "support/types.h"
+
+namespace ute {
+
+inline constexpr std::uint32_t kSlogMagic = 0x53455455;  // "UTES"
+inline constexpr std::uint32_t kSlogVersion = 1;
+
+/// Visualization state ids: MPI states reuse their EventType value;
+/// user-marker states get kMarkerStateBase + unified marker id (each
+/// marker string is its own colored state, as in Jumpshot).
+inline constexpr std::uint32_t kMarkerStateBase = 1000;
+
+struct SlogStateDef {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint32_t rgb = 0x888888;
+};
+
+struct SlogInterval {
+  std::uint32_t stateId = 0;
+  std::uint8_t bebits = 0b11;
+  bool pseudo = false;  ///< restated at a frame start, not a real piece
+  Tick start = 0;
+  Tick dura = 0;
+  NodeId node = 0;
+  std::int32_t cpu = 0;
+  LogicalThreadId thread = 0;
+
+  Tick end() const { return start + dura; }
+};
+
+/// A matched point-to-point message, drawn as an arrow from the send
+/// call's start to the receive call's end.
+struct SlogArrow {
+  NodeId srcNode = 0;
+  LogicalThreadId srcThread = 0;
+  Tick sendTime = 0;
+  NodeId dstNode = 0;
+  LogicalThreadId dstThread = 0;
+  Tick recvTime = 0;
+  std::uint32_t bytes = 0;
+};
+
+struct SlogFrameData {
+  std::vector<SlogInterval> intervals;
+  std::vector<SlogArrow> arrows;
+};
+
+struct SlogFrameIndexEntry {
+  std::uint64_t offset = 0;
+  std::uint32_t sizeBytes = 0;
+  std::uint32_t records = 0;
+  Tick timeStart = 0;  ///< frames tile the run's time without gaps
+  Tick timeEnd = 0;
+};
+
+/// The preview histogram: for each state, time spent per bin (ns),
+/// durations allocated proportionally across the bins they overlap.
+struct SlogPreview {
+  Tick origin = 0;
+  Tick binWidth = 0;
+  std::uint32_t bins = 0;
+  /// Parallel to the state definition table.
+  std::vector<std::vector<double>> perStateBinTime;
+};
+
+}  // namespace ute

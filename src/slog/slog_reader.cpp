@@ -1,0 +1,142 @@
+#include "slog/slog_reader.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+constexpr std::uint32_t kSlogHeaderBytes = 64;
+}
+
+SlogReader::SlogReader(const std::string& path) : file_(path) {
+  const auto headerBytes = file_.read(kSlogHeaderBytes);
+  ByteReader r(headerBytes);
+  if (r.u32() != kSlogMagic) throw FormatError("not a SLOG file: " + path);
+  if (r.u32() != kSlogVersion) {
+    throw FormatError("unsupported SLOG version in " + path);
+  }
+  const std::uint32_t stateCount = r.u32();
+  const std::uint32_t threadCount = r.u32();
+  const std::uint32_t frameCount = r.u32();
+  r.u32();  // records per frame (informational)
+  totalStart_ = r.u64();
+  totalEnd_ = r.u64();
+  const std::uint64_t indexOffset = r.u64();
+  const std::uint64_t stateOffset = r.u64();
+  const std::uint64_t previewOffset = r.u64();
+
+  const auto tableBytes = file_.read(threadCount * kThreadEntryBytes);
+  ByteReader tr(tableBytes);
+  threads_.reserve(threadCount);
+  for (std::uint32_t i = 0; i < threadCount; ++i) {
+    ThreadEntry t;
+    t.task = tr.i32();
+    t.pid = tr.i32();
+    t.systemTid = tr.i32();
+    t.node = tr.i32();
+    t.ltid = tr.i32();
+    t.type = static_cast<ThreadType>(tr.u8());
+    threads_.push_back(t);
+  }
+
+  file_.seek(indexOffset);
+  const auto indexBytes = file_.read(frameCount * 32);
+  ByteReader ir(indexBytes);
+  index_.reserve(frameCount);
+  for (std::uint32_t i = 0; i < frameCount; ++i) {
+    SlogFrameIndexEntry e;
+    e.offset = ir.u64();
+    e.sizeBytes = ir.u32();
+    e.records = ir.u32();
+    e.timeStart = ir.u64();
+    e.timeEnd = ir.u64();
+    index_.push_back(e);
+  }
+
+  file_.seek(stateOffset);
+  const auto stateBytes = file_.read(
+      static_cast<std::size_t>(previewOffset - stateOffset));
+  ByteReader sr(stateBytes);
+  states_.reserve(stateCount);
+  for (std::uint32_t i = 0; i < stateCount; ++i) {
+    SlogStateDef s;
+    s.id = sr.u32();
+    s.rgb = sr.u32();
+    s.name = sr.lstring();
+    states_.push_back(std::move(s));
+  }
+
+  file_.seek(previewOffset);
+  const auto previewBytes = file_.read(
+      static_cast<std::size_t>(file_.size() - previewOffset));
+  ByteReader pr(previewBytes);
+  preview_.origin = pr.u64();
+  preview_.binWidth = pr.u64();
+  preview_.bins = pr.u32();
+  preview_.perStateBinTime.reserve(stateCount);
+  for (std::uint32_t s = 0; s < stateCount; ++s) {
+    std::vector<double> row(preview_.bins);
+    for (std::uint32_t b = 0; b < preview_.bins; ++b) row[b] = pr.f64();
+    preview_.perStateBinTime.push_back(std::move(row));
+  }
+}
+
+std::string SlogReader::stateName(std::uint32_t stateId) const {
+  for (const SlogStateDef& s : states_) {
+    if (s.id == stateId) return s.name;
+  }
+  return "state" + std::to_string(stateId);
+}
+
+std::optional<std::size_t> SlogReader::frameIndexFor(Tick t) const {
+  if (index_.empty()) return std::nullopt;
+  // Frames tile the run: first frame whose timeEnd >= t, if it covers t.
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), t,
+      [](const SlogFrameIndexEntry& e, Tick v) { return e.timeEnd < v; });
+  if (it == index_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - index_.begin());
+}
+
+SlogFrameData SlogReader::readFrame(std::size_t frameIdx) {
+  if (frameIdx >= index_.size()) {
+    throw UsageError("SLOG frame index out of range");
+  }
+  const SlogFrameIndexEntry& entry = index_[frameIdx];
+  file_.seek(entry.offset);
+  const auto bytes = file_.read(entry.sizeBytes);
+  ByteReader r(bytes);
+  SlogFrameData data;
+  for (std::uint32_t i = 0; i < entry.records; ++i) {
+    const std::uint8_t kind = r.u8();
+    if (kind == 0) {
+      SlogInterval rec;
+      rec.stateId = r.u32();
+      rec.bebits = r.u8();
+      rec.pseudo = r.u8() != 0;
+      rec.start = r.u64();
+      rec.dura = r.u64();
+      rec.node = r.i32();
+      rec.cpu = r.i32();
+      rec.thread = r.i32();
+      data.intervals.push_back(rec);
+    } else if (kind == 1) {
+      SlogArrow a;
+      a.srcNode = r.i32();
+      a.srcThread = r.i32();
+      a.sendTime = r.u64();
+      a.dstNode = r.i32();
+      a.dstThread = r.i32();
+      a.recvTime = r.u64();
+      a.bytes = r.u32();
+      data.arrows.push_back(a);
+    } else {
+      throw FormatError("unknown SLOG record kind " + std::to_string(kind));
+    }
+  }
+  return data;
+}
+
+}  // namespace ute

@@ -1,0 +1,48 @@
+// SLOG reader: loads the header, state table, thread table, time-keyed
+// frame index, and preview; reads individual frames on demand. The
+// viewer's scalability property — locating and loading the frame for any
+// chosen time without touching the rest of the file — lives in
+// frameIndexFor() + readFrame().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "slog/slog_format.h"
+#include "support/file_io.h"
+
+namespace ute {
+
+class SlogReader {
+ public:
+  explicit SlogReader(const std::string& path);
+
+  Tick totalStart() const { return totalStart_; }
+  Tick totalEnd() const { return totalEnd_; }
+  const std::vector<SlogStateDef>& states() const { return states_; }
+  const std::vector<ThreadEntry>& threads() const { return threads_; }
+  const std::vector<SlogFrameIndexEntry>& frameIndex() const { return index_; }
+  const SlogPreview& preview() const { return preview_; }
+
+  /// Name of a state id (from the state table), or a placeholder.
+  std::string stateName(std::uint32_t stateId) const;
+
+  /// Binary search of the frame index: the frame whose time range
+  /// contains `t`, or nullopt outside the run.
+  std::optional<std::size_t> frameIndexFor(Tick t) const;
+
+  SlogFrameData readFrame(std::size_t frameIdx);
+
+ private:
+  FileReader file_;
+  Tick totalStart_ = 0;
+  Tick totalEnd_ = 0;
+  std::vector<SlogStateDef> states_;
+  std::vector<ThreadEntry> threads_;
+  std::vector<SlogFrameIndexEntry> index_;
+  SlogPreview preview_;
+};
+
+}  // namespace ute

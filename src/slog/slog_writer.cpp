@@ -1,0 +1,324 @@
+#include "slog/slog_writer.h"
+
+#include <algorithm>
+
+#include "interval/standard_profile.h"
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+constexpr std::size_t kSlogHeaderBytes = 64;
+
+/// Deterministic color palette (RGB), cycled over state indices.
+constexpr std::uint32_t kPalette[] = {
+    0x4c72b0, 0xdd8452, 0x55a868, 0xc44e52, 0x8172b3, 0x937860,
+    0xda8bc3, 0x8c8c8c, 0xccb974, 0x64b5cd, 0x2f4b7c, 0xffa600,
+};
+
+void encodeInterval(std::vector<std::uint8_t>& out, const SlogInterval& r) {
+  ByteWriter w;
+  w.u8(0);  // kind: interval
+  w.u32(r.stateId);
+  w.u8(r.bebits);
+  w.u8(r.pseudo ? 1 : 0);
+  w.u64(r.start);
+  w.u64(r.dura);
+  w.i32(r.node);
+  w.i32(r.cpu);
+  w.i32(r.thread);
+  const auto view = w.view();
+  out.insert(out.end(), view.begin(), view.end());
+}
+
+void encodeArrow(std::vector<std::uint8_t>& out, const SlogArrow& a) {
+  ByteWriter w;
+  w.u8(1);  // kind: arrow
+  w.i32(a.srcNode);
+  w.i32(a.srcThread);
+  w.u64(a.sendTime);
+  w.i32(a.dstNode);
+  w.i32(a.dstThread);
+  w.u64(a.recvTime);
+  w.u32(a.bytes);
+  const auto view = w.view();
+  out.insert(out.end(), view.begin(), view.end());
+}
+
+}  // namespace
+
+SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
+                       const Profile& profile,
+                       std::vector<ThreadEntry> threads,
+                       const std::map<std::uint32_t, std::string>& markers)
+    : path_(path), options_(options), profile_(profile), file_(path),
+      threads_(std::move(threads)), preview_(options.previewBins) {
+  if (options_.recordsPerFrame == 0) options_.recordsPerFrame = 4096;
+
+  // Pre-register every state deterministically: the Running default
+  // state, each MPI routine, and one state per unified marker string.
+  const auto registerState = [&](std::uint32_t id, const std::string& name) {
+    SlogStateDef def;
+    def.id = id;
+    def.name = name;
+    def.rgb = kPalette[states_.size() % std::size(kPalette)];
+    stateIndex_.emplace(id, states_.size());
+    states_.push_back(std::move(def));
+  };
+  registerState(static_cast<std::uint32_t>(kRunningState), "Running");
+  registerState(static_cast<std::uint32_t>(EventType::kIoRead), "IoRead");
+  registerState(static_cast<std::uint32_t>(EventType::kIoWrite), "IoWrite");
+  registerState(static_cast<std::uint32_t>(EventType::kPageFault),
+                "PageFault");
+  for (std::uint16_t e = static_cast<std::uint16_t>(EventType::kMpiInit);
+       e <= static_cast<std::uint16_t>(EventType::kMpiLast); ++e) {
+    registerState(e, eventTypeName(static_cast<EventType>(e)));
+  }
+  for (const auto& [id, name] : markers) {
+    registerState(kMarkerStateBase + id, name);
+  }
+
+  // Header placeholder + thread table; patched in close().
+  ByteWriter header;
+  header.u32(kSlogMagic);
+  header.u32(kSlogVersion);
+  header.u32(0);  // state count (patched)
+  header.u32(static_cast<std::uint32_t>(threads_.size()));
+  header.u32(0);  // frame count (patched)
+  header.u32(options_.recordsPerFrame);
+  header.u64(0);  // total start (patched)
+  header.u64(0);  // total end (patched)
+  header.u64(0);  // frame index offset (patched)
+  header.u64(0);  // state table offset (patched)
+  header.u64(0);  // preview offset (patched)
+  if (header.size() != kSlogHeaderBytes) {
+    throw UsageError("SLOG header layout drifted");
+  }
+  file_.write(header);
+
+  ByteWriter table;
+  for (const ThreadEntry& t : threads_) {
+    table.i32(t.task);
+    table.i32(t.pid);
+    table.i32(t.systemTid);
+    table.i32(t.node);
+    table.i32(t.ltid);
+    table.u8(static_cast<std::uint8_t>(t.type));
+  }
+  file_.write(table);
+}
+
+SlogWriter::~SlogWriter() {
+  try {
+    close();
+  } catch (...) {
+  }
+}
+
+const FieldAccessor& SlogWriter::accessor(IntervalType type,
+                                          const char* name) {
+  const auto key = std::make_pair(type, std::string(name));
+  auto it = accessors_.find(key);
+  if (it == accessors_.end()) {
+    it = accessors_
+             .emplace(key, std::make_unique<FieldAccessor>(
+                               profile_, type, kMergedFileMask, name))
+             .first;
+  }
+  return *it->second;
+}
+
+std::uint32_t SlogWriter::stateIdFor(const RecordView& record) {
+  const EventType event = record.eventType();
+  if (event == EventType::kUserMarker) {
+    const auto markerId =
+        accessor(record.intervalType, kFieldMarkerId).get(record);
+    return kMarkerStateBase + static_cast<std::uint32_t>(markerId.value_or(0));
+  }
+  return static_cast<std::uint32_t>(event);
+}
+
+void SlogWriter::addRecord(const RecordView& record) {
+  if (closed_) throw UsageError("SlogWriter: addRecord after close");
+  if (record.eventType() == kClockSyncState) return;
+
+  const std::uint32_t stateId = stateIdFor(record);
+  if (stateIndex_.find(stateId) == stateIndex_.end()) {
+    SlogStateDef def;
+    def.id = stateId;
+    def.name = "state" + std::to_string(stateId);
+    def.rgb = kPalette[states_.size() % std::size(kPalette)];
+    stateIndex_.emplace(stateId, states_.size());
+    states_.push_back(std::move(def));
+  }
+
+  maybeStartFrame(record.start);
+
+  SlogInterval interval;
+  interval.stateId = stateId;
+  interval.bebits = static_cast<std::uint8_t>(record.bebits());
+  interval.pseudo = false;
+  interval.start = record.start;
+  interval.dura = record.dura;
+  interval.node = record.node;
+  interval.cpu = record.cpu;
+  interval.thread = record.thread;
+  appendInterval(interval);
+  preview_.add(stateId, record.start, record.dura);
+  minStart_ = std::min(minStart_, record.start);
+
+  // Open-state bookkeeping for the pseudo-intervals of later frames.
+  const Bebits bebits = record.bebits();
+  const auto threadKey = std::make_pair(record.node, record.thread);
+  if (bebits == Bebits::kBegin) {
+    openStates_[threadKey].push_back(
+        {stateId, record.node, record.cpu, record.thread});
+  } else if (bebits == Bebits::kEnd) {
+    auto& stack = openStates_[threadKey];
+    if (!stack.empty()) stack.pop_back();
+  }
+
+  // Arrow matching via the per-message sequence numbers.
+  const EventType event = record.eventType();
+  if ((event == EventType::kMpiSend || event == EventType::kMpiIsend) &&
+      isFirstPiece(bebits)) {
+    const auto seqno = accessor(record.intervalType, kFieldSeqNo).get(record);
+    const auto bytes =
+        accessor(record.intervalType, kFieldMsgSizeSent).get(record);
+    if (seqno && *seqno > 0) {
+      pendingSends_[static_cast<std::uint32_t>(*seqno)] = {
+          record.node, record.thread, record.start,
+          static_cast<std::uint32_t>(bytes.value_or(0))};
+    }
+  } else if ((event == EventType::kMpiRecv || event == EventType::kMpiWait) &&
+             isLastPiece(bebits)) {
+    const auto seqno = accessor(record.intervalType, kFieldSeqNo).get(record);
+    if (seqno && *seqno > 0) {
+      const auto it = pendingSends_.find(static_cast<std::uint32_t>(*seqno));
+      if (it != pendingSends_.end()) {
+        SlogArrow arrow;
+        arrow.srcNode = it->second.node;
+        arrow.srcThread = it->second.thread;
+        arrow.sendTime = it->second.sendTime;
+        arrow.dstNode = record.node;
+        arrow.dstThread = record.thread;
+        arrow.recvTime = record.end();
+        arrow.bytes = it->second.bytes;
+        pendingSends_.erase(it);
+        appendArrow(arrow);
+      }
+    }
+  }
+
+  maxEnd_ = std::max(maxEnd_, record.end());
+  if (frameRecords_ >= options_.recordsPerFrame) finalizeFrame();
+}
+
+void SlogWriter::maybeStartFrame(Tick) {
+  if (frameRecords_ != 0 || (index_.empty() && intervalsWritten_ == 0)) {
+    return;
+  }
+  // First records of a new (non-initial) frame: restate the still-open
+  // states as zero-duration pseudo-intervals at the frame boundary.
+  const Tick boundary = frameTimeStart_;
+  for (const auto& [key, stack] : openStates_) {
+    for (const OpenState& s : stack) {
+      SlogInterval pseudo;
+      pseudo.stateId = s.stateId;
+      pseudo.bebits = static_cast<std::uint8_t>(Bebits::kContinuation);
+      pseudo.pseudo = true;
+      pseudo.start = boundary;
+      pseudo.dura = 0;
+      pseudo.node = s.node;
+      pseudo.cpu = s.cpu;
+      pseudo.thread = s.thread;
+      appendInterval(pseudo);
+    }
+  }
+}
+
+void SlogWriter::appendInterval(const SlogInterval& interval) {
+  encodeInterval(frameBytes_, interval);
+  ++frameRecords_;
+  ++intervalsWritten_;
+}
+
+void SlogWriter::appendArrow(const SlogArrow& arrow) {
+  encodeArrow(frameBytes_, arrow);
+  ++frameRecords_;
+  ++arrowsWritten_;
+}
+
+void SlogWriter::finalizeFrame() {
+  if (frameRecords_ == 0) return;
+  SlogFrameIndexEntry entry;
+  entry.offset = file_.tell();
+  entry.sizeBytes = static_cast<std::uint32_t>(frameBytes_.size());
+  entry.records = frameRecords_;
+  entry.timeStart = frameTimeStart_;
+  entry.timeEnd = std::max(maxEnd_, frameTimeStart_);
+  file_.write(frameBytes_);
+  index_.push_back(entry);
+  frameBytes_.clear();
+  frameRecords_ = 0;
+  frameTimeStart_ = entry.timeEnd;  // frames tile the run's time
+}
+
+void SlogWriter::close() {
+  if (closed_) return;
+  finalizeFrame();
+
+  const std::uint64_t indexOffset = file_.tell();
+  ByteWriter indexBytes;
+  for (const SlogFrameIndexEntry& e : index_) {
+    indexBytes.u64(e.offset);
+    indexBytes.u32(e.sizeBytes);
+    indexBytes.u32(e.records);
+    indexBytes.u64(e.timeStart);
+    indexBytes.u64(e.timeEnd);
+  }
+  file_.write(indexBytes);
+
+  const std::uint64_t stateOffset = file_.tell();
+  ByteWriter stateBytes;
+  for (const SlogStateDef& s : states_) {
+    stateBytes.u32(s.id);
+    stateBytes.u32(s.rgb);
+    stateBytes.lstring(s.name);
+  }
+  file_.write(stateBytes);
+
+  const std::uint64_t previewOffset = file_.tell();
+  std::vector<std::uint32_t> order;
+  order.reserve(states_.size());
+  for (const SlogStateDef& s : states_) order.push_back(s.id);
+  const SlogPreview preview = preview_.snapshot(order);
+  ByteWriter previewBytes;
+  previewBytes.u64(preview.origin);
+  previewBytes.u64(preview.binWidth);
+  previewBytes.u32(preview.bins);
+  for (const auto& row : preview.perStateBinTime) {
+    for (double v : row) previewBytes.f64(v);
+  }
+  file_.write(previewBytes);
+
+  ByteWriter patch1;
+  patch1.u32(static_cast<std::uint32_t>(states_.size()));
+  file_.writeAt(8, patch1.view());
+  ByteWriter patch2;
+  patch2.u32(static_cast<std::uint32_t>(index_.size()));
+  file_.writeAt(16, patch2.view());
+  ByteWriter patch3;
+  patch3.u64(intervalsWritten_ == 0 ? 0 : minStart_);
+  patch3.u64(maxEnd_);
+  patch3.u64(indexOffset);
+  patch3.u64(stateOffset);
+  patch3.u64(previewOffset);
+  file_.writeAt(24, patch3.view());
+
+  file_.close();
+  closed_ = true;
+}
+
+}  // namespace ute

@@ -1,0 +1,93 @@
+// SLOG writer: converts a stream of merged interval records into the
+// frame-indexed, preview-carrying SLOG file Jumpshot-style viewers load
+// (Section 4). Designed to be driven by the merge utility's record sink,
+// so "slogmerge" produces the merged interval file and the SLOG file in
+// one pass over the inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interval/profile.h"
+#include "interval/record.h"
+#include "slog/preview.h"
+#include "slog/slog_format.h"
+#include "support/file_io.h"
+
+namespace ute {
+
+struct SlogOptions {
+  std::uint32_t recordsPerFrame = 4096;
+  std::uint32_t previewBins = 240;
+};
+
+class SlogWriter {
+ public:
+  SlogWriter(const std::string& path, const SlogOptions& options,
+             const Profile& profile, std::vector<ThreadEntry> threads,
+             const std::map<std::uint32_t, std::string>& markers);
+  ~SlogWriter();
+
+  /// Feeds one merged interval record (ascending end-time order).
+  void addRecord(const RecordView& record);
+
+  void close();
+
+  std::uint64_t intervalsWritten() const { return intervalsWritten_; }
+  std::uint64_t arrowsWritten() const { return arrowsWritten_; }
+
+ private:
+  struct OpenState {
+    std::uint32_t stateId = 0;
+    NodeId node = 0;
+    std::int32_t cpu = 0;
+    LogicalThreadId thread = 0;
+  };
+  struct PendingSend {
+    NodeId node = 0;
+    LogicalThreadId thread = 0;
+    Tick sendTime = 0;
+    std::uint32_t bytes = 0;
+  };
+
+  std::uint32_t stateIdFor(const RecordView& record);
+  void appendInterval(const SlogInterval& interval);
+  void appendArrow(const SlogArrow& arrow);
+  void maybeStartFrame(Tick boundary);
+  void finalizeFrame();
+  const FieldAccessor& accessor(IntervalType type, const char* name);
+
+  std::string path_;
+  SlogOptions options_;
+  const Profile& profile_;
+  FileWriter file_;
+  std::vector<ThreadEntry> threads_;
+
+  std::vector<SlogStateDef> states_;
+  std::map<std::uint32_t, std::size_t> stateIndex_;
+
+  PreviewAccumulator preview_;
+
+  std::vector<std::uint8_t> frameBytes_;
+  std::uint32_t frameRecords_ = 0;
+  Tick frameTimeStart_ = 0;
+  Tick maxEnd_ = 0;
+  Tick minStart_ = ~Tick{0};
+  std::vector<SlogFrameIndexEntry> index_;
+
+  std::map<std::pair<NodeId, LogicalThreadId>, std::vector<OpenState>>
+      openStates_;
+  std::map<std::uint32_t, PendingSend> pendingSends_;
+  std::map<std::pair<IntervalType, std::string>,
+           std::unique_ptr<FieldAccessor>>
+      accessors_;
+
+  std::uint64_t intervalsWritten_ = 0;
+  std::uint64_t arrowsWritten_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ute

@@ -1,0 +1,55 @@
+// Expression AST and table specifications for the statistics language.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ute {
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { kNumber, kString, kField, kUnary, kBinary, kCall };
+  Kind kind = Kind::kNumber;
+
+  double number = 0.0;       // kNumber
+  std::string text;          // kString literal / kField name / kCall callee
+  UnOp unOp = UnOp::kNeg;    // kUnary
+  BinOp binOp = BinOp::kAdd; // kBinary
+  std::vector<ExprPtr> args; // operands / call arguments
+};
+
+/// How a y-expression's values are folded per group.
+enum class AggKind { kAvg, kSum, kMin, kMax, kCount, kStddev };
+
+struct XSpec {
+  std::string label;
+  ExprPtr expr;
+};
+
+struct YSpec {
+  std::string label;
+  ExprPtr expr;
+  AggKind agg = AggKind::kSum;
+};
+
+/// One `table ...` clause: condition filters records, x-expressions are
+/// the free variables, y-expressions the aggregated dependent values.
+struct TableSpec {
+  std::string name;
+  ExprPtr condition;  ///< may be null (all records)
+  std::vector<XSpec> xs;
+  std::vector<YSpec> ys;
+};
+
+}  // namespace ute

@@ -1,0 +1,69 @@
+// Statistics generation engine (Section 3.2).
+//
+// Built on the interval API: it streams the records of one or more
+// interval files, filters them with each table's condition expression,
+// groups them by the x-expressions' values, and folds the y-expressions
+// with their aggregators. Output is a tab-separated-value table, as in
+// the paper.
+//
+// Record fields available to expressions:
+//   start, dura, end        — seconds, relative to the run's start
+//   node, cpu, thread, task — numeric identity of the interval
+//   type, eventtype, bebits — numeric record typing
+//   firstpiece, lastpiece   — 1 for begin/complete resp. end/complete
+//   state                   — state name string ("Running", "MPI_Send",
+//                             or the user-marker string)
+//   <any profile field>     — e.g. msgSizeSent, seqNo, markerId
+// Functions: timebin(n), floor(x), ceil(x), abs(x), min(a,b), max(a,b).
+// A record that lacks a referenced field is skipped for that table.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interval/file_reader.h"
+#include "interval/profile.h"
+#include "stats/ast.h"
+
+namespace ute {
+
+struct StatsTable {
+  std::string name;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+
+  std::string tsv() const;
+  /// Cell lookup by header name for tests; throws on unknown header.
+  const std::string& cell(std::size_t row, const std::string& header) const;
+};
+
+class StatsEngine {
+ public:
+  explicit StatsEngine(const Profile& profile) : profile_(profile) {}
+
+  /// Runs parsed table specs over one or more interval files (the
+  /// utility "reads one or more interval files", Section 3.2); groups
+  /// aggregate across all of them and time bins span the union range.
+  std::vector<StatsTable> run(const std::vector<TableSpec>& specs,
+                              IntervalFileReader& file);
+  std::vector<StatsTable> run(const std::vector<TableSpec>& specs,
+                              std::vector<IntervalFileReader*> files);
+
+  /// Parses `program` and runs it.
+  std::vector<StatsTable> runProgram(const std::string& program,
+                                     IntervalFileReader& file);
+  std::vector<StatsTable> runProgram(const std::string& program,
+                                     std::vector<IntervalFileReader*> files);
+
+ private:
+  const Profile& profile_;
+};
+
+/// The set of pre-defined tables generated when no user program is given.
+/// Includes the per-node x 50-time-bin sum of "interesting" (non-Running)
+/// interval durations that Figure 6 visualizes.
+std::string predefinedTablesProgram();
+
+}  // namespace ute

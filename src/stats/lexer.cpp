@@ -1,0 +1,99 @@
+#include "stats/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lexStatsProgram(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const auto fail = [&](const std::string& what) {
+    throw ParseError(what + " at offset " + std::to_string(i));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+
+    Token t;
+    t.offset = i;
+    if (isIdentStart(c)) {
+      std::size_t j = i;
+      while (j < src.size() && isIdentChar(src[j])) ++j;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(src.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < src.size() &&
+                std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const char* begin = src.data() + i;
+      char* end = nullptr;
+      t.kind = TokenKind::kNumber;
+      t.number = std::strtod(begin, &end);
+      if (end == begin) fail("bad number");
+      t.text.assign(begin, static_cast<const char*>(end));
+      i += static_cast<std::size_t>(end - begin);
+    } else if (c == '"') {
+      std::size_t j = i + 1;
+      std::string value;
+      while (j < src.size() && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < src.size()) ++j;
+        value.push_back(src[j]);
+        ++j;
+      }
+      if (j >= src.size()) fail("unterminated string");
+      t.kind = TokenKind::kString;
+      t.text = std::move(value);
+      i = j + 1;
+    } else {
+      t.kind = TokenKind::kSymbol;
+      // Two-character operators first.
+      const std::string_view rest = src.substr(i);
+      for (const std::string_view op :
+           {"<=", ">=", "==", "!=", "&&", "||"}) {
+        if (rest.substr(0, 2) == op) {
+          t.text = std::string(op);
+          break;
+        }
+      }
+      if (t.text.empty()) {
+        if (std::string_view("=(),+-*/%<>!").find(c) ==
+            std::string_view::npos) {
+          fail(std::string("unexpected character '") + c + "'");
+        }
+        t.text = std::string(1, c);
+      }
+      i += t.text.size();
+    }
+    tokens.push_back(std::move(t));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = src.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace ute

@@ -1,0 +1,35 @@
+// Lexer for the statistics utility's declarative table language
+// (Section 3.2). Example program, from the paper:
+//
+//   table name=sample
+//     condition=(start < 2)
+//     x=("node", node)
+//     x=("processor", cpu)
+//     y=("avg(duration)", dura, avg)
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ute {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  ///< punctuation: = ( ) , + - * / % < > <= >= == != && || !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  std::size_t offset = 0;  ///< position in the source, for error messages
+};
+
+/// Tokenizes a whole program; throws ParseError on malformed input.
+std::vector<Token> lexStatsProgram(std::string_view source);
+
+}  // namespace ute

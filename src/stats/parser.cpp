@@ -1,0 +1,266 @@
+#include "stats/parser.h"
+
+#include "stats/lexer.h"
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source)
+      : tokens_(lexStatsProgram(source)) {}
+
+  std::vector<TableSpec> parseProgram() {
+    std::vector<TableSpec> tables;
+    while (!atEnd()) {
+      expectIdent("table");
+      tables.push_back(parseTable());
+    }
+    if (tables.empty()) throw ParseError("program contains no tables");
+    return tables;
+  }
+
+  ExprPtr parseBareExpression() {
+    ExprPtr e = parseExpr();
+    if (!atEnd()) fail("trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool atEnd() const { return peek().kind == TokenKind::kEnd; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(what + " at offset " + std::to_string(peek().offset) +
+                     (peek().kind == TokenKind::kEnd
+                          ? " (end of input)"
+                          : " (near '" + peek().text + "')"));
+  }
+
+  bool matchSymbol(std::string_view s) {
+    if (peek().kind == TokenKind::kSymbol && peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expectSymbol(std::string_view s) {
+    if (!matchSymbol(s)) fail("expected '" + std::string(s) + "'");
+  }
+
+  bool peekIdent(std::string_view s) const {
+    return peek().kind == TokenKind::kIdent && peek().text == s;
+  }
+
+  void expectIdent(std::string_view s) {
+    if (!peekIdent(s)) fail("expected '" + std::string(s) + "'");
+    ++pos_;
+  }
+
+  std::string expectString() {
+    if (peek().kind != TokenKind::kString) fail("expected a string literal");
+    return advance().text;
+  }
+
+  TableSpec parseTable() {
+    TableSpec table;
+    while (!atEnd() && !peekIdent("table")) {
+      const std::string key = peek().kind == TokenKind::kIdent
+                                  ? advance().text
+                                  : (fail("expected a key=value clause"), "");
+      expectSymbol("=");
+      if (key == "name") {
+        if (peek().kind == TokenKind::kIdent ||
+            peek().kind == TokenKind::kString) {
+          table.name = advance().text;
+        } else {
+          fail("expected a table name");
+        }
+      } else if (key == "condition") {
+        expectSymbol("(");
+        table.condition = parseExpr();
+        expectSymbol(")");
+      } else if (key == "x") {
+        expectSymbol("(");
+        XSpec x;
+        x.label = expectString();
+        expectSymbol(",");
+        x.expr = parseExpr();
+        expectSymbol(")");
+        table.xs.push_back(std::move(x));
+      } else if (key == "y") {
+        expectSymbol("(");
+        YSpec y;
+        y.label = expectString();
+        expectSymbol(",");
+        y.expr = parseExpr();
+        expectSymbol(",");
+        if (peek().kind != TokenKind::kIdent) fail("expected aggregator");
+        const std::string agg = advance().text;
+        if (agg == "avg") y.agg = AggKind::kAvg;
+        else if (agg == "sum") y.agg = AggKind::kSum;
+        else if (agg == "min") y.agg = AggKind::kMin;
+        else if (agg == "max") y.agg = AggKind::kMax;
+        else if (agg == "count") y.agg = AggKind::kCount;
+        else if (agg == "stddev") y.agg = AggKind::kStddev;
+        else fail("unknown aggregator '" + agg + "'");
+        expectSymbol(")");
+        table.ys.push_back(std::move(y));
+      } else {
+        fail("unknown table clause '" + key + "'");
+      }
+    }
+    if (table.name.empty()) throw ParseError("table is missing name=");
+    if (table.xs.empty()) throw ParseError("table '" + table.name +
+                                           "' has no x= expressions");
+    if (table.ys.empty()) throw ParseError("table '" + table.name +
+                                           "' has no y= expressions");
+    return table;
+  }
+
+  // Precedence climbing: or < and < comparison < additive < multiplicative
+  // < unary < primary.
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr makeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->binOp = op;
+    e->args.push_back(std::move(lhs));
+    e->args.push_back(std::move(rhs));
+    return e;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr lhs = parseAnd();
+    while (matchSymbol("||")) {
+      lhs = makeBinary(BinOp::kOr, std::move(lhs), parseAnd());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr lhs = parseComparison();
+    while (matchSymbol("&&")) {
+      lhs = makeBinary(BinOp::kAnd, std::move(lhs), parseComparison());
+    }
+    return lhs;
+  }
+
+  ExprPtr parseComparison() {
+    ExprPtr lhs = parseAdditive();
+    for (;;) {
+      BinOp op;
+      if (matchSymbol("<=")) op = BinOp::kLe;
+      else if (matchSymbol(">=")) op = BinOp::kGe;
+      else if (matchSymbol("==")) op = BinOp::kEq;
+      else if (matchSymbol("!=")) op = BinOp::kNe;
+      else if (matchSymbol("<")) op = BinOp::kLt;
+      else if (matchSymbol(">")) op = BinOp::kGt;
+      else return lhs;
+      lhs = makeBinary(op, std::move(lhs), parseAdditive());
+    }
+  }
+
+  ExprPtr parseAdditive() {
+    ExprPtr lhs = parseMultiplicative();
+    for (;;) {
+      if (matchSymbol("+")) {
+        lhs = makeBinary(BinOp::kAdd, std::move(lhs), parseMultiplicative());
+      } else if (matchSymbol("-")) {
+        lhs = makeBinary(BinOp::kSub, std::move(lhs), parseMultiplicative());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseMultiplicative() {
+    ExprPtr lhs = parseUnary();
+    for (;;) {
+      if (matchSymbol("*")) {
+        lhs = makeBinary(BinOp::kMul, std::move(lhs), parseUnary());
+      } else if (matchSymbol("/")) {
+        lhs = makeBinary(BinOp::kDiv, std::move(lhs), parseUnary());
+      } else if (matchSymbol("%")) {
+        lhs = makeBinary(BinOp::kMod, std::move(lhs), parseUnary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parseUnary() {
+    if (matchSymbol("-")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->unOp = UnOp::kNeg;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    if (matchSymbol("!")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->unOp = UnOp::kNot;
+      e->args.push_back(parseUnary());
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (matchSymbol("(")) {
+      ExprPtr e = parseExpr();
+      expectSymbol(")");
+      return e;
+    }
+    auto e = std::make_unique<Expr>();
+    if (peek().kind == TokenKind::kNumber) {
+      e->kind = Expr::Kind::kNumber;
+      e->number = advance().number;
+      return e;
+    }
+    if (peek().kind == TokenKind::kString) {
+      e->kind = Expr::Kind::kString;
+      e->text = advance().text;
+      return e;
+    }
+    if (peek().kind == TokenKind::kIdent) {
+      const std::string name = advance().text;
+      if (matchSymbol("(")) {
+        e->kind = Expr::Kind::kCall;
+        e->text = name;
+        if (!matchSymbol(")")) {
+          do {
+            e->args.push_back(parseExpr());
+          } while (matchSymbol(","));
+          expectSymbol(")");
+        }
+        return e;
+      }
+      e->kind = Expr::Kind::kField;
+      e->text = name;
+      return e;
+    }
+    fail("expected an expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TableSpec> parseStatsProgram(std::string_view source) {
+  return Parser(source).parseProgram();
+}
+
+ExprPtr parseStatsExpression(std::string_view source) {
+  return Parser(source).parseBareExpression();
+}
+
+}  // namespace ute

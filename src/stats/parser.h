@@ -1,0 +1,18 @@
+// Recursive-descent parser for the statistics table language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "stats/ast.h"
+
+namespace ute {
+
+/// Parses a whole program (one or more `table` clauses). Throws
+/// ParseError with offsets on malformed input.
+std::vector<TableSpec> parseStatsProgram(std::string_view source);
+
+/// Parses a bare expression (used by tests and interactive filters).
+ExprPtr parseStatsExpression(std::string_view source);
+
+}  // namespace ute

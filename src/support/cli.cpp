@@ -1,0 +1,65 @@
+#include "support/cli.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+#include "support/text.h"
+
+namespace ute {
+
+CliParser::CliParser(int argc, const char* const* argv,
+                     const std::vector<std::string>& valueOptions) {
+  auto takesValue = [&](const std::string& name) {
+    return std::find(valueOptions.begin(), valueOptions.end(), name) !=
+           valueOptions.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!startsWith(arg, "--")) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    if (takesValue(arg)) {
+      if (i + 1 >= argc) {
+        throw UsageError("option --" + arg + " requires a value");
+      }
+      values_[arg] = argv[++i];
+    } else {
+      flags_[arg] = true;
+    }
+  }
+}
+
+bool CliParser::hasFlag(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::optional<std::string> CliParser::value(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliParser::valueOr(const std::string& name,
+                               const std::string& dflt) const {
+  return value(name).value_or(dflt);
+}
+
+std::uint64_t CliParser::valueOr(const std::string& name,
+                                 std::uint64_t dflt) const {
+  const auto v = value(name);
+  return v ? parseU64(*v) : dflt;
+}
+
+double CliParser::valueOr(const std::string& name, double dflt) const {
+  const auto v = value(name);
+  return v ? parseF64(*v) : dflt;
+}
+
+}  // namespace ute

@@ -1,0 +1,36 @@
+// Minimal command-line option parser shared by the tools/ executables.
+//
+// Syntax accepted: --name value, --name=value, bare --flag, and positional
+// arguments. Unknown options are an error so typos fail fast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ute {
+
+class CliParser {
+ public:
+  /// `spec` lists the option names that take a value; names absent from it
+  /// are treated as boolean flags when seen.
+  CliParser(int argc, const char* const* argv,
+            const std::vector<std::string>& valueOptions);
+
+  bool hasFlag(const std::string& name) const;
+  std::optional<std::string> value(const std::string& name) const;
+  std::string valueOr(const std::string& name, const std::string& dflt) const;
+  std::uint64_t valueOr(const std::string& name, std::uint64_t dflt) const;
+  double valueOr(const std::string& name, double dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ute

@@ -1,0 +1,36 @@
+// Exception types used across the framework. The C++ API reports failures
+// by throwing; the paper-style C API in interval/ute_api.h catches these at
+// the boundary and converts them to the paper's error-code conventions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ute {
+
+/// Failure to read from or write to the filesystem.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A file (raw trace, profile, interval, SLOG) whose bytes do not follow
+/// the format they claim to follow.
+class FormatError : public std::runtime_error {
+ public:
+  explicit FormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A syntax or semantic error in a statistics-language program.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An API precondition violated by the caller (bad argument, wrong state).
+class UsageError : public std::logic_error {
+ public:
+  explicit UsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace ute

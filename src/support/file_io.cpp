@@ -1,0 +1,134 @@
+#include "support/file_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace ute {
+
+namespace {
+[[noreturn]] void throwErrno(const std::string& op, const std::string& path) {
+  throw IoError(op + " failed for '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+FileWriter::FileWriter(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) throwErrno("open for write", path);
+}
+
+FileWriter::~FileWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileWriter::write(std::span<const std::uint8_t> data) {
+  if (f_ == nullptr) throw UsageError("FileWriter: write after close");
+  if (data.empty()) return;
+  if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+    throwErrno("write", path_);
+  }
+}
+
+std::uint64_t FileWriter::tell() const {
+  if (f_ == nullptr) throw UsageError("FileWriter: tell after close");
+  const long pos = std::ftell(f_);
+  if (pos < 0) throwErrno("tell", path_);
+  return static_cast<std::uint64_t>(pos);
+}
+
+void FileWriter::seek(std::uint64_t offset) {
+  if (f_ == nullptr) throw UsageError("FileWriter: seek after close");
+  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throwErrno("seek", path_);
+  }
+}
+
+void FileWriter::writeAt(std::uint64_t offset,
+                         std::span<const std::uint8_t> data) {
+  const std::uint64_t back = tell();
+  seek(offset);
+  write(data);
+  seek(back);
+}
+
+void FileWriter::flush() {
+  if (f_ != nullptr && std::fflush(f_) != 0) throwErrno("flush", path_);
+}
+
+void FileWriter::close() {
+  if (f_ == nullptr) return;
+  const int rc = std::fclose(f_);
+  f_ = nullptr;
+  if (rc != 0) throwErrno("close", path_);
+}
+
+FileReader::FileReader(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  if (f_ == nullptr) throwErrno("open for read", path);
+  if (std::fseek(f_, 0, SEEK_END) != 0) throwErrno("seek", path);
+  const long end = std::ftell(f_);
+  if (end < 0) throwErrno("tell", path);
+  size_ = static_cast<std::uint64_t>(end);
+  if (std::fseek(f_, 0, SEEK_SET) != 0) throwErrno("seek", path);
+}
+
+FileReader::~FileReader() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileReader::readExact(std::span<std::uint8_t> data) {
+  if (readSome(data) != data.size()) {
+    throw FormatError("unexpected end of file in '" + path_ + "'");
+  }
+}
+
+std::vector<std::uint8_t> FileReader::read(std::size_t n) {
+  // Guard before allocating: corrupted headers can claim absurd sizes.
+  const std::uint64_t pos = tell();
+  if (pos > size_ || n > size_ - pos) {
+    throw FormatError("read of " + std::to_string(n) + " bytes at offset " +
+                      std::to_string(pos) + " exceeds file size " +
+                      std::to_string(size_) + " in '" + path_ + "'");
+  }
+  std::vector<std::uint8_t> out(n);
+  readExact(out);
+  return out;
+}
+
+std::size_t FileReader::readSome(std::span<std::uint8_t> data) {
+  if (data.empty()) return 0;
+  const std::size_t got = std::fread(data.data(), 1, data.size(), f_);
+  if (got != data.size() && std::ferror(f_) != 0) throwErrno("read", path_);
+  return got;
+}
+
+std::uint64_t FileReader::tell() const {
+  const long pos = std::ftell(f_);
+  if (pos < 0) throwErrno("tell", path_);
+  return static_cast<std::uint64_t>(pos);
+}
+
+void FileReader::seek(std::uint64_t offset) {
+  if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throwErrno("seek", path_);
+  }
+}
+
+std::vector<std::uint8_t> readWholeFile(const std::string& path) {
+  FileReader r(path);
+  return r.read(static_cast<std::size_t>(r.size()));
+}
+
+void writeWholeFile(const std::string& path,
+                    std::span<const std::uint8_t> data) {
+  FileWriter w(path);
+  w.write(data);
+  w.close();
+}
+
+void writeWholeFile(const std::string& path, const std::string& text) {
+  writeWholeFile(path,
+                 std::span(reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()));
+}
+
+}  // namespace ute

@@ -1,0 +1,90 @@
+// Buffered binary file I/O with random access.
+//
+// The interval and SLOG writers need to back-patch directory link offsets
+// after the frames they index have been written, and the readers need to
+// jump directly to a frame offset obtained from a directory entry, so both
+// classes expose seek/tell in addition to streaming reads and writes. They
+// are thin RAII wrappers over std::FILE (unbuffered syscalls would dominate
+// the utility benchmarks on the small records these formats use).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/errors.h"
+
+namespace ute {
+
+/// Write-only binary file. Throws IoError on any failure.
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path);
+  ~FileWriter();
+
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  void write(std::span<const std::uint8_t> data);
+  void write(const ByteWriter& w) { write(w.view()); }
+
+  std::uint64_t tell() const;
+  void seek(std::uint64_t offset);
+
+  /// Seeks to `offset`, writes `data`, then returns to the previous
+  /// position — used for back-patching directory links.
+  void writeAt(std::uint64_t offset, std::span<const std::uint8_t> data);
+
+  void flush();
+  /// Flushes and closes; subsequent writes are a usage error. The
+  /// destructor also closes, but calling close() lets errors surface.
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+};
+
+/// Read-only binary file with random access. Throws IoError / FormatError.
+class FileReader {
+ public:
+  explicit FileReader(const std::string& path);
+  ~FileReader();
+
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  /// Reads exactly data.size() bytes; throws FormatError on short read.
+  void readExact(std::span<std::uint8_t> data);
+  std::vector<std::uint8_t> read(std::size_t n);
+
+  /// Reads up to data.size() bytes, returning the count (0 at EOF).
+  std::size_t readSome(std::span<std::uint8_t> data);
+
+  std::uint64_t tell() const;
+  void seek(std::uint64_t offset);
+  std::uint64_t size() const { return size_; }
+  bool atEnd() const { return tell() >= size_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* f_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+/// Reads a whole file into memory (for small files such as profiles).
+std::vector<std::uint8_t> readWholeFile(const std::string& path);
+
+/// Writes a buffer as the entire contents of a file.
+void writeWholeFile(const std::string& path,
+                    std::span<const std::uint8_t> data);
+void writeWholeFile(const std::string& path, const std::string& text);
+
+}  // namespace ute

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// The cluster simulator and the workload generators must be reproducible
+// run-to-run (tests assert on exact event streams), so everything random in
+// this project draws from this xoshiro256** generator seeded explicitly —
+// never from std::random_device or the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace ute {
+
+/// xoshiro256** seeded via SplitMix64. Header-only for inlining in the
+/// simulator's hot loop.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes of state.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace ute

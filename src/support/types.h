@@ -1,0 +1,38 @@
+// Fundamental scalar types shared by every module of the UTE framework.
+#pragma once
+
+#include <cstdint>
+
+namespace ute {
+
+/// A point in (or span of) time, in nanoseconds. Which clock the value is
+/// relative to (simulated true time, a node's local crystal, or the switch
+/// adapter's global clock) is a property of the variable, not the type;
+/// APIs document which domain they expect.
+using Tick = std::uint64_t;
+
+/// Signed time difference in nanoseconds (e.g. clock discrepancies).
+using TickDelta = std::int64_t;
+
+/// Cluster-wide node index, 0-based.
+using NodeId = std::int32_t;
+
+/// Processor index within one SMP node, 0-based.
+using CpuId = std::int32_t;
+
+/// Logical thread id, 0-based *per node* (the paper allows up to 512
+/// relevant threads per node; combined with the node id this names more
+/// than 2 million threads per trace).
+using LogicalThreadId = std::int32_t;
+
+/// MPI task (rank) id, cluster-wide.
+using TaskId = std::int32_t;
+
+inline constexpr std::int32_t kMaxThreadsPerNode = 512;
+
+/// One simulated microsecond/millisecond/second expressed in Ticks.
+inline constexpr Tick kUs = 1000;
+inline constexpr Tick kMs = 1000 * kUs;
+inline constexpr Tick kSec = 1000 * kMs;
+
+}  // namespace ute

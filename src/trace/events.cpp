@@ -1,0 +1,61 @@
+#include "trace/events.h"
+
+namespace ute {
+
+EventClass eventClassOf(EventType t) {
+  switch (t) {
+    case EventType::kThreadDispatch:
+      return EventClass::kDispatch;
+    case EventType::kGlobalClock:
+      return EventClass::kClock;
+    case EventType::kIoRead:
+    case EventType::kIoWrite:
+    case EventType::kPageFault:
+      return EventClass::kIo;
+    case EventType::kMarkerDef:
+    case EventType::kUserMarker:
+      return EventClass::kMarker;
+    default:
+      return isMpiEvent(t) ? EventClass::kMpi : EventClass::kControl;
+  }
+}
+
+std::string eventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kInvalid: return "Invalid";
+    case EventType::kTimestampWrap: return "TimestampWrap";
+    case EventType::kThreadDispatch: return "ThreadDispatch";
+    case EventType::kThreadInfo: return "ThreadInfo";
+    case EventType::kGlobalClock: return "GlobalClock";
+    case EventType::kMarkerDef: return "MarkerDef";
+    case EventType::kUserMarker: return "UserMarker";
+    case EventType::kNodeInfo: return "NodeInfo";
+    case EventType::kIoRead: return "IoRead";
+    case EventType::kIoWrite: return "IoWrite";
+    case EventType::kPageFault: return "PageFault";
+    case EventType::kMpiInit: return "MPI_Init";
+    case EventType::kMpiFinalize: return "MPI_Finalize";
+    case EventType::kMpiSend: return "MPI_Send";
+    case EventType::kMpiRecv: return "MPI_Recv";
+    case EventType::kMpiIsend: return "MPI_Isend";
+    case EventType::kMpiIrecv: return "MPI_Irecv";
+    case EventType::kMpiWait: return "MPI_Wait";
+    case EventType::kMpiBarrier: return "MPI_Barrier";
+    case EventType::kMpiBcast: return "MPI_Bcast";
+    case EventType::kMpiReduce: return "MPI_Reduce";
+    case EventType::kMpiAllreduce: return "MPI_Allreduce";
+    case EventType::kMpiAlltoall: return "MPI_Alltoall";
+  }
+  return "Unknown(" + std::to_string(static_cast<int>(t)) + ")";
+}
+
+std::string threadTypeName(ThreadType t) {
+  switch (t) {
+    case ThreadType::kMpi: return "MPI";
+    case ThreadType::kUser: return "user";
+    case ThreadType::kSystem: return "system";
+  }
+  return "?";
+}
+
+}  // namespace ute

@@ -1,0 +1,137 @@
+// Event catalog and hookword encoding for the raw (AIX-style) trace files.
+//
+// The native trace facility the paper builds on captures a single
+// time-stamped stream per node: system events (thread dispatch), MPI
+// events cut by the PMPI wrapper library, user markers, and the periodic
+// global-clock records used later for synchronization. Each record starts
+// with a one-word "hookword" identifying the event type and the record
+// length, followed by a one-word (32-bit) timestamp — the reader
+// reconstructs full 64-bit local time from periodic timestamp-wrap
+// records, mirroring the real facility's layout constraint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/types.h"
+
+namespace ute {
+
+/// Raw-trace event types. Values are stable on-disk identifiers.
+enum class EventType : std::uint16_t {
+  kInvalid = 0,
+
+  // --- system events -----------------------------------------------------
+  kTimestampWrap = 1,   ///< payload: u32 new high word of local time
+  kThreadDispatch = 2,  ///< payload: i32 old, i32 new (-1 = idle), u32 old-exited
+  kThreadInfo = 3,      ///< payload: ltid, pid, system tid, MPI task, type
+  kGlobalClock = 4,     ///< payload: u64 global ns, u64 local ns
+  kMarkerDef = 5,       ///< payload: u32 marker id, length-prefixed string
+  kUserMarker = 6,      ///< payload: u32 marker id, u64 instruction address
+  kNodeInfo = 7,        ///< payload: i32 node id, i32 cpu count
+
+  // --- additional system activities (the paper's Section 5 extension:
+  // "Future extensions with additional system activities, such as I/O,
+  // page miss ... may result in even better tools") -------------------
+  kIoRead = 8,     ///< payload: u32 bytes (begin); exit: none
+  kIoWrite = 9,    ///< payload: u32 bytes (begin); exit: none
+  kPageFault = 10, ///< payload: u64 faulting address (point event)
+
+  // --- MPI events (one event type per routine, as in the paper) ----------
+  kMpiInit = 64,
+  kMpiFinalize = 65,
+  kMpiSend = 66,      ///< entry payload: dest, tag, bytes, seqno, comm
+  kMpiRecv = 67,      ///< entry: src, tag, comm; exit: src, tag, bytes, seqno
+  kMpiIsend = 68,     ///< entry payload: dest, tag, bytes, seqno, comm, req
+  kMpiIrecv = 69,     ///< entry payload: src, tag, comm, req
+  kMpiWait = 70,      ///< entry payload: req; exit (recv): src,tag,bytes,seqno
+  kMpiBarrier = 71,   ///< entry payload: comm
+  kMpiBcast = 72,     ///< entry payload: bytes, root, comm
+  kMpiReduce = 73,    ///< entry payload: bytes, root, comm
+  kMpiAllreduce = 74, ///< entry payload: bytes, comm
+  kMpiAlltoall = 75,  ///< entry payload: bytes, comm
+
+  kMpiLast = kMpiAlltoall,
+};
+
+inline bool isMpiEvent(EventType t) {
+  return t >= EventType::kMpiInit && t <= EventType::kMpiLast;
+}
+
+/// Record flags (hookword bits 23..16).
+enum RecordFlags : std::uint8_t {
+  kFlagBegin = 0x1,  ///< entry of an MPI call / begin of a user marker
+  kFlagEnd = 0x2,    ///< exit of an MPI call / end of a user marker
+};
+
+/// Event classes for the trace-enable mask (TraceOptions::enabledClasses).
+enum class EventClass : std::uint32_t {
+  kControl = 0,   ///< wrap records, node/thread info — always on
+  kDispatch = 1,  ///< thread dispatch events
+  kMpi = 2,       ///< MPI entry/exit events
+  kMarker = 3,    ///< user markers and marker definitions
+  kClock = 4,     ///< global clock records
+  kIo = 5,        ///< I/O calls and page faults (Section 5 extension)
+};
+
+/// True for the blocking I/O call events that form begin/end intervals.
+inline bool isIoEvent(EventType t) {
+  return t == EventType::kIoRead || t == EventType::kIoWrite;
+}
+
+EventClass eventClassOf(EventType t);
+
+/// Human-readable names for dumps, statistics and visualization legends.
+std::string eventTypeName(EventType t);
+
+/// The thread categories of the interval-file thread table (Section 2.3.3):
+/// MPI threads, user-defined threads, and system threads.
+enum class ThreadType : std::uint8_t {
+  kMpi = 0,
+  kUser = 1,
+  kSystem = 2,
+};
+
+std::string threadTypeName(ThreadType t);
+
+// --- hookword layout -------------------------------------------------------
+// bits 31..16: event type; bits 15..8: flags; bits 7..0: payload length.
+// Payload length 255 means the true length follows the hookword's context
+// word as a u16 (records longer than 254 bytes, e.g. marker definitions).
+
+inline constexpr std::uint8_t kExtendedLength = 0xff;
+
+inline std::uint32_t makeHookword(EventType type, std::uint8_t flags,
+                                  std::uint8_t payloadLen) {
+  return (static_cast<std::uint32_t>(type) << 16) |
+         (static_cast<std::uint32_t>(flags) << 8) | payloadLen;
+}
+
+inline EventType hookwordType(std::uint32_t hw) {
+  return static_cast<EventType>(hw >> 16);
+}
+inline std::uint8_t hookwordFlags(std::uint32_t hw) {
+  return static_cast<std::uint8_t>((hw >> 8) & 0xff);
+}
+inline std::uint8_t hookwordLength(std::uint32_t hw) {
+  return static_cast<std::uint8_t>(hw & 0xff);
+}
+
+// --- context word ------------------------------------------------------
+// bits 31..16: cpu id; bits 15..0: logical thread id (0xffff = none/idle).
+
+inline std::uint32_t makeContext(CpuId cpu, LogicalThreadId ltid) {
+  const auto tid16 =
+      ltid < 0 ? 0xffffu : static_cast<std::uint32_t>(ltid) & 0xffffu;
+  return (static_cast<std::uint32_t>(cpu) << 16) | tid16;
+}
+
+inline CpuId contextCpu(std::uint32_t ctx) {
+  return static_cast<CpuId>(ctx >> 16);
+}
+inline LogicalThreadId contextThread(std::uint32_t ctx) {
+  const std::uint32_t tid16 = ctx & 0xffffu;
+  return tid16 == 0xffffu ? -1 : static_cast<LogicalThreadId>(tid16);
+}
+
+}  // namespace ute

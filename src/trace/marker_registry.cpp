@@ -1,0 +1,21 @@
+#include "trace/marker_registry.h"
+
+namespace ute {
+
+std::uint32_t MarkerRegistry::define(const std::string& name) {
+  const auto it = byName_.find(name);
+  if (it != byName_.end()) return it->second;
+  const std::uint32_t id = nextId_++;
+  byName_.emplace(name, id);
+  byId_.emplace(id, entries_.size());
+  entries_.emplace_back(id, name);
+  return id;
+}
+
+const std::string* MarkerRegistry::lookup(std::uint32_t id) const {
+  const auto it = byId_.find(id);
+  if (it == byId_.end()) return nullptr;
+  return &entries_[it->second].second;
+}
+
+}  // namespace ute

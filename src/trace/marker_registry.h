@@ -1,0 +1,43 @@
+// Task-local user-marker registry (Sections 2.2 / 3.1).
+//
+// A user defines a marker with a string; the tracing library hands back an
+// identifier *without any cross-task communication*, so the same string may
+// map to different identifiers in different tasks (the calling sequence of
+// marker-creation calls can differ). The convert utility later re-assigns
+// one unique identifier per distinct string — this class is the
+// low-overhead, task-local half of that contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ute {
+
+class MarkerRegistry {
+ public:
+  /// Returns the identifier for `name`, defining it on first use.
+  /// Identifiers are dense, starting at `firstId` (tasks may be given
+  /// different bases to make the cross-task collision the paper describes
+  /// reliably observable in tests).
+  std::uint32_t define(const std::string& name);
+
+  explicit MarkerRegistry(std::uint32_t firstId = 1) : nextId_(firstId) {}
+
+  /// nullptr when the id is unknown.
+  const std::string* lookup(std::uint32_t id) const;
+
+  /// All (id, name) pairs in definition order.
+  const std::vector<std::pair<std::uint32_t, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::uint32_t nextId_;
+  std::unordered_map<std::string, std::uint32_t> byName_;
+  std::unordered_map<std::uint32_t, std::size_t> byId_;
+  std::vector<std::pair<std::uint32_t, std::string>> entries_;
+};
+
+}  // namespace ute

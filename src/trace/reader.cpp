@@ -1,0 +1,98 @@
+#include "trace/reader.h"
+
+#include <cstring>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+constexpr std::uint32_t kRawMagic = 0x52455455;  // "UTER"
+constexpr std::uint32_t kRawVersion = 1;
+
+std::uint32_t leU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+TraceFileReader::TraceFileReader(const std::string& path,
+                                 std::size_t chunkBytes)
+    : file_(path), buf_(chunkBytes < 1 << 16 ? 1 << 16 : chunkBytes) {
+  if (!ensure(16)) throw FormatError("raw trace file too short: " + path);
+  ByteReader header(std::span(buf_.data() + pos_, 16));
+  if (header.u32() != kRawMagic) {
+    throw FormatError("not a raw trace file: " + path);
+  }
+  if (header.u32() != kRawVersion) {
+    throw FormatError("unsupported raw trace version in " + path);
+  }
+  node_ = header.i32();
+  cpuCount_ = header.i32();
+  pos_ += 16;
+}
+
+bool TraceFileReader::ensure(std::size_t n) {
+  if (filled_ - pos_ >= n) return true;
+  // Compact the unconsumed tail to the front, then refill.
+  const std::size_t tail = filled_ - pos_;
+  if (tail > 0 && pos_ > 0) std::memmove(buf_.data(), buf_.data() + pos_, tail);
+  pos_ = 0;
+  filled_ = tail;
+  while (filled_ < n) {
+    const std::size_t got = file_.readSome(
+        std::span(buf_.data() + filled_, buf_.size() - filled_));
+    if (got == 0) return filled_ >= n;
+    filled_ += got;
+  }
+  return true;
+}
+
+std::optional<RawEvent> TraceFileReader::next() {
+  for (;;) {
+    if (!ensure(12)) {
+      if (filled_ - pos_ != 0) {
+        throw FormatError("truncated record at end of " + file_.path());
+      }
+      return std::nullopt;
+    }
+    const std::uint32_t hw = leU32(buf_.data() + pos_);
+    const std::uint32_t tsLow = leU32(buf_.data() + pos_ + 4);
+    const std::uint32_t ctx = leU32(buf_.data() + pos_ + 8);
+
+    std::size_t headerLen = 12;
+    std::size_t payloadLen = hookwordLength(hw);
+    if (payloadLen == kExtendedLength) {
+      if (!ensure(14)) throw FormatError("truncated record in " + file_.path());
+      payloadLen = static_cast<std::size_t>(buf_[pos_ + 12]) |
+                   (static_cast<std::size_t>(buf_[pos_ + 13]) << 8);
+      headerLen = 14;
+    }
+    if (!ensure(headerLen + payloadLen)) {
+      throw FormatError("truncated payload in " + file_.path());
+    }
+
+    RawEvent ev;
+    ev.type = hookwordType(hw);
+    ev.flags = hookwordFlags(hw);
+    ev.cpu = contextCpu(ctx);
+    ev.ltid = contextThread(ctx);
+    ev.payload = std::span(buf_.data() + pos_ + headerLen, payloadLen);
+    pos_ += headerLen + payloadLen;
+
+    if (ev.type == EventType::kTimestampWrap) {
+      ByteReader r(ev.payload);
+      highWord_ = r.u32();
+      lastLow_ = tsLow;
+      continue;  // internal record; not surfaced
+    }
+    lastLow_ = tsLow;
+    ev.localTs = (highWord_ << 32) | tsLow;
+    ++eventsRead_;
+    return ev;
+  }
+}
+
+}  // namespace ute

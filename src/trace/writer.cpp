@@ -1,0 +1,221 @@
+#include "trace/writer.h"
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+constexpr std::uint32_t kRawMagic = 0x52455455;  // "UTER" little-endian
+constexpr std::uint32_t kRawVersion = 1;
+}  // namespace
+
+std::string TraceSession::traceFilePath(const std::string& prefix,
+                                        NodeId node) {
+  return prefix + "." + std::to_string(node) + ".utr";
+}
+
+TraceSession::TraceSession(const TraceOptions& options, NodeId node,
+                           int cpuCount, Tick initialLocalTs)
+    : options_(options),
+      node_(node),
+      filePath_(traceFilePath(options.filePrefix, node)),
+      file_(filePath_),
+      tracingEnabled_(options.startEnabled) {
+  if (options_.bufferSizeBytes < 4096) options_.bufferSizeBytes = 4096;
+  buffer_.reserve(options_.bufferSizeBytes);
+
+  ByteWriter header;
+  header.u32(kRawMagic);
+  header.u32(kRawVersion);
+  header.i32(node);
+  header.i32(cpuCount);
+  file_.write(header);
+  stats_.bytesWritten += header.size();
+
+  // The node-info record is a control record: always cut, so readers know
+  // the topology even when tracing proper starts later.
+  cut(EventType::kNodeInfo, 0, 0, -1, initialLocalTs,
+      payloadNodeInfo(node, cpuCount));
+}
+
+TraceSession::~TraceSession() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() surfaces errors.
+  }
+}
+
+bool TraceSession::classEnabled(EventType type) const {
+  const EventClass c = eventClassOf(type);
+  if (c == EventClass::kControl) return true;
+  if (!tracingEnabled_) return false;
+  return (options_.enabledClasses & TraceOptions::classBit(c)) != 0;
+}
+
+void TraceSession::cut(EventType type, std::uint8_t flags, CpuId cpu,
+                       LogicalThreadId ltid, Tick localTs,
+                       std::span<const std::uint8_t> payload) {
+  if (closed_) throw UsageError("TraceSession: cut after close");
+  // Part one of the paper's record cost: the enablement test.
+  if (!classEnabled(type)) {
+    ++stats_.eventsSuppressed;
+    return;
+  }
+  if (localTs < lastLocalTs_) {
+    throw UsageError("TraceSession: local timestamps must be non-decreasing");
+  }
+  lastLocalTs_ = localTs;
+
+  // The on-disk timestamp is one 32-bit word; emit a wrap record whenever
+  // the high word advances so readers can rebuild 64-bit time.
+  const auto highWord = static_cast<std::uint32_t>(localTs >> 32);
+  if (highWord != lastHighWord_) {
+    lastHighWord_ = highWord;
+    if (type != EventType::kTimestampWrap) {
+      ByteWriter wrap;
+      wrap.u32(highWord);
+      ++stats_.wrapRecords;
+      // Recurse once; the wrap record itself never needs another wrap.
+      // Wrap records are transparent bookkeeping: readers consume them
+      // silently, so they are not counted in eventsCut.
+      cut(EventType::kTimestampWrap, 0, cpu, ltid, localTs, wrap.view());
+      --stats_.eventsCut;
+    }
+  }
+
+  // Part two: the buffer insertion.
+  const bool extended = payload.size() > 254;
+  if (payload.size() > 0xffff) {
+    throw UsageError("TraceSession: payload longer than 65535 bytes");
+  }
+  const std::size_t recordSize =
+      4 /*hookword*/ + 4 /*timestamp*/ + 4 /*context*/ +
+      (extended ? 2 : 0) + payload.size();
+  if (buffer_.size() + recordSize > options_.bufferSizeBytes) flushBuffer();
+
+  const std::uint32_t hw = makeHookword(
+      type, flags,
+      extended ? kExtendedLength : static_cast<std::uint8_t>(payload.size()));
+  const auto tsLow = static_cast<std::uint32_t>(localTs & 0xffffffffu);
+  const std::uint32_t ctx = makeContext(cpu, ltid);
+  const std::uint32_t words[3] = {hw, tsLow, ctx};
+  for (std::uint32_t w : words) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  if (extended) {
+    const auto n = static_cast<std::uint16_t>(payload.size());
+    buffer_.push_back(static_cast<std::uint8_t>(n & 0xff));
+    buffer_.push_back(static_cast<std::uint8_t>(n >> 8));
+  }
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  ++stats_.eventsCut;
+}
+
+void TraceSession::flushBuffer() {
+  if (buffer_.empty()) return;
+  file_.write(buffer_);
+  stats_.bytesWritten += buffer_.size();
+  ++stats_.bufferFlushes;
+  buffer_.clear();
+}
+
+void TraceSession::close() {
+  if (closed_) return;
+  flushBuffer();
+  file_.close();
+  closed_ = true;
+}
+
+ByteWriter payloadThreadDispatch(LogicalThreadId oldTid,
+                                 LogicalThreadId newTid, bool oldExited) {
+  ByteWriter w;
+  w.i32(oldTid);
+  w.i32(newTid);
+  w.u32(oldExited ? 1 : 0);
+  return w;
+}
+
+ByteWriter payloadThreadInfo(LogicalThreadId ltid, std::int32_t pid,
+                             std::int32_t systemTid, TaskId mpiTask,
+                             ThreadType type) {
+  ByteWriter w;
+  w.i32(ltid);
+  w.i32(pid);
+  w.i32(systemTid);
+  w.i32(mpiTask);
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+ByteWriter payloadGlobalClock(Tick globalNs, Tick localNs) {
+  ByteWriter w;
+  w.u64(globalNs);
+  w.u64(localNs);
+  return w;
+}
+
+ByteWriter payloadMarkerDef(std::uint32_t markerId, std::string_view name) {
+  ByteWriter w;
+  w.u32(markerId);
+  w.lstring(name);
+  return w;
+}
+
+ByteWriter payloadUserMarker(std::uint32_t markerId,
+                             std::uint64_t instrAddr) {
+  ByteWriter w;
+  w.u32(markerId);
+  w.u64(instrAddr);
+  return w;
+}
+
+ByteWriter payloadNodeInfo(NodeId node, std::int32_t cpuCount) {
+  ByteWriter w;
+  w.i32(node);
+  w.i32(cpuCount);
+  return w;
+}
+
+ByteWriter payloadMpiSend(TaskId dest, std::int32_t tag, std::uint32_t bytes,
+                          std::uint32_t seqno, std::int32_t comm) {
+  ByteWriter w;
+  w.i32(dest);
+  w.i32(tag);
+  w.u32(bytes);
+  w.u32(seqno);
+  w.i32(comm);
+  return w;
+}
+
+ByteWriter payloadMpiRecvEntry(TaskId src, std::int32_t tag,
+                               std::int32_t comm) {
+  ByteWriter w;
+  w.i32(src);
+  w.i32(tag);
+  w.i32(comm);
+  return w;
+}
+
+ByteWriter payloadMpiRecvExit(TaskId src, std::int32_t tag,
+                              std::uint32_t bytes, std::uint32_t seqno) {
+  ByteWriter w;
+  w.i32(src);
+  w.i32(tag);
+  w.u32(bytes);
+  w.u32(seqno);
+  return w;
+}
+
+ByteWriter payloadMpiCollective(std::uint32_t bytes, TaskId root,
+                                std::int32_t comm) {
+  ByteWriter w;
+  w.u32(bytes);
+  w.i32(root);
+  w.i32(comm);
+  return w;
+}
+
+}  // namespace ute

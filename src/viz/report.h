@@ -1,0 +1,34 @@
+// Self-contained HTML performance report: one page combining the run
+// summary, the SLOG preview, the time-space diagrams, and the
+// statistics tables — everything the paper's framework produces, in a
+// form a user can mail around. Built entirely from the merged interval
+// file (and optionally the SLOG file for the preview).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "interval/profile.h"
+
+namespace ute {
+
+struct ReportOptions {
+  std::string title = "UTE performance report";
+  /// SLOG file for the preview section; empty = omit the preview.
+  std::string slogPath;
+  /// Which views to include.
+  bool threadActivity = true;
+  bool processorActivity = true;
+  bool stateActivity = true;
+  /// Statistics program; empty = the pre-defined tables.
+  std::string statsProgram;
+  int svgWidth = 1100;
+};
+
+/// Renders the report for a merged interval file. Throws on unreadable
+/// inputs.
+std::string buildHtmlReport(const std::string& mergedPath,
+                            const Profile& profile,
+                            const ReportOptions& options = {});
+
+}  // namespace ute

@@ -1,0 +1,31 @@
+// Self-contained SVG rendering of time-space diagrams and previews — the
+// Jumpshot display surface of this reproduction (the data model is
+// identical; the widget toolkit is SVG instead of Java Swing).
+#pragma once
+
+#include <string>
+
+#include "slog/slog_format.h"
+#include "viz/timeline_model.h"
+
+namespace ute {
+
+struct SvgOptions {
+  int width = 1200;
+  int rowHeight = 22;
+  int labelWidth = 90;
+  bool legend = true;
+};
+
+/// Renders a time-space diagram (any of the four views, or a SLOG frame
+/// view) as a standalone SVG document.
+std::string renderSvg(const TimeSpaceModel& model, const SvgOptions& options = {});
+
+/// Renders the whole-run preview (Figure 7's summary window): stacked
+/// per-state time histograms over the run, rebinned to `bins` columns.
+std::string renderPreviewSvg(const SlogPreview& preview,
+                             const std::vector<SlogStateDef>& states,
+                             std::uint32_t bins = 50,
+                             const SvgOptions& options = {});
+
+}  // namespace ute

@@ -1,0 +1,110 @@
+// Time-space diagram models (Section 1.2).
+//
+// Because every interval record carries a node ID, a processor ID, a
+// thread ID and a record type, multiple time-space diagrams can be
+// derived from the same interval file:
+//   - thread-activity:    one timeline per thread, colored by state
+//                         (pieces as stored, or connected/nested states)
+//   - processor-activity: one timeline per processor, colored by state
+//                         (necessarily pieces: threads migrate)
+//   - thread-processor:   one timeline per thread, colored by processor
+//   - processor-thread:   one timeline per processor, colored by thread
+//   - state-activity:     one timeline per record type, colored by thread
+// plus the frame view built from a SLOG frame (preview + frame display,
+// Figure 7). The renderers (SVG, ASCII) consume the same model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "interval/file_reader.h"
+#include "interval/profile.h"
+#include "slog/slog_reader.h"
+#include "support/types.h"
+
+namespace ute {
+
+enum class ViewKind {
+  kThreadActivity,
+  kProcessorActivity,
+  kThreadProcessor,
+  kProcessorThread,
+  /// Record type as the y-axis discriminator (Section 1.2's "other
+  /// possible views"): one timeline per state, colored by thread.
+  kStateActivity,
+};
+
+std::string viewKindName(ViewKind kind);
+
+/// One colored bar on a timeline. `colorKey` selects the legend entry:
+/// a state id for activity views, a processor id for thread-processor,
+/// a thread id for processor-thread.
+struct VizSegment {
+  std::uint32_t colorKey = 0;
+  Tick start = 0;
+  Tick end = 0;
+  std::uint8_t depth = 0;  ///< nesting depth (connected thread view)
+  bool pseudo = false;
+};
+
+struct VizTimeline {
+  std::string label;
+  NodeId node = 0;
+  std::int32_t id = 0;  ///< thread or cpu, depending on the view
+  std::vector<VizSegment> segments;
+};
+
+struct VizArrow {
+  std::size_t fromRow = 0;
+  std::size_t toRow = 0;
+  Tick fromTime = 0;
+  Tick toTime = 0;
+  std::uint32_t bytes = 0;
+};
+
+struct TimeSpaceModel {
+  std::string title;
+  ViewKind kind = ViewKind::kThreadActivity;
+  Tick minTime = 0;
+  Tick maxTime = 0;
+  std::vector<VizTimeline> rows;
+  std::vector<VizArrow> arrows;
+  /// Legend: colorKey -> (name, rgb).
+  std::map<std::uint32_t, std::pair<std::string, std::uint32_t>> legend;
+};
+
+struct ViewOptions {
+  ViewKind kind = ViewKind::kThreadActivity;
+  /// Thread-activity only: connect begin/continuation/end pieces into one
+  /// nested state bar instead of drawing the stored pieces.
+  bool connectPieces = false;
+  /// Restrict to a time window (model still labels full-file extent).
+  std::optional<std::pair<Tick, Tick>> window;
+  /// Show system threads (the clock daemon) in thread views.
+  bool includeSystemThreads = false;
+  /// Draw message arrows (thread views).
+  bool arrows = true;
+  /// Processor views: known CPU counts per node, so never-used (fully
+  /// idle) processors still get a timeline.
+  std::map<NodeId, int> cpuCountHint;
+};
+
+/// Builds a time-space diagram from a (typically merged) interval file.
+TimeSpaceModel buildView(IntervalFileReader& file, const Profile& profile,
+                         const ViewOptions& options);
+
+/// Builds a thread-activity view of one SLOG frame — the Figure 7 "frame
+/// display": pseudo-intervals complete the picture at the frame edges
+/// without reading any other part of the file.
+TimeSpaceModel buildSlogFrameView(SlogReader& slog, std::size_t frameIdx);
+
+/// Builds a thread-activity view of an arbitrary time window, reading
+/// only the frames the window intersects (located via the frame index).
+/// The first frame's pseudo-intervals complete states entering the
+/// window; segments are clipped to [t0, t1].
+TimeSpaceModel buildSlogWindowView(SlogReader& slog, Tick t0, Tick t1);
+
+}  // namespace ute

@@ -1,0 +1,106 @@
+#include "workloads/pipeline.h"
+
+#include <chrono>
+#include <filesystem>
+
+#include "interval/standard_profile.h"
+#include "mpisim/mpi_runtime.h"
+#include "sim/simulation.h"
+
+namespace ute {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string makeScratchDir(const std::string& hint) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "ute";
+  fs::create_directories(base);
+  // Deterministic per-hint directory, wiped on reuse for reproducibility.
+  const fs::path dir = base / hint;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+PipelineResult runPipeline(SimulationConfig config,
+                           const PipelineOptions& options) {
+  namespace fs = std::filesystem;
+  fs::create_directories(options.dir);
+  const std::string base =
+      (fs::path(options.dir) / options.name).string();
+
+  PipelineResult result;
+
+  // --- stage 1: trace generation (the simulated run) ---------------------
+  config.trace.filePrefix = base;
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    Simulation sim(std::move(config));
+    MpiRuntime mpi(sim);
+    sim.setMpiService(&mpi);
+    sim.run();
+    result.mpiStats = mpi.stats();
+    result.rawFiles = sim.traceFilePaths();
+    result.simulatedNs = sim.finishTimeNs();
+    for (NodeId n = 0;
+         static_cast<std::size_t>(n) < sim.config().nodes.size(); ++n) {
+      result.rawEvents += sim.sessionStats(n).eventsCut;
+    }
+  }
+  result.simSeconds = secondsSince(t0);
+
+  // --- stage 2: convert (one interval file per node) ----------------------
+  result.profileFile =
+      (fs::path(options.dir) / kStandardProfileFileName).string();
+  ensureStandardProfileFile(result.profileFile);
+
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<ConvertResult> converted =
+      convertRun(result.rawFiles, base, options.convert);
+  result.convertSeconds = secondsSince(t0);
+  for (const ConvertResult& c : converted) {
+    result.intervalFiles.push_back(c.outputPath);
+    result.intervalRecords += c.intervalRecords;
+  }
+
+  // --- stage 3: merge (+ SLOG in the same pass) ---------------------------
+  const Profile profile = makeStandardProfile();
+  result.mergedFile = base + ".merged.uti";
+  t0 = std::chrono::steady_clock::now();
+  IntervalMerger merger(result.intervalFiles, profile, options.merge);
+  if (options.writeSlog) {
+    result.slogFile = base + ".slog";
+    // The SLOG writer needs the merged thread table and markers; collect
+    // them from the inputs the same way the merger does.
+    std::vector<ThreadEntry> threads;
+    std::map<std::uint32_t, std::string> markers;
+    for (const std::string& path : result.intervalFiles) {
+      IntervalFileReader reader(path);
+      const auto& t = reader.threads();
+      threads.insert(threads.end(), t.begin(), t.end());
+      for (const auto& [id, name] : reader.markers()) {
+        markers.emplace(id, name);
+      }
+    }
+    SlogWriter slog(result.slogFile, options.slog, profile, threads, markers);
+    result.merge = merger.mergeTo(
+        result.mergedFile,
+        [&slog](const RecordView& record) { slog.addRecord(record); });
+    slog.close();
+    result.slogIntervals = slog.intervalsWritten();
+    result.slogArrows = slog.arrowsWritten();
+  } else {
+    result.merge = merger.mergeTo(result.mergedFile);
+  }
+  result.mergeSeconds = secondsSince(t0);
+  return result;
+}
+
+}  // namespace ute

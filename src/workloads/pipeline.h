@@ -1,0 +1,64 @@
+// End-to-end pipeline driver: Figure 2 in code.
+//
+//   simulate (trace generation) -> raw per-node trace files
+//   -> convert (event matching, interval pieces, marker unification)
+//   -> merge (clock adjustment, k-way merge, pseudo-intervals)
+//   -> optional SLOG emission in the same pass (slogmerge)
+//
+// Examples, benchmarks and integration tests all drive runs through this
+// one entry point; each stage is also timed so Table 1's utility speeds
+// come from the same code path users run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "convert/converter.h"
+#include "merge/merger.h"
+#include "mpisim/mpi_runtime.h"
+#include "sim/config.h"
+#include "slog/slog_writer.h"
+
+namespace ute {
+
+struct PipelineOptions {
+  /// Directory all files are written into (created if missing).
+  std::string dir = ".";
+  /// Base name for the produced files.
+  std::string name = "run";
+  bool writeSlog = true;
+  ConvertOptions convert;
+  MergeOptions merge;
+  SlogOptions slog;
+};
+
+struct PipelineResult {
+  std::vector<std::string> rawFiles;
+  std::vector<std::string> intervalFiles;
+  std::string mergedFile;
+  std::string slogFile;     ///< empty unless writeSlog
+  std::string profileFile;  ///< the standard description profile
+  std::uint64_t rawEvents = 0;
+  std::uint64_t intervalRecords = 0;
+  /// Ground truth from the MPI runtime, for cross-checking analyses
+  /// (e.g. Figure 5's total bytes sent must equal mpiStats.bytesSent).
+  MpiRuntimeStats mpiStats;
+  MergeResult merge;
+  std::uint64_t slogIntervals = 0;
+  std::uint64_t slogArrows = 0;
+  double simSeconds = 0;
+  double convertSeconds = 0;
+  double mergeSeconds = 0;  ///< includes SLOG emission when enabled
+  Tick simulatedNs = 0;
+};
+
+/// Runs the full pipeline. The trace file prefix inside `config` is
+/// overridden to place raw files in options.dir.
+PipelineResult runPipeline(SimulationConfig config,
+                           const PipelineOptions& options);
+
+/// Creates (and returns) a fresh scratch directory under the system temp
+/// directory, e.g. for tests and examples.
+std::string makeScratchDir(const std::string& hint);
+
+}  // namespace ute

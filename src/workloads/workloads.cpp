@@ -1,0 +1,272 @@
+#include "workloads/workloads.h"
+
+#include "support/errors.h"
+#include "support/rng.h"
+
+namespace ute {
+
+LocalClockModel::Params workloadClock(NodeId node) {
+  // Alternating-sign drifts of different magnitudes per node; offsets of
+  // a few hundred microseconds model power-on skew.
+  static const double kPpm[] = {0.0, +22.0, -14.0, +8.5, -27.0, +3.3,
+                                -9.9, +17.2};
+  LocalClockModel::Params p;
+  p.driftPpm = kPpm[static_cast<std::size_t>(node) % std::size(kPpm)];
+  p.offsetNs = 100 * kUs * ((node % 5) + 1);
+  p.granularityNs = 1;
+  p.jitterNs = 0;  // event timestamps must be monotonic
+  return p;
+}
+
+SimulationConfig testProgram(const TestProgramOptions& options) {
+  if (options.tasks < 2) throw UsageError("test program needs >= 2 tasks");
+  SimulationConfig config;
+  config.seed = options.seed;
+  for (int n = 0; n < options.nodes; ++n) {
+    NodeConfig node;
+    node.cpuCount = options.cpusPerNode;
+    node.clock = workloadClock(n);
+    config.nodes.push_back(node);
+  }
+
+  Rng rng(options.seed);
+  for (int t = 0; t < options.tasks; ++t) {
+    ProcessConfig proc;
+    proc.node = t % options.nodes;
+
+    // Thread 0: the MPI thread. Ring exchange plus a periodic allreduce
+    // under nested user markers, so conversion exercises marker nesting.
+    {
+      ProgramBuilder b;
+      b.mpiInit();
+      b.markerBegin("Initial Phase");
+      b.compute(200 * kUs + rng.below(100) * kUs);
+      b.markerEnd("Initial Phase");
+      b.loop(options.iterations);
+      {
+        b.markerBegin("Main Loop");
+        b.compute(30 * kUs + rng.below(20) * kUs);
+        const TaskId next = (t + 1) % options.tasks;
+        const TaskId prev = (t + options.tasks - 1) % options.tasks;
+        const std::uint32_t bytes = 1024 + static_cast<std::uint32_t>(
+                                               rng.below(4096));
+        if (t % 2 == 0) {
+          b.send(next, /*tag=*/17, bytes);
+          b.recv(prev, /*tag=*/17);
+        } else {
+          b.recv(prev, /*tag=*/17);
+          b.send(next, /*tag=*/17, bytes);
+        }
+        b.markerBegin("Reduce Phase");
+        b.allreduce(64);
+        b.markerEnd("Reduce Phase");
+        b.markerEnd("Main Loop");
+      }
+      b.endLoop();
+      b.mpiFinalize();
+      ThreadConfig tc;
+      tc.program = b.build();
+      tc.type = ThreadType::kMpi;
+      proc.threads.push_back(std::move(tc));
+    }
+
+    // Worker threads: marker-wrapped compute bursts. Tasks define their
+    // markers in different orders ("Worker" before or after the MPI
+    // thread's markers), so task-local marker ids collide across tasks —
+    // the situation the convert utility's unification must fix.
+    for (int w = 1; w < options.threadsPerTask; ++w) {
+      ProgramBuilder b;
+      b.loop(options.iterations * 2);
+      b.markerBegin(w % 2 == 0 ? "Worker Even" : "Worker Odd");
+      b.compute(25 * kUs + rng.below(30) * kUs);
+      b.markerEnd(w % 2 == 0 ? "Worker Even" : "Worker Odd");
+      b.endLoop();
+      ThreadConfig tc;
+      tc.program = b.build();
+      tc.type = ThreadType::kUser;
+      proc.threads.push_back(std::move(tc));
+    }
+    config.processes.push_back(std::move(proc));
+  }
+  config.clockDaemon.periodNs = 500 * kMs;
+  config.trace.filePrefix = "testprog";
+  return config;
+}
+
+std::uint32_t testProgramIterationsFor(std::uint64_t targetRawEvents) {
+  // Measured on the default topology: ~104 raw events per main-loop
+  // iteration across both nodes (MPI entry/exit pairs, marker pairs,
+  // worker markers, and the dispatch events the blocking calls induce).
+  const std::uint64_t perIteration = 104;
+  const std::uint64_t iters = targetRawEvents / perIteration;
+  return iters < 4 ? 4 : static_cast<std::uint32_t>(iters);
+}
+
+SimulationConfig sppm(const SppmOptions& options) {
+  SimulationConfig config;
+  config.seed = options.seed;
+  for (int n = 0; n < options.nodes; ++n) {
+    NodeConfig node;
+    node.cpuCount = options.cpusPerNode;
+    node.clock = workloadClock(n);
+    config.nodes.push_back(node);
+  }
+
+  const int tasks = options.nodes;  // one MPI process per node
+  Rng rng(options.seed);
+  for (int t = 0; t < tasks; ++t) {
+    ProcessConfig proc;
+    proc.node = t;
+
+    // Thread 0: the MPI thread — boundary exchange with both neighbors
+    // in the 1-D decomposition, then the global timestep reduction.
+    {
+      ProgramBuilder b;
+      b.mpiInit();
+      b.loop(options.timesteps);
+      {
+        b.markerBegin("hydro step");
+        b.compute(2 * kMs + rng.below(500) * kUs);
+        const TaskId left = (t + tasks - 1) % tasks;
+        const TaskId right = (t + 1) % tasks;
+        const std::uint32_t boundary = 64 * 1024;
+        if (t % 2 == 0) {
+          b.send(right, 1, boundary);
+          b.recv(left, 1);
+          b.send(left, 2, boundary);
+          b.recv(right, 2);
+        } else {
+          b.recv(left, 1);
+          b.send(right, 1, boundary);
+          b.recv(right, 2);
+          b.send(left, 2, boundary);
+        }
+        b.allreduce(8);  // dt reduction
+        b.markerEnd("hydro step");
+      }
+      b.endLoop();
+      b.mpiFinalize();
+      ThreadConfig tc;
+      tc.program = b.build();
+      tc.type = ThreadType::kMpi;
+      proc.threads.push_back(std::move(tc));
+    }
+
+    // Worker threads 1..n-2: compute sweeps with mild imbalance.
+    for (int w = 1; w < options.threadsPerProcess - 1; ++w) {
+      ProgramBuilder b;
+      b.loop(options.timesteps);
+      b.markerBegin("sweep");
+      b.compute(3 * kMs + rng.below(1200) * kUs);
+      b.markerEnd("sweep");
+      b.sleep(1 * kMs + rng.below(500) * kUs);
+      b.endLoop();
+      ThreadConfig tc;
+      tc.program = b.build();
+      tc.type = ThreadType::kUser;
+      proc.threads.push_back(std::move(tc));
+    }
+
+    // Last thread: idle — visible as an (almost) empty timeline in the
+    // thread-activity view, exactly as the paper observes in Figure 8.
+    {
+      ProgramBuilder b;
+      b.compute(200 * kUs);
+      b.sleep(options.timesteps * 8 * kMs);
+      b.compute(100 * kUs);
+      ThreadConfig tc;
+      tc.program = b.build();
+      tc.type = ThreadType::kUser;
+      proc.threads.push_back(std::move(tc));
+    }
+    config.processes.push_back(std::move(proc));
+  }
+  config.clockDaemon.periodNs = 200 * kMs;
+  config.trace.filePrefix = "sppm";
+  return config;
+}
+
+SimulationConfig flash(const FlashOptions& options) {
+  SimulationConfig config;
+  config.seed = options.seed;
+  for (int n = 0; n < options.nodes; ++n) {
+    NodeConfig node;
+    node.cpuCount = options.cpusPerNode;
+    node.clock = workloadClock(n);
+    config.nodes.push_back(node);
+  }
+
+  Rng rng(options.seed);
+  for (int t = 0; t < options.tasks; ++t) {
+    ProcessConfig proc;
+    proc.node = t % options.nodes;
+    ProgramBuilder b;
+    b.mpiInit();
+
+    // Phase 1 — initialization: dense collective traffic.
+    b.markerBegin("initialization");
+    b.loop(options.initIterations);
+    b.bcast(32 * 1024, 0);
+    b.compute(150 * kUs + rng.below(100) * kUs);
+    b.barrier();
+    b.endLoop();
+    b.markerEnd("initialization");
+
+    // Quiet evolution: long pure compute, no MPI — "uninteresting" time.
+    b.markerBegin("evolution");
+    b.compute(options.quietComputeNs);
+
+    // Phase 2 — a refinement burst in the middle: exchanges + allreduce.
+    b.markerBegin("regrid");
+    b.loop(options.evolveIterations);
+    {
+      const TaskId next = (t + 1) % options.tasks;
+      const TaskId prev = (t + options.tasks - 1) % options.tasks;
+      if (t % 2 == 0) {
+        b.send(next, 5, 16 * 1024);
+        b.recv(prev, 5);
+      } else {
+        b.recv(prev, 5);
+        b.send(next, 5, 16 * 1024);
+      }
+      b.allreduce(256);
+      b.compute(80 * kUs + rng.below(60) * kUs);
+    }
+    b.endLoop();
+    b.markerEnd("regrid");
+
+    // Checkpoint I/O after the regrid (Section 5 extension activities:
+    // blocking writes show up as IoWrite states in every view).
+    b.markerBegin("checkpoint");
+    b.ioWrite(2 * 1024 * 1024);
+    b.markerEnd("checkpoint");
+
+    // Second quiet stretch.
+    b.compute(options.quietComputeNs);
+    b.markerEnd("evolution");
+
+    // Phase 3 — termination: reductions and a final barrier.
+    b.markerBegin("termination");
+    b.loop(options.initIterations / 2 + 1);
+    b.reduce(64 * 1024, 0);
+    b.compute(120 * kUs + rng.below(80) * kUs);
+    b.endLoop();
+    b.barrier();
+    b.markerEnd("termination");
+    b.mpiFinalize();
+
+    ThreadConfig tc;
+    tc.program = b.build();
+    tc.type = ThreadType::kMpi;
+    proc.threads.push_back(std::move(tc));
+    config.processes.push_back(std::move(proc));
+  }
+  config.clockDaemon.periodNs = 50 * kMs;
+  config.trace.filePrefix = "flash";
+  // A light page-fault rate makes the Section 5 "page miss" activity
+  // visible in the converted traces.
+  config.costs.pageFaultChance = 0.02;
+  return config;
+}
+
+}  // namespace ute

@@ -1,0 +1,65 @@
+// Synthetic workloads reproducing the structure of the programs the
+// paper's evaluation used (the real applications are not available; see
+// DESIGN.md's substitution table).
+//
+//  - testProgram: the Table 1 test program — 4 MPI tasks, 4 threads each,
+//    executed at several problem sizes so the raw event count scales from
+//    tens of thousands to millions.
+//  - sppm: the ASCI sPPM benchmark's shape (Figures 8/9) — 4 nodes, each
+//    an 8-way SMP, one MPI process per node with four threads of which
+//    one makes MPI calls and one is idle; CPUs are mostly idle and MPI
+//    threads migrate between processors.
+//  - flash: the FLASH-like phased application (Figures 6/7) — distinct
+//    initialization, quiet evolution, busy middle, and termination
+//    phases, so the preview and the statistics time-bin table show three
+//    separated "interesting" time ranges.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.h"
+
+namespace ute {
+
+struct TestProgramOptions {
+  std::uint32_t iterations = 200;  ///< main-loop trips per MPI thread
+  int tasks = 4;
+  int threadsPerTask = 4;
+  int nodes = 2;
+  int cpusPerNode = 2;
+  std::uint64_t seed = 42;
+};
+
+SimulationConfig testProgram(const TestProgramOptions& options = {});
+
+/// Approximate iterations needed for `targetRawEvents` total raw events
+/// with the default topology (calibrated; within ~15%).
+std::uint32_t testProgramIterationsFor(std::uint64_t targetRawEvents);
+
+struct SppmOptions {
+  std::uint32_t timesteps = 30;
+  int nodes = 4;
+  int cpusPerNode = 8;
+  int threadsPerProcess = 4;
+  std::uint64_t seed = 7;
+};
+
+SimulationConfig sppm(const SppmOptions& options = {});
+
+struct FlashOptions {
+  std::uint32_t initIterations = 40;
+  std::uint32_t evolveIterations = 25;
+  Tick quietComputeNs = 40 * kMs;
+  int tasks = 4;
+  int nodes = 2;
+  int cpusPerNode = 4;
+  std::uint64_t seed = 11;
+};
+
+SimulationConfig flash(const FlashOptions& options = {});
+
+/// Per-node clock drift parameters used by all workloads: rate errors of
+/// both signs, tens of ppm apart (Figure 1's regime).
+LocalClockModel::Params workloadClock(NodeId node);
+
+}  // namespace ute

@@ -1,0 +1,85 @@
+#include "clock/clock_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(LocalClockModel, IdentityByDefault) {
+  LocalClockModel clock;
+  EXPECT_EQ(clock.read(0), 0u);
+  EXPECT_EQ(clock.read(123456789), 123456789u);
+  EXPECT_DOUBLE_EQ(clock.rate(), 1.0);
+}
+
+TEST(LocalClockModel, OffsetShiftsReadings) {
+  LocalClockModel::Params p;
+  p.offsetNs = 5000;
+  LocalClockModel clock(p);
+  EXPECT_EQ(clock.read(0), 5000u);
+  EXPECT_EQ(clock.read(1000), 6000u);
+}
+
+TEST(LocalClockModel, PositiveDriftRunsFast) {
+  LocalClockModel::Params p;
+  p.driftPpm = 100.0;  // +100 us per second
+  LocalClockModel clock(p);
+  const Tick oneSecond = kSec;
+  EXPECT_EQ(clock.read(oneSecond), oneSecond + 100 * kUs);
+  EXPECT_DOUBLE_EQ(clock.rate(), 1.0001);
+}
+
+TEST(LocalClockModel, NegativeDriftRunsSlow) {
+  LocalClockModel::Params p;
+  p.driftPpm = -50.0;
+  LocalClockModel clock(p);
+  EXPECT_EQ(clock.read(kSec), kSec - 50 * kUs);
+}
+
+TEST(LocalClockModel, GranularityQuantizes) {
+  LocalClockModel::Params p;
+  p.granularityNs = 100;
+  LocalClockModel clock(p);
+  EXPECT_EQ(clock.read(12345), 12300u);
+  EXPECT_EQ(clock.read(12345) % 100, 0u);
+}
+
+TEST(LocalClockModel, JitterBounded) {
+  LocalClockModel::Params p;
+  p.jitterNs = 1000;
+  LocalClockModel clock(p);
+  const Tick base = 1'000'000;
+  // jitterDraw 0.0 -> -jitter, 1.0-eps -> +jitter, 0.5 -> 0.
+  EXPECT_EQ(clock.read(base, 0.5), base);
+  EXPECT_EQ(clock.read(base, 0.0), base - 1000);
+  EXPECT_GE(clock.read(base, 0.999), base + 990);
+}
+
+TEST(LocalClockModel, ReadingsNeverNegative) {
+  LocalClockModel::Params p;
+  p.offsetNs = -1000;
+  LocalClockModel clock(p);
+  EXPECT_EQ(clock.read(0), 0u);  // clamped
+  EXPECT_EQ(clock.read(2000), 1000u);
+}
+
+TEST(LocalClockModel, MonotonicWithoutJitter) {
+  LocalClockModel::Params p;
+  p.driftPpm = -300.0;
+  LocalClockModel clock(p);
+  Tick prev = 0;
+  for (Tick t = 0; t < 10 * kMs; t += 777) {
+    const Tick v = clock.read(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(GlobalClock, IsIdentityWithAccessCost) {
+  GlobalClock clock(750);
+  EXPECT_EQ(clock.read(42), 42u);
+  EXPECT_EQ(clock.accessCostNs(), 750u);
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,105 @@
+#include "clock/drift_study.h"
+
+#include <gtest/gtest.h>
+
+#include "support/errors.h"
+
+#include "support/text.h"
+
+namespace ute {
+namespace {
+
+TEST(DriftStudy, Figure1ConfigHasFourClocksOfBothSigns) {
+  const DriftStudyConfig config = figure1Config();
+  ASSERT_EQ(config.clocks.size(), 4u);
+  int positive = 0;
+  int negative = 0;
+  for (const auto& c : config.clocks) {
+    if (c.driftPpm > 0) ++positive;
+    if (c.driftPpm < 0) ++negative;
+  }
+  EXPECT_GE(positive, 1);
+  EXPECT_GE(negative, 1);
+  EXPECT_GE(config.durationNs, 100 * kSec);  // the figure spans ~140 s
+}
+
+TEST(DriftStudy, DiscrepancyGrowsLinearlyWithDrift) {
+  DriftStudyConfig config;
+  LocalClockModel::Params ref;      // perfect reference
+  LocalClockModel::Params fast;
+  fast.driftPpm = +22.0;
+  config.clocks = {ref, fast};
+  config.durationNs = 140 * kSec;
+  config.samplePeriodNs = kSec;
+
+  const DriftStudyResult result = runDriftStudy(config);
+  ASSERT_EQ(result.series.size(), 1u);
+  const DriftSeries& s = result.series.front();
+  ASSERT_EQ(s.discrepancyNs.size(), 140u);
+  // After 140 s a +22 ppm clock accumulates ~3.08 ms.
+  EXPECT_NEAR(static_cast<double>(s.discrepancyNs.back()), 140.0 * 22e3,
+              50e3);
+  // Monotone growth (no jitter configured).
+  for (std::size_t i = 1; i < s.discrepancyNs.size(); ++i) {
+    EXPECT_GE(s.discrepancyNs[i], s.discrepancyNs[i - 1]);
+  }
+}
+
+TEST(DriftStudy, NegativeDriftAccumulatesNegative) {
+  DriftStudyConfig config;
+  LocalClockModel::Params ref;
+  LocalClockModel::Params slow;
+  slow.driftPpm = -14.0;
+  config.clocks = {ref, slow};
+  config.durationNs = 100 * kSec;
+  const DriftStudyResult result = runDriftStudy(config);
+  EXPECT_LT(result.series.front().discrepancyNs.back(),
+            -1 * static_cast<TickDelta>(kMs));
+}
+
+TEST(DriftStudy, ReferenceChoiceOnlyShiftsSign) {
+  DriftStudyConfig config = figure1Config();
+  config.durationNs = 50 * kSec;
+  config.referenceClock = 0;
+  const auto r0 = runDriftStudy(config);
+  config.referenceClock = 2;
+  const auto r2 = runDriftStudy(config);
+  // "the accumulated discrepancies increase ... regardless of the
+  // reference clock": each non-reference clock still shows a growing
+  // |discrepancy| trend against the new reference.
+  for (const DriftSeries& s : r2.series) {
+    const auto last = s.discrepancyNs.back();
+    EXPECT_GT(std::abs(last), static_cast<TickDelta>(50 * kUs));
+  }
+  EXPECT_EQ(r0.series.size(), 3u);
+  EXPECT_EQ(r2.series.size(), 3u);
+}
+
+TEST(DriftStudy, RejectsBadConfig) {
+  DriftStudyConfig config;
+  config.clocks.resize(1);
+  EXPECT_THROW(runDriftStudy(config), UsageError);
+  config.clocks.resize(3);
+  config.referenceClock = 5;
+  EXPECT_THROW(runDriftStudy(config), UsageError);
+  config.referenceClock = 0;
+  config.samplePeriodNs = 0;
+  EXPECT_THROW(runDriftStudy(config), UsageError);
+}
+
+TEST(DriftStudy, CsvHasHeaderAndAllSamples) {
+  DriftStudyConfig config = figure1Config();
+  config.durationNs = 10 * kSec;
+  const DriftStudyResult result = runDriftStudy(config);
+  const std::string csv = driftStudyCsv(result);
+  const auto lines = splitString(csv, '\n');
+  // Header + 10 samples + trailing empty line.
+  ASSERT_EQ(lines.size(), 12u);
+  EXPECT_EQ(lines[0],
+            "ref_elapsed_s,clock1_discrepancy_us,clock2_discrepancy_us,"
+            "clock3_discrepancy_us");
+  EXPECT_EQ(splitString(lines[1], ',').size(), 4u);
+}
+
+}  // namespace
+}  // namespace ute

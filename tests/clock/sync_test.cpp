@@ -1,0 +1,173 @@
+#include "clock/sync.h"
+
+#include <gtest/gtest.h>
+
+#include "support/errors.h"
+
+#include <cmath>
+
+#include "clock/clock_model.h"
+#include "support/rng.h"
+
+namespace ute {
+namespace {
+
+/// Samples (global, local) pairs of a drifting clock over `n` periods.
+std::vector<TimestampPair> samplePairs(double driftPpm, TickDelta offsetNs,
+                                       int n, Tick periodNs = kSec,
+                                       Tick jitterNs = 0,
+                                       std::uint64_t seed = 1) {
+  LocalClockModel::Params p;
+  p.driftPpm = driftPpm;
+  p.offsetNs = offsetNs;
+  p.jitterNs = jitterNs;
+  LocalClockModel clock(p);
+  Rng rng(seed);
+  std::vector<TimestampPair> pairs;
+  for (int i = 0; i < n; ++i) {
+    const Tick t = static_cast<Tick>(i + 1) * periodNs;
+    pairs.push_back({t, clock.read(t, rng.unit())});
+  }
+  return pairs;
+}
+
+TEST(Sync, RmsRatioRecoversExactDrift) {
+  // Local runs fast by 100 ppm; global/local ratio is 1/1.0001.
+  const auto pairs = samplePairs(+100.0, 5000, 20);
+  const double r = ratioRmsSegments(pairs);
+  EXPECT_NEAR(r, 1.0 / 1.0001, 1e-9);
+}
+
+TEST(Sync, LastPairRatioRecoversExactDrift) {
+  const auto pairs = samplePairs(-50.0, -2000, 20);
+  const double r = ratioLastPair(pairs);
+  EXPECT_NEAR(r, 1.0 / (1.0 - 50e-6), 1e-9);
+}
+
+TEST(Sync, RmsMatchesHandComputedFormula) {
+  // Three pairs with two segment slopes 2.0 and 1.0:
+  // R = sqrt((4 + 1) / 2).
+  const std::vector<TimestampPair> pairs = {{0, 0}, {200, 100}, {300, 200}};
+  EXPECT_NEAR(ratioRmsSegments(pairs), std::sqrt(5.0 / 2.0), 1e-12);
+}
+
+TEST(Sync, NeedsTwoPairs) {
+  const std::vector<TimestampPair> one = {{0, 0}};
+  EXPECT_THROW(ratioRmsSegments(one), UsageError);
+  EXPECT_THROW(ratioLastPair(one), UsageError);
+}
+
+TEST(Sync, NonIncreasingLocalTimesRejected) {
+  const std::vector<TimestampPair> bad = {{0, 100}, {10, 100}};
+  EXPECT_THROW(ratioRmsSegments(bad), UsageError);
+}
+
+TEST(ClockMap, MapsLocalBackToGlobal) {
+  const double ppm = +80.0;
+  const auto pairs = samplePairs(ppm, 12345, 30);
+  const ClockMap map(pairs, SyncMethod::kRmsSegments);
+  LocalClockModel::Params p;
+  p.driftPpm = ppm;
+  p.offsetNs = 12345;
+  LocalClockModel clock(p);
+  // Any local reading within the sampled range maps back to true time
+  // within a few ns.
+  for (Tick t : {2 * kSec, 10 * kSec, 25 * kSec}) {
+    const Tick local = clock.read(t);
+    const Tick global = map.toGlobal(local);
+    EXPECT_NEAR(static_cast<double>(global), static_cast<double>(t), 10.0);
+  }
+}
+
+TEST(ClockMap, DurationScaling) {
+  const auto pairs = samplePairs(+1000.0, 0, 10);  // local fast by 0.1%
+  const ClockMap map(pairs, SyncMethod::kRmsSegments);
+  // A local duration of 1.001 s corresponds to 1 s of global time.
+  EXPECT_NEAR(static_cast<double>(map.scaleDuration(1'001'000'000)),
+              1e9, 100.0);
+}
+
+TEST(ClockMap, PiecewiseFollowsChangingSlope) {
+  // A clock whose rate changes halfway: piecewise adapts, single-ratio
+  // methods average. Build pairs manually.
+  std::vector<TimestampPair> pairs;
+  Tick local = 0;
+  for (int i = 0; i <= 10; ++i) {
+    const Tick global = static_cast<Tick>(i) * kSec;
+    pairs.push_back({global, local});
+    // First half: local gains 1 ms/s; second half: loses 1 ms/s.
+    local += kSec + (i < 5 ? kMs : -kMs);
+  }
+  const ClockMap piecewise(pairs, SyncMethod::kPiecewise);
+  // At local time corresponding to the middle of segment 7 (slow phase),
+  // the piecewise map should land closer than the global-ratio map.
+  const Tick trueGlobal = 7 * kSec + 500 * kMs;
+  // local at 7.5 s: 5*(1s+1ms) + 2.5*(1s-1ms)
+  const Tick localAt = 5 * (kSec + kMs) + 2 * (kSec - kMs) + (kSec - kMs) / 2;
+  const ClockMap uniform(pairs, SyncMethod::kRmsSegments);
+  const auto errPiece = std::llabs(
+      static_cast<long long>(piecewise.toGlobal(localAt)) -
+      static_cast<long long>(trueGlobal));
+  const auto errUniform = std::llabs(
+      static_cast<long long>(uniform.toGlobal(localAt)) -
+      static_cast<long long>(trueGlobal));
+  EXPECT_LT(errPiece, errUniform);
+  EXPECT_LT(errPiece, 100000);  // within 100 us
+}
+
+TEST(ClockMap, IdentityPassesThrough) {
+  const ClockMap map = ClockMap::identity();
+  EXPECT_FALSE(map.valid());
+  EXPECT_EQ(map.toGlobal(123456), 123456u);
+  EXPECT_EQ(map.scaleDuration(777), 777u);
+}
+
+TEST(Sync, FilterRemovesDeschedulingOutlier) {
+  auto pairs = samplePairs(+20.0, 0, 20);
+  // Corrupt one pair: the daemon was descheduled between the global and
+  // local reads, so the local value is 500 us too large.
+  pairs[10].local += 500 * kUs;
+  const auto filtered = filterOutlierPairs(pairs, 1e-4);
+  EXPECT_LT(filtered.size(), pairs.size());
+  const double r = ratioRmsSegments(filtered);
+  EXPECT_NEAR(r, 1.0 / (1.0 + 20e-6), 1e-7);
+  // Unfiltered estimate is visibly worse.
+  const double rBad = ratioRmsSegments(pairs);
+  EXPECT_GT(std::abs(rBad - 1.0 / (1.0 + 20e-6)), std::abs(r - 1.0 / (1.0 + 20e-6)));
+}
+
+TEST(Sync, FilterKeepsCleanSeries) {
+  const auto pairs = samplePairs(-30.0, 100, 15);
+  const auto filtered = filterOutlierPairs(pairs, 1e-4);
+  EXPECT_EQ(filtered.size(), pairs.size());
+}
+
+class SyncAccuracyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyncAccuracyTest, RatioWithinPpbUnderJitter) {
+  const double ppm = GetParam();
+  // 2 us of read jitter on top of the drift; 140 samples (one per second
+  // over the Figure 1 time range).
+  const auto pairs = samplePairs(ppm, 777, 140, kSec, 2 * kUs, 42);
+  const double r = ratioRmsSegments(pairs);
+  const double expected = 1.0 / (1.0 + ppm * 1e-6);
+  EXPECT_NEAR(r, expected, 5e-6);
+  // The map should reconstruct global times within ~20 us across the run.
+  const ClockMap map(pairs, SyncMethod::kRmsSegments);
+  LocalClockModel::Params p;
+  p.driftPpm = ppm;
+  p.offsetNs = 777;
+  const LocalClockModel clock(p);
+  const Tick t = 120 * kSec;
+  const auto err = std::llabs(
+      static_cast<long long>(map.toGlobal(clock.read(t))) -
+      static_cast<long long>(t));
+  EXPECT_LT(err, 20 * static_cast<long long>(kUs));
+}
+
+INSTANTIATE_TEST_SUITE_P(DriftRates, SyncAccuracyTest,
+                         ::testing::Values(-50.0, -14.0, -1.0, 0.0, 8.5,
+                                           22.0, 100.0));
+
+}  // namespace
+}  // namespace ute

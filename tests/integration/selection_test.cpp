@@ -1,0 +1,172 @@
+// Tests for thread-category merge selection (Section 2.3.3), interval
+// retrieval at a specific location (Section 2.4), and multi-file
+// statistics (Section 3.2).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interval/standard_profile.h"
+#include "interval/ute_api.h"
+#include "merge/merger.h"
+#include "stats/engine.h"
+#include "workloads/pipeline.h"
+#include "workloads/workloads.h"
+
+namespace ute {
+namespace {
+
+const PipelineResult& baseRun() {
+  static const PipelineResult result = [] {
+    TestProgramOptions workload;
+    workload.iterations = 30;
+    PipelineOptions options;
+    options.dir = makeScratchDir("selection_test");
+    options.name = "sel";
+    return runPipeline(testProgram(workload), options);
+  }();
+  return result;
+}
+
+TEST(ThreadSelection, MergeOnlyMpiThreads) {
+  const PipelineResult& r = baseRun();
+  const Profile profile = makeStandardProfile();
+  MergeOptions options;
+  options.threadTypeMask = MergeOptions::threadTypeBit(ThreadType::kMpi);
+  IntervalMerger merger(r.intervalFiles, profile, options);
+  const std::string out = r.mergedFile + ".mpionly";
+  merger.mergeTo(out);
+
+  IntervalFileReader merged(out);
+  // The merged thread table holds MPI threads only.
+  for (const ThreadEntry& t : merged.threads()) {
+    EXPECT_EQ(t.type, ThreadType::kMpi);
+  }
+  EXPECT_EQ(merged.threads().size(), 4u);  // one MPI thread per task
+
+  // Every record belongs to one of those threads.
+  std::set<std::pair<NodeId, LogicalThreadId>> allowed;
+  for (const ThreadEntry& t : merged.threads()) {
+    allowed.insert({t.node, t.ltid});
+  }
+  auto stream = merged.records();
+  RecordView view;
+  std::uint64_t n = 0;
+  while (stream.next(view)) {
+    ++n;
+    EXPECT_TRUE(allowed.count({view.node, view.thread}))
+        << "record from filtered thread " << view.node << ":" << view.thread;
+  }
+  EXPECT_GT(n, 0u);
+
+  // A full merge has strictly more records (worker-thread markers etc.).
+  IntervalFileReader full(r.mergedFile);
+  EXPECT_GT(full.header().totalRecords, merged.header().totalRecords);
+}
+
+TEST(ThreadSelection, UserOnlyMergeDropsMpiIntervals) {
+  const PipelineResult& r = baseRun();
+  const Profile profile = makeStandardProfile();
+  MergeOptions options;
+  options.threadTypeMask = MergeOptions::threadTypeBit(ThreadType::kUser);
+  IntervalMerger merger(r.intervalFiles, profile, options);
+  const std::string out = r.mergedFile + ".useronly";
+  merger.mergeTo(out);
+
+  IntervalFileReader merged(out);
+  auto stream = merged.records();
+  RecordView view;
+  while (stream.next(view)) {
+    EXPECT_FALSE(isMpiEvent(view.eventType()))
+        << "MPI interval survived a user-threads-only merge";
+  }
+}
+
+TEST(RecordAt, RetrievesSpecificIntervals) {
+  const PipelineResult& r = baseRun();
+  IntervalFileReader merged(r.mergedFile);
+  const FrameDirectory dir = merged.firstDirectory();
+  ASSERT_FALSE(dir.frames.empty());
+  const FrameInfo& frame = dir.frames.front();
+
+  // recordAt agrees with sequential streaming for the first frame.
+  auto stream = merged.records();
+  for (std::uint32_t i = 0; i < std::min<std::uint32_t>(frame.records, 20);
+       ++i) {
+    RecordView sequential;
+    ASSERT_TRUE(stream.next(sequential));
+    const auto direct = merged.recordAt(frame.offset, i);
+    EXPECT_TRUE(std::equal(direct.begin(), direct.end(),
+                           sequential.body.begin(), sequential.body.end()))
+        << "record " << i << " differs";
+  }
+
+  EXPECT_THROW(merged.recordAt(frame.offset, frame.records), UsageError);
+  EXPECT_THROW(merged.recordAt(12345, 0), UsageError);
+}
+
+TEST(RecordAt, CApiVariant) {
+  const PipelineResult& r = baseRun();
+  using namespace ute::api;
+  interval_header header;
+  UteFile* f = readHeader(r.mergedFile.c_str(), &header);
+  ASSERT_NE(f, nullptr);
+
+  IntervalFileReader merged(r.mergedFile);
+  const FrameDirectory dir = merged.firstDirectory();
+  const FrameInfo& frame = dir.frames.front();
+  unsigned char buffer[4096];
+  const long n = getIntervalAt(f, frame.offset, 0, buffer, sizeof buffer);
+  ASSERT_GT(n, 0);
+  const auto direct = merged.recordAt(frame.offset, 0);
+  EXPECT_EQ(static_cast<std::size_t>(n), direct.size());
+  EXPECT_EQ(0, std::memcmp(buffer, direct.data(), direct.size()));
+
+  EXPECT_LT(getIntervalAt(f, frame.offset, 1u << 30, buffer, sizeof buffer),
+            0);
+  unsigned char tiny[4];
+  EXPECT_LT(getIntervalAt(f, frame.offset, 0, tiny, sizeof tiny), 0);
+  closeInterval(f);
+}
+
+TEST(MultiFileStats, AggregateAcrossPerNodeFiles) {
+  // Running the engine over the two per-node interval files must match
+  // a per-file run summed by hand (for a node-keyed grouping).
+  const PipelineResult& r = baseRun();
+  const Profile profile = makeStandardProfile();
+  StatsEngine engine(profile);
+  const std::string program =
+      "table name=t condition=(firstpiece == 1 && eventtype == 66) "
+      "x=(\"node\", node) y=(\"bytes\", msgSizeSent, sum) "
+      "y=(\"calls\", dura, count)";
+
+  IntervalFileReader a(r.intervalFiles[0]);
+  IntervalFileReader b(r.intervalFiles[1]);
+  const auto combined = engine.runProgram(program, {&a, &b});
+
+  IntervalFileReader a2(r.intervalFiles[0]);
+  const auto onlyA = engine.runProgram(program, a2);
+  IntervalFileReader b2(r.intervalFiles[1]);
+  const auto onlyB = engine.runProgram(program, b2);
+
+  ASSERT_EQ(combined[0].rows.size(), onlyA[0].rows.size() +
+                                         onlyB[0].rows.size());
+  // The combined byte total equals the runtime ground truth.
+  double bytes = 0;
+  for (const auto& row : combined[0].rows) bytes += std::stod(row[1]);
+  EXPECT_NEAR(bytes, static_cast<double>(r.mpiStats.bytesSent), 0.5);
+}
+
+TEST(MultiFileStats, MismatchedMasksRejected) {
+  const PipelineResult& r = baseRun();
+  const Profile profile = makeStandardProfile();
+  StatsEngine engine(profile);
+  IntervalFileReader node(r.intervalFiles[0]);   // node mask
+  IntervalFileReader merged(r.mergedFile);       // merged mask
+  EXPECT_THROW(engine.runProgram(
+                   "table name=t x=(\"node\", node) y=(\"n\", dura, count)",
+                   {&node, &merged}),
+               UsageError);
+}
+
+}  // namespace
+}  // namespace ute

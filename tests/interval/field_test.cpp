@@ -1,0 +1,111 @@
+#include "interval/field.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(FieldWord, ScalarRoundTrip) {
+  FieldSpec f;
+  f.type = DataType::kI32;
+  f.elemLen = 4;
+  f.attr = 1;
+  f.nameIndex = 123;
+  const FieldSpec back = decodeFieldWord(encodeFieldWord(f));
+  EXPECT_FALSE(back.isVector);
+  EXPECT_EQ(back.counterLen, 0);
+  EXPECT_EQ(back.type, DataType::kI32);
+  EXPECT_EQ(back.elemLen, 4);
+  EXPECT_EQ(back.attr, 1);
+  EXPECT_EQ(back.nameIndex, 123);
+}
+
+TEST(FieldWord, VectorRoundTrip) {
+  FieldSpec f;
+  f.isVector = true;
+  f.counterLen = 2;
+  f.type = DataType::kChar;
+  f.elemLen = 1;
+  f.attr = 0;
+  f.nameIndex = 0x0fff;  // max name index
+  const FieldSpec back = decodeFieldWord(encodeFieldWord(f));
+  EXPECT_TRUE(back.isVector);
+  EXPECT_EQ(back.counterLen, 2);
+  EXPECT_EQ(back.type, DataType::kChar);
+  EXPECT_EQ(back.nameIndex, 0x0fff);
+}
+
+TEST(FieldWord, AllCounterLengthsEncode) {
+  for (std::uint8_t len : {std::uint8_t{1}, std::uint8_t{2}, std::uint8_t{4}}) {
+    FieldSpec f;
+    f.isVector = true;
+    f.counterLen = len;
+    f.type = DataType::kU8;
+    f.elemLen = 1;
+    EXPECT_EQ(decodeFieldWord(encodeFieldWord(f)).counterLen, len);
+  }
+}
+
+TEST(FieldWord, InvalidInputsRejected) {
+  FieldSpec badCounter;
+  badCounter.isVector = true;
+  badCounter.counterLen = 3;
+  badCounter.type = DataType::kU8;
+  badCounter.elemLen = 1;
+  EXPECT_THROW(encodeFieldWord(badCounter), UsageError);
+
+  FieldSpec badAttr;
+  badAttr.attr = 16;
+  badAttr.elemLen = 8;
+  EXPECT_THROW(encodeFieldWord(badAttr), UsageError);
+
+  FieldSpec badName;
+  badName.nameIndex = 0x1000;
+  badName.elemLen = 8;
+  EXPECT_THROW(encodeFieldWord(badName), UsageError);
+
+  // Element length disagreeing with the data type is caught on decode.
+  FieldSpec lying;
+  lying.type = DataType::kU32;
+  lying.elemLen = 4;
+  std::uint32_t word = encodeFieldWord(lying);
+  word = (word & ~0x00ff0000u) | (8u << 16);  // claim 8-byte u32
+  EXPECT_THROW(decodeFieldWord(word), FormatError);
+}
+
+TEST(FieldSelection, MaskGatesPresence) {
+  FieldSpec f;
+  f.attr = 3;
+  EXPECT_TRUE(f.selectedBy(0x8));
+  EXPECT_FALSE(f.selectedBy(0x7));
+  EXPECT_TRUE(f.selectedBy(~0ull));
+}
+
+TEST(DataTypes, SizesMatch) {
+  EXPECT_EQ(dataTypeSize(DataType::kU8), 1);
+  EXPECT_EQ(dataTypeSize(DataType::kI16), 2);
+  EXPECT_EQ(dataTypeSize(DataType::kU32), 4);
+  EXPECT_EQ(dataTypeSize(DataType::kF64), 8);
+  EXPECT_EQ(dataTypeSize(DataType::kChar), 1);
+}
+
+TEST(IntervalTypes, ComposeEventAndBebits) {
+  const IntervalType t =
+      makeIntervalType(EventType::kMpiSend, Bebits::kContinuation);
+  EXPECT_EQ(intervalEventType(t), EventType::kMpiSend);
+  EXPECT_EQ(intervalBebits(t), Bebits::kContinuation);
+}
+
+TEST(Bebits, FirstAndLastPieceSemantics) {
+  EXPECT_TRUE(isFirstPiece(Bebits::kComplete));
+  EXPECT_TRUE(isFirstPiece(Bebits::kBegin));
+  EXPECT_FALSE(isFirstPiece(Bebits::kContinuation));
+  EXPECT_FALSE(isFirstPiece(Bebits::kEnd));
+  EXPECT_TRUE(isLastPiece(Bebits::kComplete));
+  EXPECT_TRUE(isLastPiece(Bebits::kEnd));
+  EXPECT_FALSE(isLastPiece(Bebits::kBegin));
+  EXPECT_FALSE(isLastPiece(Bebits::kContinuation));
+}
+
+}  // namespace
+}  // namespace ute

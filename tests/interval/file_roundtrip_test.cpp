@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "interval/file_reader.h"
+#include "interval/file_writer.h"
+#include "interval/standard_profile.h"
+#include "support/rng.h"
+
+namespace ute {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<ThreadEntry> sampleThreads() {
+  return {
+      {0, 1000, 10000, 0, 0, ThreadType::kMpi},
+      {0, 1000, 10001, 0, 1, ThreadType::kUser},
+      {-1, 1, 10002, 0, 2, ThreadType::kSystem},
+  };
+}
+
+IntervalFileOptions smallFrames() {
+  IntervalFileOptions o;
+  o.profileVersion = kStandardProfileVersion;
+  o.fieldSelectionMask = kNodeFileMask;
+  o.targetFrameBytes = 1024;  // minimum: forces many frames
+  o.framesPerDirectory = 4;   // and several directories
+  return o;
+}
+
+ByteWriter runningPiece(Tick start, Tick dura, LogicalThreadId thread,
+                        Bebits bebits = Bebits::kComplete) {
+  return encodeRecordBody(makeIntervalType(kRunningState, bebits), start,
+                          dura, 0, 0, thread);
+}
+
+TEST(IntervalFile, HeaderThreadsAndMarkersRoundTrip) {
+  const std::string path = tempPath("ifile_header.uti");
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    w.addMarker(1, "Initial Phase");
+    w.addMarker(2, "Main Loop");
+    w.addRecord(runningPiece(100, 50, 0).view());
+    w.close();
+  }
+  IntervalFileReader r(path);
+  EXPECT_EQ(r.header().profileVersion, kStandardProfileVersion);
+  EXPECT_EQ(r.header().fieldSelectionMask, kNodeFileMask);
+  EXPECT_FALSE(r.header().merged());
+  EXPECT_EQ(r.header().totalRecords, 1u);
+  EXPECT_EQ(r.header().minStart, 100u);
+  EXPECT_EQ(r.header().maxEnd, 150u);
+  ASSERT_EQ(r.threads().size(), 3u);
+  EXPECT_EQ(r.threads()[0].type, ThreadType::kMpi);
+  EXPECT_EQ(r.threads()[2].systemTid, 10002);
+  ASSERT_EQ(r.markers().size(), 2u);
+  EXPECT_EQ(r.markers().at(1), "Initial Phase");
+  EXPECT_EQ(r.markers().at(2), "Main Loop");
+}
+
+TEST(IntervalFile, ConflictingMarkerStringsRejected) {
+  IntervalFileWriter w(tempPath("ifile_marker_conflict.uti"), smallFrames(),
+                       sampleThreads());
+  w.addMarker(1, "A");
+  EXPECT_NO_THROW(w.addMarker(1, "A"));
+  EXPECT_THROW(w.addMarker(1, "B"), UsageError);
+}
+
+TEST(IntervalFile, OutOfOrderRecordsRejected) {
+  IntervalFileWriter w(tempPath("ifile_order.uti"), smallFrames(),
+                       sampleThreads());
+  w.addRecord(runningPiece(100, 50, 0).view());  // end 150
+  EXPECT_THROW(w.addRecord(runningPiece(10, 20, 0).view()), UsageError);
+  // Equal end times are fine.
+  EXPECT_NO_THROW(w.addRecord(runningPiece(150, 0, 0).view()));
+}
+
+TEST(IntervalFile, ManyRecordsAcrossDirectoriesStreamBack) {
+  const std::string path = tempPath("ifile_many.uti");
+  const int n = 2000;
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    for (int i = 0; i < n; ++i) {
+      w.addRecord(
+          runningPiece(static_cast<Tick>(i) * 10, 8, i % 3).view());
+    }
+    w.close();
+  }
+  IntervalFileReader r(path);
+  EXPECT_EQ(r.header().totalRecords, static_cast<std::uint64_t>(n));
+
+  // The directory chain holds everything and is doubly linked.
+  int dirs = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t prev = 0;
+  for (FrameDirectory dir = r.firstDirectory(); !dir.frames.empty();
+       dir = r.readDirectory(dir.nextOffset)) {
+    EXPECT_EQ(dir.prevOffset, prev);
+    prev = dir.offset;
+    ++dirs;
+    frames += dir.frames.size();
+    if (dir.nextOffset == 0) break;
+  }
+  EXPECT_GT(dirs, 2);
+  EXPECT_EQ(r.countRecordsViaDirectories(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(r.totalElapsed(), static_cast<Tick>((n - 1) * 10 + 8));
+  EXPECT_GT(frames, 8u);
+
+  // Sequential streaming sees every record in order.
+  auto stream = r.records();
+  RecordView view;
+  int count = 0;
+  Tick lastEnd = 0;
+  while (stream.next(view)) {
+    EXPECT_GE(view.end(), lastEnd);
+    lastEnd = view.end();
+    EXPECT_EQ(view.thread, count % 3);
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(IntervalFile, FrameContainingLocatesByTime) {
+  const std::string path = tempPath("ifile_locate.uti");
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    for (int i = 0; i < 1000; ++i) {
+      w.addRecord(runningPiece(static_cast<Tick>(i) * 100, 90, 0).view());
+    }
+    w.close();
+  }
+  IntervalFileReader r(path);
+  const auto frame = r.frameContaining(50'000);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_LE(frame->startTime, 50'000u);
+  EXPECT_GE(frame->endTime, 50'000u);
+  // Reading just that frame yields records overlapping the time.
+  const auto bytes = r.readFrame(*frame);
+  EXPECT_EQ(bytes.size(), frame->sizeBytes);
+  EXPECT_FALSE(r.frameContaining(10'000'000).has_value());
+}
+
+TEST(IntervalFile, FrameStartHookInjectsPseudoRecords) {
+  const std::string path = tempPath("ifile_hook.uti");
+  int hookCalls = 0;
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    w.setFrameStartHook([&](Tick frameStart, std::vector<ByteWriter>& out) {
+      ++hookCalls;
+      out.push_back(runningPiece(frameStart, 0, 2, Bebits::kContinuation));
+    });
+    for (int i = 0; i < 500; ++i) {
+      w.addRecord(runningPiece(static_cast<Tick>(i) * 10, 9, 0).view());
+    }
+    w.close();
+  }
+  EXPECT_GT(hookCalls, 3);
+
+  // Every frame after the first starts with the injected zero-duration
+  // continuation record on thread 2.
+  IntervalFileReader r(path);
+  int frameIdx = 0;
+  for (FrameDirectory dir = r.firstDirectory(); !dir.frames.empty();
+       dir = r.readDirectory(dir.nextOffset)) {
+    for (const FrameInfo& frame : dir.frames) {
+      const auto bytes = r.readFrame(frame);
+      ByteReader br(bytes);
+      const auto body = readLengthPrefixedRecord(br);
+      const RecordView first = RecordView::parse(body);
+      if (frameIdx > 0) {
+        EXPECT_EQ(first.bebits(), Bebits::kContinuation);
+        EXPECT_EQ(first.dura, 0u);
+        EXPECT_EQ(first.thread, 2);
+      }
+      ++frameIdx;
+    }
+    if (dir.nextOffset == 0) break;
+  }
+  EXPECT_EQ(frameIdx, hookCalls + 1);
+}
+
+TEST(IntervalFile, EmptyFileIsValid) {
+  const std::string path = tempPath("ifile_empty.uti");
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    w.close();
+  }
+  IntervalFileReader r(path);
+  EXPECT_EQ(r.header().totalRecords, 0u);
+  auto stream = r.records();
+  RecordView view;
+  EXPECT_FALSE(stream.next(view));
+  EXPECT_FALSE(r.frameContaining(0).has_value());
+}
+
+TEST(IntervalFile, GarbageRejected) {
+  const std::string path = tempPath("ifile_garbage.uti");
+  writeWholeFile(path, std::string(200, 'x'));
+  EXPECT_THROW(IntervalFileReader reader(path), FormatError);
+}
+
+TEST(IntervalFile, ProfileVersionCheck) {
+  const std::string path = tempPath("ifile_version.uti");
+  {
+    IntervalFileWriter w(path, smallFrames(), sampleThreads());
+    w.close();
+  }
+  IntervalFileReader r(path);
+  EXPECT_NO_THROW(r.checkProfile(makeStandardProfile()));
+  ProfileBuilder other(999);
+  other.record(1, "x");
+  other.scalar("type", DataType::kU32);
+  const Profile wrong = other.build();
+  EXPECT_THROW(r.checkProfile(wrong), FormatError);
+}
+
+class IntervalFileFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalFileFuzzTest, RandomRecordsRoundTripExactly) {
+  Rng rng(GetParam());
+  const std::string path =
+      tempPath("ifile_fuzz_" + std::to_string(GetParam()) + ".uti");
+  IntervalFileOptions options = smallFrames();
+  options.targetFrameBytes = 1024 + rng.below(4096);
+  options.framesPerDirectory = 2 + static_cast<int>(rng.below(10));
+
+  std::vector<std::vector<std::uint8_t>> originals;
+  Tick t = 0;
+  {
+    IntervalFileWriter w(path, options, sampleThreads());
+    const int n = 200 + static_cast<int>(rng.below(800));
+    for (int i = 0; i < n; ++i) {
+      t += rng.below(1000);
+      const Tick dura = rng.below(500);
+      ByteWriter extra;
+      const int extraWords = static_cast<int>(rng.below(4));
+      for (int e = 0; e < extraWords; ++e) {
+        extra.u32(static_cast<std::uint32_t>(rng.next()));
+      }
+      // Use a synthetic type id so no profile validation applies; the
+      // format itself is self-describing at the framing level.
+      const ByteWriter body = encodeRecordBody(
+          static_cast<IntervalType>(4000 + extraWords), t > dura ? t - dura : 0,
+          dura, static_cast<std::int32_t>(rng.below(8)), 0,
+          static_cast<LogicalThreadId>(rng.below(3)), extra.view());
+      originals.emplace_back(body.view().begin(), body.view().end());
+      w.addRecord(body.view());
+    }
+    w.close();
+  }
+
+  IntervalFileReader r(path);
+  auto stream = r.records();
+  RecordView view;
+  std::size_t idx = 0;
+  while (stream.next(view)) {
+    ASSERT_LT(idx, originals.size());
+    EXPECT_TRUE(std::equal(view.body.begin(), view.body.end(),
+                           originals[idx].begin(), originals[idx].end()))
+        << "record " << idx << " differs";
+    ++idx;
+  }
+  EXPECT_EQ(idx, originals.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalFileFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,66 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.scheduleAt(30, [&] { order.push_back(3); });
+  engine.scheduleAt(10, [&] { order.push_back(1); });
+  engine.scheduleAt(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30u);
+  EXPECT_EQ(engine.eventsProcessed(), 3u);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.scheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.scheduleAfter(10, chain);
+  };
+  engine.scheduleAt(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 40u);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.scheduleAt(100, [&] {
+    EXPECT_THROW(engine.scheduleAt(50, [] {}), UsageError);
+  });
+  engine.run();
+}
+
+TEST(Engine, TimeLimitGuardsRunaways) {
+  Engine engine;
+  std::function<void()> forever = [&] { engine.scheduleAfter(1000, forever); };
+  engine.scheduleAt(0, forever);
+  EXPECT_THROW(engine.run(/*maxTime=*/100000), UsageError);
+}
+
+TEST(Engine, EmptyRunIsNoop) {
+  Engine engine;
+  engine.run();
+  EXPECT_EQ(engine.now(), 0u);
+  EXPECT_TRUE(engine.empty());
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,122 @@
+#include "sim/program.h"
+
+#include <gtest/gtest.h>
+
+#include "support/errors.h"
+#include "support/types.h"
+
+namespace ute {
+namespace {
+
+TEST(ProgramBuilder, BuildsOpsInOrder) {
+  ProgramBuilder b;
+  b.compute(100).send(1, 7, 64).recv(0, 7).barrier();
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p[0].kind, OpKind::kCompute);
+  EXPECT_EQ(p[0].duration, 100u);
+  EXPECT_EQ(p[1].kind, OpKind::kMpiSend);
+  EXPECT_EQ(p[1].peer, 1);
+  EXPECT_EQ(p[1].tag, 7);
+  EXPECT_EQ(p[1].bytes, 64u);
+  EXPECT_EQ(p[2].kind, OpKind::kMpiRecv);
+  EXPECT_EQ(p[3].kind, OpKind::kMpiBarrier);
+}
+
+TEST(ProgramBuilder, LoopsResolvePartners) {
+  ProgramBuilder b;
+  b.loop(3);
+  b.compute(10);
+  b.loop(2);
+  b.compute(20);
+  b.endLoop();
+  b.endLoop();
+  const Program p = b.build();
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p[0].kind, OpKind::kLoopBegin);
+  EXPECT_EQ(p[0].match, 5);
+  EXPECT_EQ(p[5].match, 0);
+  EXPECT_EQ(p[2].match, 4);
+  EXPECT_EQ(p[4].match, 2);
+}
+
+TEST(ProgramBuilder, UnclosedLoopRejected) {
+  ProgramBuilder b;
+  b.loop(2).compute(1);
+  EXPECT_THROW(b.build(), UsageError);
+}
+
+TEST(ProgramBuilder, DanglingEndLoopRejected) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.endLoop(), UsageError);
+}
+
+TEST(ProgramBuilder, MarkerNestingEnforced) {
+  ProgramBuilder b;
+  b.markerBegin("outer").markerBegin("inner");
+  EXPECT_THROW(b.markerEnd("outer"), UsageError);  // crossed nesting
+  b.markerEnd("inner");
+  b.markerEnd("outer");
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(ProgramBuilder, UnclosedMarkerRejected) {
+  ProgramBuilder b;
+  b.markerBegin("phase");
+  EXPECT_THROW(b.build(), UsageError);
+}
+
+TEST(ProgramBuilder, RequestSlotsFlowToWait) {
+  ProgramBuilder b;
+  const auto r1 = b.isend(1, 0, 128);
+  const auto r2 = b.irecv(1, 0);
+  b.wait(r1).wait(r2);
+  EXPECT_EQ(r1, 0);
+  EXPECT_EQ(r2, 1);
+  EXPECT_EQ(b.requestSlots(), 2);
+  const Program p = b.build();
+  EXPECT_EQ(p[2].reqSlot, 0);
+  EXPECT_EQ(p[3].reqSlot, 1);
+}
+
+TEST(ProgramBuilder, WaitOnUnknownSlotRejected) {
+  ProgramBuilder b;
+  EXPECT_THROW(b.wait(0), UsageError);
+}
+
+TEST(DynamicOpCount, ExpandsLoops) {
+  ProgramBuilder b;
+  b.compute(1);          // 1
+  b.loop(10);            // 1 loop-begin + 10 loop-end visits
+  b.compute(1);          // 10
+  b.markerBegin("m");    // 10
+  b.markerEnd("m");      // 10
+  b.endLoop();
+  const Program p = b.build();
+  // 1 compute + 1 loopBegin + 10*(compute+2 markers) + 10 loopEnd = 42
+  EXPECT_EQ(dynamicOpCount(p), 42u);
+}
+
+TEST(DynamicOpCount, NestedLoopsMultiply) {
+  ProgramBuilder b;
+  b.loop(3);
+  b.loop(4);
+  b.compute(1);
+  b.endLoop();
+  b.endLoop();
+  const Program p = b.build();
+  // 1 + 3*(1 + 4*(1+1)) ... loopBegin outer:1, loopEnd outer:3,
+  // loopBegin inner:3, loopEnd inner:12, compute:12 = 31
+  EXPECT_EQ(dynamicOpCount(p), 31u);
+}
+
+TEST(OpKinds, MpiClassification) {
+  EXPECT_TRUE(isMpiOp(OpKind::kMpiSend));
+  EXPECT_TRUE(isMpiOp(OpKind::kMpiAlltoall));
+  EXPECT_FALSE(isMpiOp(OpKind::kCompute));
+  EXPECT_FALSE(isMpiOp(OpKind::kMarkerBegin));
+  EXPECT_EQ(opKindName(OpKind::kMpiAllreduce), "MPI_Allreduce");
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,86 @@
+#include "slog/preview.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ute {
+namespace {
+
+double rowSum(const std::vector<double>& row) {
+  return std::accumulate(row.begin(), row.end(), 0.0);
+}
+
+TEST(Preview, TotalTimeIsConserved) {
+  PreviewAccumulator acc(64, kMs);
+  acc.add(1, 0, 10 * kMs);
+  acc.add(1, 500 * kUs, 3 * kMs);  // overlapping is fine; plain sums
+  acc.add(2, 40 * kMs, 7 * kMs);
+  const SlogPreview p = acc.snapshot({1, 2});
+  ASSERT_EQ(p.perStateBinTime.size(), 2u);
+  EXPECT_NEAR(rowSum(p.perStateBinTime[0]), 13e6, 1.0);
+  EXPECT_NEAR(rowSum(p.perStateBinTime[1]), 7e6, 1.0);
+}
+
+TEST(Preview, ProportionalAllocationAcrossBins) {
+  PreviewAccumulator acc(10, kMs);  // covers 10 ms initially
+  acc.add(7, 0, 0);  // zero-duration record pins the origin at 0
+  // 2 ms interval across bins 1-3: spread 0.5 / 1 / 0.5 ms.
+  acc.add(7, kMs + 500 * kUs, 2 * kMs);
+  const SlogPreview p = acc.snapshot({7});
+  EXPECT_NEAR(p.perStateBinTime[0][1], 500e3, 1.0);
+  EXPECT_NEAR(p.perStateBinTime[0][2], 1e6, 1.0);
+  EXPECT_NEAR(p.perStateBinTime[0][3], 500e3, 1.0);
+}
+
+TEST(Preview, RebinsWhenRangeOutgrowsBins) {
+  PreviewAccumulator acc(8, kMs);  // covers 8 ms initially
+  acc.add(1, 0, kMs);
+  acc.add(1, 30 * kMs, kMs);  // forces doubling to cover 31 ms
+  const SlogPreview p = acc.snapshot({1});
+  EXPECT_GE(p.binWidth * p.bins, 31 * kMs);
+  EXPECT_NEAR(rowSum(p.perStateBinTime[0]), 2e6, 1.0);  // conserved
+}
+
+TEST(Preview, ZeroDurationContributesNothing) {
+  PreviewAccumulator acc(8, kMs);
+  acc.add(1, kMs, 0);
+  const SlogPreview p = acc.snapshot({1});
+  EXPECT_EQ(rowSum(p.perStateBinTime[0]), 0.0);
+}
+
+TEST(Preview, UnknownStateInOrderYieldsZeroRow) {
+  PreviewAccumulator acc(8, kMs);
+  acc.add(1, 0, kMs);
+  const SlogPreview p = acc.snapshot({1, 42});
+  ASSERT_EQ(p.perStateBinTime.size(), 2u);
+  EXPECT_EQ(rowSum(p.perStateBinTime[1]), 0.0);
+}
+
+TEST(Preview, OriginAnchorsAtFirstRecord) {
+  PreviewAccumulator acc(16, kMs);
+  acc.add(3, 100 * kMs, kMs);  // run starts at 100 ms
+  const SlogPreview p = acc.snapshot({3});
+  EXPECT_EQ(p.origin, 100 * kMs);
+  EXPECT_GT(p.perStateBinTime[0][0], 0.0);
+}
+
+TEST(RebinPreview, ConservesMassAndResolvesTo50) {
+  PreviewAccumulator acc(256, kMs);
+  for (int i = 0; i < 100; ++i) {
+    acc.add(1, static_cast<Tick>(i) * 2 * kMs, kMs);
+  }
+  const SlogPreview fine = acc.snapshot({1});
+  const SlogPreview coarse = rebinPreview(fine, 50);
+  EXPECT_EQ(coarse.bins, 50u);
+  EXPECT_NEAR(rowSum(coarse.perStateBinTime[0]),
+              rowSum(fine.perStateBinTime[0]), 1.0);
+}
+
+TEST(RebinPreview, RejectsZeroBins) {
+  PreviewAccumulator acc(8, kMs);
+  EXPECT_THROW(rebinPreview(acc.snapshot({}), 0), UsageError);
+}
+
+}  // namespace
+}  // namespace ute

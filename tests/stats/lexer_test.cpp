@@ -1,0 +1,79 @@
+#include "stats/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/errors.h"
+
+namespace ute {
+namespace {
+
+TEST(Lexer, TokenizesPaperExample) {
+  const auto tokens = lexStatsProgram(
+      "table name=sample condition=(start < 2) x=(\"node\", node)");
+  // table, name, =, sample, condition, =, (, start, <, 2, ), x, =, (,
+  // "node", ",", node, ), END
+  ASSERT_EQ(tokens.size(), 19u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "table");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[2].text, "=");
+  EXPECT_EQ(tokens[8].kind, TokenKind::kSymbol);
+  EXPECT_EQ(tokens[8].text, "<");
+  EXPECT_EQ(tokens[9].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[9].number, 2.0);
+  EXPECT_EQ(tokens[14].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[14].text, "node");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto tokens = lexStatsProgram("<= >= == != && || < > !");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "==");
+  EXPECT_EQ(tokens[3].text, "!=");
+  EXPECT_EQ(tokens[4].text, "&&");
+  EXPECT_EQ(tokens[5].text, "||");
+  EXPECT_EQ(tokens[6].text, "<");
+  EXPECT_EQ(tokens[7].text, ">");
+  EXPECT_EQ(tokens[8].text, "!");
+}
+
+TEST(Lexer, NumbersWithDecimalsAndLeadingDot) {
+  const auto tokens = lexStatsProgram("2 2.5 .25 1e3");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 2.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 1000.0);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto tokens = lexStatsProgram("\"avg(duration)\" \"a\\\"b\"");
+  EXPECT_EQ(tokens[0].text, "avg(duration)");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+}
+
+TEST(Lexer, CommentsSkippedToEol) {
+  const auto tokens = lexStatsProgram("a # this is a comment\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedStringRejected) {
+  EXPECT_THROW(lexStatsProgram("\"oops"), ParseError);
+}
+
+TEST(Lexer, UnknownCharacterRejected) {
+  EXPECT_THROW(lexStatsProgram("a @ b"), ParseError);
+}
+
+TEST(Lexer, OffsetsRecorded) {
+  const auto tokens = lexStatsProgram("ab  cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 4u);
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,110 @@
+#include "stats/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "support/errors.h"
+
+namespace ute {
+namespace {
+
+TEST(Parser, PaperExampleParses) {
+  const auto tables = parseStatsProgram(
+      "table name=sample condition=(start < 2) "
+      "x=(\"node\", node) x=(\"processor\", cpu) "
+      "y=(\"avg(duration)\", dura, avg)");
+  ASSERT_EQ(tables.size(), 1u);
+  const TableSpec& t = tables[0];
+  EXPECT_EQ(t.name, "sample");
+  ASSERT_NE(t.condition, nullptr);
+  EXPECT_EQ(t.condition->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(t.condition->binOp, BinOp::kLt);
+  ASSERT_EQ(t.xs.size(), 2u);
+  EXPECT_EQ(t.xs[0].label, "node");
+  EXPECT_EQ(t.xs[0].expr->kind, Expr::Kind::kField);
+  EXPECT_EQ(t.xs[1].expr->text, "cpu");
+  ASSERT_EQ(t.ys.size(), 1u);
+  EXPECT_EQ(t.ys[0].label, "avg(duration)");
+  EXPECT_EQ(t.ys[0].agg, AggKind::kAvg);
+}
+
+TEST(Parser, MultipleTables) {
+  const auto tables = parseStatsProgram(
+      "table name=a x=(\"k\", node) y=(\"v\", dura, sum) "
+      "table name=b x=(\"k\", cpu) y=(\"v\", dura, count)");
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].name, "a");
+  EXPECT_EQ(tables[1].name, "b");
+  EXPECT_EQ(tables[1].ys[0].agg, AggKind::kCount);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  // a + b * c < d && e  parses as  ((a + (b*c)) < d) && e
+  const ExprPtr e = parseStatsExpression("a + b * c < d && e");
+  ASSERT_EQ(e->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e->binOp, BinOp::kAnd);
+  const Expr& cmp = *e->args[0];
+  EXPECT_EQ(cmp.binOp, BinOp::kLt);
+  const Expr& add = *cmp.args[0];
+  EXPECT_EQ(add.binOp, BinOp::kAdd);
+  EXPECT_EQ(add.args[1]->binOp, BinOp::kMul);
+}
+
+TEST(Parser, ParenthesesOverride) {
+  const ExprPtr e = parseStatsExpression("(a + b) * c");
+  EXPECT_EQ(e->binOp, BinOp::kMul);
+  EXPECT_EQ(e->args[0]->binOp, BinOp::kAdd);
+}
+
+TEST(Parser, UnaryOperators) {
+  const ExprPtr e = parseStatsExpression("-a + !b");
+  EXPECT_EQ(e->binOp, BinOp::kAdd);
+  EXPECT_EQ(e->args[0]->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(e->args[0]->unOp, UnOp::kNeg);
+  EXPECT_EQ(e->args[1]->unOp, UnOp::kNot);
+}
+
+TEST(Parser, FunctionCalls) {
+  const ExprPtr e = parseStatsExpression("timebin(50)");
+  EXPECT_EQ(e->kind, Expr::Kind::kCall);
+  EXPECT_EQ(e->text, "timebin");
+  ASSERT_EQ(e->args.size(), 1u);
+  EXPECT_DOUBLE_EQ(e->args[0]->number, 50.0);
+
+  const ExprPtr m = parseStatsExpression("min(a, b + 1)");
+  EXPECT_EQ(m->args.size(), 2u);
+}
+
+TEST(Parser, StringComparison) {
+  const ExprPtr e = parseStatsExpression("state != \"Running\"");
+  EXPECT_EQ(e->binOp, BinOp::kNe);
+  EXPECT_EQ(e->args[1]->kind, Expr::Kind::kString);
+  EXPECT_EQ(e->args[1]->text, "Running");
+}
+
+TEST(Parser, AllAggregatorsAccepted) {
+  for (const char* agg : {"avg", "sum", "min", "max", "count"}) {
+    const std::string program = std::string("table name=t x=(\"k\", node) ") +
+                                "y=(\"v\", dura, " + agg + ")";
+    EXPECT_NO_THROW(parseStatsProgram(program)) << agg;
+  }
+  EXPECT_THROW(parseStatsProgram(
+                   "table name=t x=(\"k\", node) y=(\"v\", dura, median)"),
+               ParseError);
+}
+
+TEST(Parser, ValidationErrors) {
+  EXPECT_THROW(parseStatsProgram(""), ParseError);
+  EXPECT_THROW(parseStatsProgram("table x=(\"k\", node) y=(\"v\", d, sum)"),
+               ParseError);  // missing name
+  EXPECT_THROW(parseStatsProgram("table name=t y=(\"v\", d, sum)"),
+               ParseError);  // no x
+  EXPECT_THROW(parseStatsProgram("table name=t x=(\"k\", node)"),
+               ParseError);  // no y
+  EXPECT_THROW(parseStatsProgram("table name=t bogus=(1)"), ParseError);
+  EXPECT_THROW(parseStatsExpression("a +"), ParseError);
+  EXPECT_THROW(parseStatsExpression("(a"), ParseError);
+  EXPECT_THROW(parseStatsExpression("a b"), ParseError);
+}
+
+}  // namespace
+}  // namespace ute

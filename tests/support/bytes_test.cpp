@@ -1,0 +1,151 @@
+#include "support/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.h"
+
+namespace ute {
+namespace {
+
+TEST(ByteWriter, EncodesLittleEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const auto v = w.view();
+  ASSERT_EQ(v.size(), 15u);
+  EXPECT_EQ(v[0], 0xab);
+  EXPECT_EQ(v[1], 0x34);
+  EXPECT_EQ(v[2], 0x12);
+  EXPECT_EQ(v[3], 0xef);
+  EXPECT_EQ(v[4], 0xbe);
+  EXPECT_EQ(v[5], 0xad);
+  EXPECT_EQ(v[6], 0xde);
+  EXPECT_EQ(v[7], 0x08);
+  EXPECT_EQ(v[14], 0x01);
+}
+
+TEST(ByteWriter, SignedValuesRoundTrip) {
+  ByteWriter w;
+  w.i8(-1);
+  w.i16(-32768);
+  w.i32(-123456789);
+  w.i64(-9876543210LL);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.i8(), -1);
+  EXPECT_EQ(r.i16(), -32768);
+  EXPECT_EQ(r.i32(), -123456789);
+  EXPECT_EQ(r.i64(), -9876543210LL);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriter, DoubleRoundTrip) {
+  ByteWriter w;
+  w.f64(3.14159265358979);
+  w.f64(-0.0);
+  w.f64(1e300);
+  ByteReader r(w.view());
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+  EXPECT_DOUBLE_EQ(r.f64(), 1e300);
+}
+
+TEST(ByteWriter, LstringRoundTrip) {
+  ByteWriter w;
+  w.lstring("hello world");
+  w.lstring("");
+  w.lstring("x");
+  ByteReader r(w.view());
+  EXPECT_EQ(r.lstring(), "hello world");
+  EXPECT_EQ(r.lstring(), "");
+  EXPECT_EQ(r.lstring(), "x");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriter, LstringRejectsOversize) {
+  ByteWriter w;
+  const std::string big(70000, 'a');
+  EXPECT_THROW(w.lstring(big), UsageError);
+}
+
+TEST(ByteWriter, PatchOverwritesInPlace) {
+  ByteWriter w;
+  w.u32(0);
+  w.u64(0);
+  w.patchU32(0, 0xcafebabe);
+  w.patchU64(4, 0x1122334455667788ULL);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u32(), 0xcafebabeu);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u16(1);
+  EXPECT_THROW(w.patchU32(0, 1), UsageError);
+  EXPECT_THROW(w.patchU64(0, 1), UsageError);
+}
+
+TEST(ByteReader, TruncatedInputThrows) {
+  const std::uint8_t data[] = {1, 2, 3};
+  ByteReader r(data);
+  EXPECT_EQ(r.u16(), 0x0201u);
+  EXPECT_THROW(r.u32(), FormatError);
+}
+
+TEST(ByteReader, SkipAndBytes) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  r.skip(2);
+  const auto span = r.bytes(2);
+  EXPECT_EQ(span[0], 3);
+  EXPECT_EQ(span[1], 4);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.skip(2), FormatError);
+}
+
+class BytesPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BytesPropertyTest, RandomScalarsRoundTrip) {
+  Rng rng(GetParam());
+  ByteWriter w;
+  std::vector<std::uint64_t> values;
+  std::vector<int> kinds;
+  for (int i = 0; i < 500; ++i) {
+    const int kind = static_cast<int>(rng.below(4));
+    const std::uint64_t v = rng.next();
+    kinds.push_back(kind);
+    values.push_back(v);
+    switch (kind) {
+      case 0: w.u8(static_cast<std::uint8_t>(v)); break;
+      case 1: w.u16(static_cast<std::uint16_t>(v)); break;
+      case 2: w.u32(static_cast<std::uint32_t>(v)); break;
+      case 3: w.u64(v); break;
+    }
+  }
+  ByteReader r(w.view());
+  for (int i = 0; i < 500; ++i) {
+    switch (kinds[static_cast<std::size_t>(i)]) {
+      case 0:
+        EXPECT_EQ(r.u8(), static_cast<std::uint8_t>(values[i]));
+        break;
+      case 1:
+        EXPECT_EQ(r.u16(), static_cast<std::uint16_t>(values[i]));
+        break;
+      case 2:
+        EXPECT_EQ(r.u32(), static_cast<std::uint32_t>(values[i]));
+        break;
+      case 3:
+        EXPECT_EQ(r.u64(), values[i]);
+        break;
+    }
+  }
+  EXPECT_TRUE(r.atEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytesPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99, 12345));
+
+}  // namespace
+}  // namespace ute

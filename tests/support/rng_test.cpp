@@ -1,0 +1,71 @@
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    sawLo |= v == 3;
+    sawHi |= v == 5;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UnitIsInHalfOpenInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of uniform(0,1)
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,200 @@
+// End-to-end tests of the command-line utilities, exercising the same
+// binaries a user runs: utetrace -> uteconvert -> utemerge (slogmerge) ->
+// utestats / uteview / utedump. The tools directory is injected by CMake
+// as UTE_TOOLS_DIR.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/pipeline.h"
+
+#ifndef UTE_TOOLS_DIR
+#error "UTE_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace ute {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tool(const std::string& name) {
+  return std::string(UTE_TOOLS_DIR) + "/" + name;
+}
+
+/// Runs a command, returning {exit code, captured stdout+stderr}.
+std::pair<int, std::string> run(const std::string& command) {
+  const std::string outFile =
+      (fs::temp_directory_path() / "ute_cli_out.txt").string();
+  const int rc = std::system((command + " > " + outFile + " 2>&1").c_str());
+  std::ifstream in(outFile);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return {rc == -1 ? -1 : WEXITSTATUS(rc), ss.str()};
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::string(makeScratchDir("cli_test"));
+    const auto [rc, out] = run(tool("utetrace") + " --workload test "
+                               "--iterations 25 --dir " + *dir_ +
+                               " --name run");
+    ASSERT_EQ(rc, 0) << out;
+  }
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string* dir_;
+};
+
+std::string* CliTest::dir_ = nullptr;
+
+TEST_F(CliTest, UtetraceProducesPerNodeFilesAndProfile) {
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.0.utr"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.1.utr"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/profile.ute"));
+}
+
+TEST_F(CliTest, FullPipelineThroughTheTools) {
+  auto [rc, out] = run(tool("uteconvert") + " --out " + *dir_ + "/run " +
+                       *dir_ + "/run.0.utr " + *dir_ + "/run.1.utr");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("sec/event"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.0.uti"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.1.uti"));
+
+  std::tie(rc, out) = run(tool("utemerge") + " --out " + *dir_ +
+                          "/run.merged.uti --slog " + *dir_ +
+                          "/run.slog --profile " + *dir_ + "/profile.ute " +
+                          *dir_ + "/run.0.uti " + *dir_ + "/run.1.uti");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("clock ratio"), std::string::npos);
+  EXPECT_NE(out.find("slogmerge"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.merged.uti"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/run.slog"));
+
+  // Statistics: the pre-defined tables.
+  std::tie(rc, out) = run(tool("utestats") + " --input " + *dir_ +
+                          "/run.merged.uti --profile " + *dir_ +
+                          "/profile.ute");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("interesting_by_node_bin"), std::string::npos);
+  EXPECT_NE(out.find("bytes_sent_by_task"), std::string::npos);
+
+  // Views: ASCII + SVG for each kind.
+  for (const std::string view :
+       {"thread", "cpu", "thread-cpu", "cpu-thread", "state"}) {
+    std::tie(rc, out) = run(tool("uteview") + " --input " + *dir_ +
+                            "/run.merged.uti --profile " + *dir_ +
+                            "/profile.ute --view " + view + " --svg " +
+                            *dir_ + "/" + view + ".svg");
+    ASSERT_EQ(rc, 0) << view << ": " << out;
+    EXPECT_NE(out.find("|"), std::string::npos) << view;
+    EXPECT_TRUE(fs::exists(*dir_ + "/" + view + ".svg")) << view;
+  }
+
+  // SLOG preview + frame display.
+  std::tie(rc, out) = run(tool("uteview") + " --slog " + *dir_ +
+                          "/run.slog --preview");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("Running"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("uteview") + " --slog " + *dir_ +
+                          "/run.slog --frame-at 0.005");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("frame"), std::string::npos);
+
+  // Dumps of every format.
+  std::tie(rc, out) = run(tool("utedump") + " --raw " + *dir_ +
+                          "/run.0.utr --limit 20");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("ThreadDispatch"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("utedump") + " --profile " + *dir_ +
+                          "/profile.ute");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("MPI_Send/complete"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("utedump") + " --interval " + *dir_ +
+                          "/run.merged.uti --profile " + *dir_ +
+                          "/profile.ute --limit 10");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("merged"), std::string::npos);
+  EXPECT_NE(out.find("marker"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("utedump") + " --slog " + *dir_ +
+                          "/run.slog");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("states"), std::string::npos);
+
+  // HTML report combining everything.
+  std::tie(rc, out) = run(tool("utereport") + " --input " + *dir_ +
+                          "/run.merged.uti --slog " + *dir_ +
+                          "/run.slog --profile " + *dir_ +
+                          "/profile.ute --out " + *dir_ + "/report.html");
+  ASSERT_EQ(rc, 0) << out;
+  std::ifstream report(*dir_ + "/report.html");
+  std::stringstream html;
+  html << report.rdbuf();
+  EXPECT_NE(html.str().find("<svg"), std::string::npos);
+  EXPECT_NE(html.str().find("Thread activity"), std::string::npos);
+  EXPECT_NE(html.str().find("interesting_by_node_bin"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsUserProgramViaExpr) {
+  // Relies on FullPipelineThroughTheTools having produced the merged
+  // file; regenerate independently to stay order-independent.
+  run(tool("uteconvert") + " --out " + *dir_ + "/e " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  run(tool("utemerge") + " --out " + *dir_ + "/e.merged.uti --profile " +
+      *dir_ + "/profile.ute " + *dir_ + "/e.0.uti " + *dir_ + "/e.1.uti");
+  const auto [rc, out] =
+      run(tool("utestats") + " --input " + *dir_ + "/e.merged.uti "
+          "--profile " + *dir_ + "/profile.ute "
+          "--expr 'table name=sample condition=(start < 2) "
+          "x=(\"node\", node) y=(\"avg(duration)\", dura, avg)'");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("== table sample =="), std::string::npos);
+  EXPECT_NE(out.find("avg(duration)"), std::string::npos);
+}
+
+TEST_F(CliTest, MergeThreadCategorySelection) {
+  run(tool("uteconvert") + " --out " + *dir_ + "/t " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  const auto [rc, out] =
+      run(tool("utemerge") + " --out " + *dir_ + "/t.merged.uti "
+          "--profile " + *dir_ + "/profile.ute --threads mpi " +
+          *dir_ + "/t.0.uti " + *dir_ + "/t.1.uti");
+  ASSERT_EQ(rc, 0) << out;
+  const auto [rc2, dump] = run(tool("utedump") + " --interval " + *dir_ +
+                               "/t.merged.uti --profile " + *dir_ +
+                               "/profile.ute --limit 0");
+  ASSERT_EQ(rc2, 0) << dump;
+  EXPECT_NE(dump.find("type=MPI"), std::string::npos);
+  EXPECT_EQ(dump.find("type=user"), std::string::npos);
+}
+
+TEST_F(CliTest, ToolsFailCleanlyOnBadInput) {
+  auto [rc, out] = run(tool("uteconvert") + " /no/such/file.utr");
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(out.find("uteconvert:"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("utemerge") + " --out /tmp/x.uti "
+                          "/no/such/file.uti");
+  EXPECT_NE(rc, 0);
+
+  std::tie(rc, out) = run(tool("uteview") + " --input /no/such.uti");
+  EXPECT_NE(rc, 0);
+
+  std::tie(rc, out) = run(tool("utetrace") + " --workload bogus");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown workload"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,60 @@
+#include "trace/events.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(Hookword, RoundTrips) {
+  const std::uint32_t hw = makeHookword(EventType::kMpiSend, kFlagBegin, 21);
+  EXPECT_EQ(hookwordType(hw), EventType::kMpiSend);
+  EXPECT_EQ(hookwordFlags(hw), kFlagBegin);
+  EXPECT_EQ(hookwordLength(hw), 21);
+}
+
+TEST(Hookword, ExtendedLengthMarker) {
+  const std::uint32_t hw =
+      makeHookword(EventType::kMarkerDef, 0, kExtendedLength);
+  EXPECT_EQ(hookwordLength(hw), kExtendedLength);
+}
+
+TEST(Context, RoundTrips) {
+  const std::uint32_t ctx = makeContext(7, 345);
+  EXPECT_EQ(contextCpu(ctx), 7);
+  EXPECT_EQ(contextThread(ctx), 345);
+}
+
+TEST(Context, IdleThreadEncodesAsMinusOne) {
+  const std::uint32_t ctx = makeContext(3, -1);
+  EXPECT_EQ(contextCpu(ctx), 3);
+  EXPECT_EQ(contextThread(ctx), -1);
+}
+
+TEST(EventClass, Classification) {
+  EXPECT_EQ(eventClassOf(EventType::kThreadDispatch), EventClass::kDispatch);
+  EXPECT_EQ(eventClassOf(EventType::kGlobalClock), EventClass::kClock);
+  EXPECT_EQ(eventClassOf(EventType::kUserMarker), EventClass::kMarker);
+  EXPECT_EQ(eventClassOf(EventType::kMarkerDef), EventClass::kMarker);
+  EXPECT_EQ(eventClassOf(EventType::kMpiSend), EventClass::kMpi);
+  EXPECT_EQ(eventClassOf(EventType::kMpiAlltoall), EventClass::kMpi);
+  EXPECT_EQ(eventClassOf(EventType::kThreadInfo), EventClass::kControl);
+  EXPECT_EQ(eventClassOf(EventType::kNodeInfo), EventClass::kControl);
+  EXPECT_EQ(eventClassOf(EventType::kTimestampWrap), EventClass::kControl);
+}
+
+TEST(EventNames, MpiRoutinesNamed) {
+  EXPECT_EQ(eventTypeName(EventType::kMpiSend), "MPI_Send");
+  EXPECT_EQ(eventTypeName(EventType::kMpiAllreduce), "MPI_Allreduce");
+  EXPECT_EQ(eventTypeName(EventType::kThreadDispatch), "ThreadDispatch");
+  EXPECT_TRUE(isMpiEvent(EventType::kMpiInit));
+  EXPECT_FALSE(isMpiEvent(EventType::kUserMarker));
+}
+
+TEST(ThreadTypes, Named) {
+  EXPECT_EQ(threadTypeName(ThreadType::kMpi), "MPI");
+  EXPECT_EQ(threadTypeName(ThreadType::kUser), "user");
+  EXPECT_EQ(threadTypeName(ThreadType::kSystem), "system");
+}
+
+}  // namespace
+}  // namespace ute

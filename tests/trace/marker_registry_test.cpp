@@ -1,0 +1,46 @@
+#include "trace/marker_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ute {
+namespace {
+
+TEST(MarkerRegistry, AssignsDenseIdsInCallOrder) {
+  MarkerRegistry reg;
+  EXPECT_EQ(reg.define("Initial Phase"), 1u);
+  EXPECT_EQ(reg.define("Main Loop"), 2u);
+  EXPECT_EQ(reg.define("Initial Phase"), 1u);  // idempotent
+  EXPECT_EQ(reg.entries().size(), 2u);
+}
+
+TEST(MarkerRegistry, LookupById) {
+  MarkerRegistry reg;
+  const auto id = reg.define("Reduce Phase");
+  ASSERT_NE(reg.lookup(id), nullptr);
+  EXPECT_EQ(*reg.lookup(id), "Reduce Phase");
+  EXPECT_EQ(reg.lookup(9999), nullptr);
+}
+
+TEST(MarkerRegistry, DifferentCallOrdersCollide) {
+  // The exact situation of Section 3.1: no cross-task communication, so
+  // the same string gets different ids in different tasks (and the same
+  // id names different strings).
+  MarkerRegistry taskA;
+  MarkerRegistry taskB;
+  const auto aInit = taskA.define("Init");
+  const auto aWork = taskA.define("Work");
+  const auto bWork = taskB.define("Work");
+  const auto bInit = taskB.define("Init");
+  EXPECT_NE(aWork, bWork);
+  EXPECT_EQ(aInit, bWork);  // id 1 means "Init" in A but "Work" in B
+  EXPECT_EQ(aWork, bInit);
+}
+
+TEST(MarkerRegistry, CustomBase) {
+  MarkerRegistry reg(100);
+  EXPECT_EQ(reg.define("x"), 100u);
+  EXPECT_EQ(reg.define("y"), 101u);
+}
+
+}  // namespace
+}  // namespace ute

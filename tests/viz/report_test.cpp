@@ -1,0 +1,72 @@
+#include "viz/report.h"
+
+#include <gtest/gtest.h>
+
+#include "interval/standard_profile.h"
+#include "workloads/pipeline.h"
+#include "workloads/workloads.h"
+
+namespace ute {
+namespace {
+
+const PipelineResult& reportRun() {
+  static const PipelineResult result = [] {
+    TestProgramOptions workload;
+    workload.iterations = 20;
+    PipelineOptions options;
+    options.dir = makeScratchDir("report_test");
+    options.name = "rep";
+    return runPipeline(testProgram(workload), options);
+  }();
+  return result;
+}
+
+TEST(HtmlReport, ContainsEverySection) {
+  const PipelineResult& r = reportRun();
+  const Profile profile = makeStandardProfile();
+  ReportOptions options;
+  options.slogPath = r.slogFile;
+  options.title = "test run";
+  const std::string html = buildHtmlReport(r.mergedFile, profile, options);
+
+  EXPECT_EQ(html.find("<!DOCTYPE html>"), 0u);
+  EXPECT_NE(html.find("<h1>test run</h1>"), std::string::npos);
+  EXPECT_NE(html.find("Preview"), std::string::npos);
+  EXPECT_NE(html.find("Thread activity"), std::string::npos);
+  EXPECT_NE(html.find("Processor activity"), std::string::npos);
+  EXPECT_NE(html.find("State activity"), std::string::npos);
+  EXPECT_NE(html.find("interesting_by_node_bin"), std::string::npos);
+  EXPECT_NE(html.find("bytes_sent_by_task"), std::string::npos);
+  // Several embedded SVGs.
+  std::size_t svgs = 0;
+  for (std::size_t pos = html.find("<svg"); pos != std::string::npos;
+       pos = html.find("<svg", pos + 1)) {
+    ++svgs;
+  }
+  EXPECT_GE(svgs, 4u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReport, SectionsCanBeDisabledAndProgramOverridden) {
+  const PipelineResult& r = reportRun();
+  const Profile profile = makeStandardProfile();
+  ReportOptions options;
+  options.threadActivity = false;
+  options.processorActivity = false;
+  options.stateActivity = false;
+  options.statsProgram =
+      "table name=only_this x=(\"node\", node) y=(\"n\", dura, count)";
+  const std::string html = buildHtmlReport(r.mergedFile, profile, options);
+  EXPECT_EQ(html.find("Thread activity"), std::string::npos);
+  EXPECT_EQ(html.find("Preview"), std::string::npos);
+  EXPECT_NE(html.find("only_this"), std::string::npos);
+  EXPECT_EQ(html.find("interesting_by_node_bin"), std::string::npos);
+}
+
+TEST(HtmlReport, UnreadableInputThrows) {
+  const Profile profile = makeStandardProfile();
+  EXPECT_THROW(buildHtmlReport("/no/such/file.uti", profile), IoError);
+}
+
+}  // namespace
+}  // namespace ute

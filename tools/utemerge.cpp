@@ -1,0 +1,126 @@
+// utemerge — the merge utility (Section 3.1), optionally emitting a SLOG
+// file in the same pass ("slogmerge", Section 4).
+//
+// Usage:
+//   utemerge --out MERGED.uti [--slog OUT.slog] [--profile profile.ute]
+//            [--method rms|last|piecewise] [--naive] [--keep-clock]
+//            [--threads mpi,user,system]   (categories to merge, §2.3.3)
+//            NODE0.uti NODE1.uti ...
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+#include "interval/standard_profile.h"
+#include "merge/merger.h"
+#include "slog/slog_writer.h"
+#include "support/cli.h"
+#include "support/text.h"
+
+int main(int argc, char** argv) {
+  using namespace ute;
+  try {
+    CliParser cli(argc, argv,
+                  {"out", "slog", "profile", "method", "frame-bytes", "threads"});
+    if (cli.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: utemerge --out MERGED.uti [--slog F] NODE.uti ...\n");
+      return 2;
+    }
+    const std::string out = cli.valueOr("out", std::string("merged.uti"));
+    const std::string slogPath = cli.valueOr("slog", std::string());
+    const std::string profilePath =
+        cli.valueOr("profile", std::string(kStandardProfileFileName));
+
+    Profile profile;
+    try {
+      profile = Profile::readFile(profilePath);
+    } catch (const IoError&) {
+      profile = makeStandardProfile();  // fall back to the built-in
+    }
+
+    MergeOptions options;
+    const std::string method = cli.valueOr("method", std::string("rms"));
+    if (method == "rms") options.syncMethod = SyncMethod::kRmsSegments;
+    else if (method == "last") options.syncMethod = SyncMethod::kLastPair;
+    else if (method == "piecewise") options.syncMethod = SyncMethod::kPiecewise;
+    else {
+      std::fprintf(stderr, "unknown --method '%s'\n", method.c_str());
+      return 2;
+    }
+    options.useNaiveMerge = cli.hasFlag("naive");
+    if (const auto threads = cli.value("threads")) {
+      // Comma-separated categories: mpi,user,system (Section 2.3.3).
+      options.threadTypeMask = 0;
+      for (const std::string& kind : splitString(*threads, ',')) {
+        if (kind == "mpi") {
+          options.threadTypeMask |=
+              MergeOptions::threadTypeBit(ThreadType::kMpi);
+        } else if (kind == "user") {
+          options.threadTypeMask |=
+              MergeOptions::threadTypeBit(ThreadType::kUser);
+        } else if (kind == "system") {
+          options.threadTypeMask |=
+              MergeOptions::threadTypeBit(ThreadType::kSystem);
+        } else {
+          std::fprintf(stderr, "unknown thread category '%s'\n",
+                       kind.c_str());
+          return 2;
+        }
+      }
+    }
+    options.keepClockRecords = cli.hasFlag("keep-clock");
+    options.targetFrameBytes = static_cast<std::size_t>(
+        cli.valueOr("frame-bytes", std::uint64_t{32} << 10));
+
+    const auto t0 = std::chrono::steady_clock::now();
+    IntervalMerger merger(cli.positional(), profile, options);
+    MergeResult result;
+    std::uint64_t slogIntervals = 0;
+    std::uint64_t slogArrows = 0;
+    if (!slogPath.empty()) {
+      std::vector<ThreadEntry> threads;
+      std::map<std::uint32_t, std::string> markers;
+      for (const std::string& path : cli.positional()) {
+        IntervalFileReader reader(path);
+        threads.insert(threads.end(), reader.threads().begin(),
+                       reader.threads().end());
+        for (const auto& [id, name] : reader.markers()) {
+          markers.emplace(id, name);
+        }
+      }
+      SlogWriter slog(slogPath, SlogOptions{}, profile, threads, markers);
+      result = merger.mergeTo(
+          out, [&slog](const RecordView& r) { slog.addRecord(r); });
+      slog.close();
+      slogIntervals = slog.intervalsWritten();
+      slogArrows = slog.arrowsWritten();
+    } else {
+      result = merger.mergeTo(out);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    for (std::size_t i = 0; i < result.ratios.size(); ++i) {
+      std::printf("input %zu: clock ratio %.9f\n", i, result.ratios[i]);
+    }
+    std::printf("merged %s records (+%s pseudo) -> %s\n",
+                withCommas(result.recordsOut).c_str(),
+                withCommas(result.pseudoRecords).c_str(), out.c_str());
+    if (!slogPath.empty()) {
+      std::printf("slog: %s intervals, %s arrows -> %s\n",
+                  withCommas(slogIntervals).c_str(),
+                  withCommas(slogArrows).c_str(), slogPath.c_str());
+    }
+    std::printf("%s: %s records in %.3f s (%.7f sec/record)\n",
+                slogPath.empty() ? "merge" : "slogmerge",
+                withCommas(result.recordsIn).c_str(), seconds,
+                result.recordsIn == 0
+                    ? 0.0
+                    : seconds / static_cast<double>(result.recordsIn));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "utemerge: %s\n", e.what());
+    return 1;
+  }
+}
