@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_merge.cpp" "bench/CMakeFiles/bench_ablation_merge.dir/bench_ablation_merge.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_merge.dir/bench_ablation_merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/ute_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/ute_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/ute_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/ute_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/merge/CMakeFiles/ute_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/slog/CMakeFiles/ute_slog.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/ute_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ute_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ute_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_preview.dir/bench_fig7_preview.cpp.o"
+  "CMakeFiles/bench_fig7_preview.dir/bench_fig7_preview.cpp.o.d"
+  "bench_fig7_preview"
+  "bench_fig7_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_thread_view.dir/bench_fig8_thread_view.cpp.o"
+  "CMakeFiles/bench_fig8_thread_view.dir/bench_fig8_thread_view.cpp.o.d"
+  "bench_fig8_thread_view"
+  "bench_fig8_thread_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_thread_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

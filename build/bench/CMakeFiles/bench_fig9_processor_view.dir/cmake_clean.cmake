@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_processor_view.dir/bench_fig9_processor_view.cpp.o"
+  "CMakeFiles/bench_fig9_processor_view.dir/bench_fig9_processor_view.cpp.o.d"
+  "bench_fig9_processor_view"
+  "bench_fig9_processor_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_processor_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

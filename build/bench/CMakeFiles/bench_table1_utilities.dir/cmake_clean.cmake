@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_utilities.dir/bench_table1_utilities.cpp.o"
+  "CMakeFiles/bench_table1_utilities.dir/bench_table1_utilities.cpp.o.d"
+  "bench_table1_utilities"
+  "bench_table1_utilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_utilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

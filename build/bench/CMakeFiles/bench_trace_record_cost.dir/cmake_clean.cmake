@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_record_cost.dir/bench_trace_record_cost.cpp.o"
+  "CMakeFiles/bench_trace_record_cost.dir/bench_trace_record_cost.cpp.o.d"
+  "bench_trace_record_cost"
+  "bench_trace_record_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_record_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_preview.dir/flash_preview.cpp.o"
+  "CMakeFiles/flash_preview.dir/flash_preview.cpp.o.d"
+  "flash_preview"
+  "flash_preview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_preview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sppm_views.dir/sppm_views.cpp.o"
+  "CMakeFiles/sppm_views.dir/sppm_views.cpp.o.d"
+  "sppm_views"
+  "sppm_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sppm_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

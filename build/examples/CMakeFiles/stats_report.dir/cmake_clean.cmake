@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_report.dir/stats_report.cpp.o"
+  "CMakeFiles/stats_report.dir/stats_report.cpp.o.d"
+  "stats_report"
+  "stats_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

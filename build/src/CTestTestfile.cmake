@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("clock")
+subdirs("trace")
+subdirs("sim")
+subdirs("mpisim")
+subdirs("interval")
+subdirs("convert")
+subdirs("merge")
+subdirs("slog")
+subdirs("stats")
+subdirs("viz")
+subdirs("workloads")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/clock_model.cpp" "src/clock/CMakeFiles/ute_clock.dir/clock_model.cpp.o" "gcc" "src/clock/CMakeFiles/ute_clock.dir/clock_model.cpp.o.d"
+  "/root/repo/src/clock/drift_study.cpp" "src/clock/CMakeFiles/ute_clock.dir/drift_study.cpp.o" "gcc" "src/clock/CMakeFiles/ute_clock.dir/drift_study.cpp.o.d"
+  "/root/repo/src/clock/sync.cpp" "src/clock/CMakeFiles/ute_clock.dir/sync.cpp.o" "gcc" "src/clock/CMakeFiles/ute_clock.dir/sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_clock.dir/clock_model.cpp.o"
+  "CMakeFiles/ute_clock.dir/clock_model.cpp.o.d"
+  "CMakeFiles/ute_clock.dir/drift_study.cpp.o"
+  "CMakeFiles/ute_clock.dir/drift_study.cpp.o.d"
+  "CMakeFiles/ute_clock.dir/sync.cpp.o"
+  "CMakeFiles/ute_clock.dir/sync.cpp.o.d"
+  "libute_clock.a"
+  "libute_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_convert.dir/converter.cpp.o"
+  "CMakeFiles/ute_convert.dir/converter.cpp.o.d"
+  "libute_convert.a"
+  "libute_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/file_reader.cpp" "src/interval/CMakeFiles/ute_interval.dir/file_reader.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/file_reader.cpp.o.d"
+  "/root/repo/src/interval/file_writer.cpp" "src/interval/CMakeFiles/ute_interval.dir/file_writer.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/file_writer.cpp.o.d"
+  "/root/repo/src/interval/profile.cpp" "src/interval/CMakeFiles/ute_interval.dir/profile.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/profile.cpp.o.d"
+  "/root/repo/src/interval/record.cpp" "src/interval/CMakeFiles/ute_interval.dir/record.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/record.cpp.o.d"
+  "/root/repo/src/interval/standard_profile.cpp" "src/interval/CMakeFiles/ute_interval.dir/standard_profile.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/standard_profile.cpp.o.d"
+  "/root/repo/src/interval/ute_api.cpp" "src/interval/CMakeFiles/ute_interval.dir/ute_api.cpp.o" "gcc" "src/interval/CMakeFiles/ute_interval.dir/ute_api.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ute_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ute_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

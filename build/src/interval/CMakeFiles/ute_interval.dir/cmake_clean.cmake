@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_interval.dir/file_reader.cpp.o"
+  "CMakeFiles/ute_interval.dir/file_reader.cpp.o.d"
+  "CMakeFiles/ute_interval.dir/file_writer.cpp.o"
+  "CMakeFiles/ute_interval.dir/file_writer.cpp.o.d"
+  "CMakeFiles/ute_interval.dir/profile.cpp.o"
+  "CMakeFiles/ute_interval.dir/profile.cpp.o.d"
+  "CMakeFiles/ute_interval.dir/record.cpp.o"
+  "CMakeFiles/ute_interval.dir/record.cpp.o.d"
+  "CMakeFiles/ute_interval.dir/standard_profile.cpp.o"
+  "CMakeFiles/ute_interval.dir/standard_profile.cpp.o.d"
+  "CMakeFiles/ute_interval.dir/ute_api.cpp.o"
+  "CMakeFiles/ute_interval.dir/ute_api.cpp.o.d"
+  "libute_interval.a"
+  "libute_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

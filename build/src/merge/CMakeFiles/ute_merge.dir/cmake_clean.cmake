@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_merge.dir/merger.cpp.o"
+  "CMakeFiles/ute_merge.dir/merger.cpp.o.d"
+  "libute_merge.a"
+  "libute_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/mpi_runtime.cpp" "src/mpisim/CMakeFiles/ute_mpisim.dir/mpi_runtime.cpp.o" "gcc" "src/mpisim/CMakeFiles/ute_mpisim.dir/mpi_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ute_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ute_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ute_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

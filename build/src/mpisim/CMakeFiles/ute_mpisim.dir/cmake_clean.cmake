@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_mpisim.dir/mpi_runtime.cpp.o"
+  "CMakeFiles/ute_mpisim.dir/mpi_runtime.cpp.o.d"
+  "libute_mpisim.a"
+  "libute_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

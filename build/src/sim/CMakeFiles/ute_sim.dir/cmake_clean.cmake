@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_sim.dir/engine.cpp.o"
+  "CMakeFiles/ute_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ute_sim.dir/program.cpp.o"
+  "CMakeFiles/ute_sim.dir/program.cpp.o.d"
+  "CMakeFiles/ute_sim.dir/simulation.cpp.o"
+  "CMakeFiles/ute_sim.dir/simulation.cpp.o.d"
+  "libute_sim.a"
+  "libute_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

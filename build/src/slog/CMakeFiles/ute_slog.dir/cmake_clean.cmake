@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_slog.dir/preview.cpp.o"
+  "CMakeFiles/ute_slog.dir/preview.cpp.o.d"
+  "CMakeFiles/ute_slog.dir/slog_reader.cpp.o"
+  "CMakeFiles/ute_slog.dir/slog_reader.cpp.o.d"
+  "CMakeFiles/ute_slog.dir/slog_writer.cpp.o"
+  "CMakeFiles/ute_slog.dir/slog_writer.cpp.o.d"
+  "libute_slog.a"
+  "libute_slog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_slog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ute_slog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ute_slog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_stats.dir/engine.cpp.o"
+  "CMakeFiles/ute_stats.dir/engine.cpp.o.d"
+  "CMakeFiles/ute_stats.dir/lexer.cpp.o"
+  "CMakeFiles/ute_stats.dir/lexer.cpp.o.d"
+  "CMakeFiles/ute_stats.dir/parser.cpp.o"
+  "CMakeFiles/ute_stats.dir/parser.cpp.o.d"
+  "libute_stats.a"
+  "libute_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_support.dir/bytes.cpp.o"
+  "CMakeFiles/ute_support.dir/bytes.cpp.o.d"
+  "CMakeFiles/ute_support.dir/cli.cpp.o"
+  "CMakeFiles/ute_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ute_support.dir/file_io.cpp.o"
+  "CMakeFiles/ute_support.dir/file_io.cpp.o.d"
+  "CMakeFiles/ute_support.dir/text.cpp.o"
+  "CMakeFiles/ute_support.dir/text.cpp.o.d"
+  "libute_support.a"
+  "libute_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/events.cpp" "src/trace/CMakeFiles/ute_trace.dir/events.cpp.o" "gcc" "src/trace/CMakeFiles/ute_trace.dir/events.cpp.o.d"
+  "/root/repo/src/trace/marker_registry.cpp" "src/trace/CMakeFiles/ute_trace.dir/marker_registry.cpp.o" "gcc" "src/trace/CMakeFiles/ute_trace.dir/marker_registry.cpp.o.d"
+  "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/ute_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/ute_trace.dir/reader.cpp.o.d"
+  "/root/repo/src/trace/writer.cpp" "src/trace/CMakeFiles/ute_trace.dir/writer.cpp.o" "gcc" "src/trace/CMakeFiles/ute_trace.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ute_clock.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_trace.dir/events.cpp.o"
+  "CMakeFiles/ute_trace.dir/events.cpp.o.d"
+  "CMakeFiles/ute_trace.dir/marker_registry.cpp.o"
+  "CMakeFiles/ute_trace.dir/marker_registry.cpp.o.d"
+  "CMakeFiles/ute_trace.dir/reader.cpp.o"
+  "CMakeFiles/ute_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/ute_trace.dir/writer.cpp.o"
+  "CMakeFiles/ute_trace.dir/writer.cpp.o.d"
+  "libute_trace.a"
+  "libute_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/ascii_render.cpp" "src/viz/CMakeFiles/ute_viz.dir/ascii_render.cpp.o" "gcc" "src/viz/CMakeFiles/ute_viz.dir/ascii_render.cpp.o.d"
+  "/root/repo/src/viz/report.cpp" "src/viz/CMakeFiles/ute_viz.dir/report.cpp.o" "gcc" "src/viz/CMakeFiles/ute_viz.dir/report.cpp.o.d"
+  "/root/repo/src/viz/stats_viewer.cpp" "src/viz/CMakeFiles/ute_viz.dir/stats_viewer.cpp.o" "gcc" "src/viz/CMakeFiles/ute_viz.dir/stats_viewer.cpp.o.d"
+  "/root/repo/src/viz/svg_render.cpp" "src/viz/CMakeFiles/ute_viz.dir/svg_render.cpp.o" "gcc" "src/viz/CMakeFiles/ute_viz.dir/svg_render.cpp.o.d"
+  "/root/repo/src/viz/timeline_model.cpp" "src/viz/CMakeFiles/ute_viz.dir/timeline_model.cpp.o" "gcc" "src/viz/CMakeFiles/ute_viz.dir/timeline_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/ute_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/slog/CMakeFiles/ute_slog.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ute_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ute_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/ute_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ute_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

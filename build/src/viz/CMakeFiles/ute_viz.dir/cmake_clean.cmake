@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_viz.dir/ascii_render.cpp.o"
+  "CMakeFiles/ute_viz.dir/ascii_render.cpp.o.d"
+  "CMakeFiles/ute_viz.dir/report.cpp.o"
+  "CMakeFiles/ute_viz.dir/report.cpp.o.d"
+  "CMakeFiles/ute_viz.dir/stats_viewer.cpp.o"
+  "CMakeFiles/ute_viz.dir/stats_viewer.cpp.o.d"
+  "CMakeFiles/ute_viz.dir/svg_render.cpp.o"
+  "CMakeFiles/ute_viz.dir/svg_render.cpp.o.d"
+  "CMakeFiles/ute_viz.dir/timeline_model.cpp.o"
+  "CMakeFiles/ute_viz.dir/timeline_model.cpp.o.d"
+  "libute_viz.a"
+  "libute_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ute_workloads.dir/pipeline.cpp.o"
+  "CMakeFiles/ute_workloads.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ute_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ute_workloads.dir/workloads.cpp.o.d"
+  "libute_workloads.a"
+  "libute_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ute_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libute_workloads.a"
+)

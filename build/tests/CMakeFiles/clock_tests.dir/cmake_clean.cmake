@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_tests.dir/clock/clock_model_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clock/clock_model_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/clock/drift_study_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clock/drift_study_test.cpp.o.d"
+  "CMakeFiles/clock_tests.dir/clock/sync_test.cpp.o"
+  "CMakeFiles/clock_tests.dir/clock/sync_test.cpp.o.d"
+  "clock_tests"
+  "clock_tests.pdb"
+  "clock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

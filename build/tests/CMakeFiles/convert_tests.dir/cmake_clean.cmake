@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_tests.dir/convert/convert_test.cpp.o"
+  "CMakeFiles/convert_tests.dir/convert/convert_test.cpp.o.d"
+  "convert_tests"
+  "convert_tests.pdb"
+  "convert_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

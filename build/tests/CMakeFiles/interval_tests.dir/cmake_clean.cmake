@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_tests.dir/interval/api_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/api_test.cpp.o.d"
+  "CMakeFiles/interval_tests.dir/interval/corruption_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/corruption_test.cpp.o.d"
+  "CMakeFiles/interval_tests.dir/interval/field_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/field_test.cpp.o.d"
+  "CMakeFiles/interval_tests.dir/interval/file_roundtrip_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/file_roundtrip_test.cpp.o.d"
+  "CMakeFiles/interval_tests.dir/interval/profile_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/profile_test.cpp.o.d"
+  "CMakeFiles/interval_tests.dir/interval/record_test.cpp.o"
+  "CMakeFiles/interval_tests.dir/interval/record_test.cpp.o.d"
+  "interval_tests"
+  "interval_tests.pdb"
+  "interval_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_tests.dir/merge/merge_test.cpp.o"
+  "CMakeFiles/merge_tests.dir/merge/merge_test.cpp.o.d"
+  "CMakeFiles/merge_tests.dir/merge/tournament_tree_test.cpp.o"
+  "CMakeFiles/merge_tests.dir/merge/tournament_tree_test.cpp.o.d"
+  "merge_tests"
+  "merge_tests.pdb"
+  "merge_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slog_tests.dir/slog/preview_test.cpp.o"
+  "CMakeFiles/slog_tests.dir/slog/preview_test.cpp.o.d"
+  "CMakeFiles/slog_tests.dir/slog/slog_roundtrip_test.cpp.o"
+  "CMakeFiles/slog_tests.dir/slog/slog_roundtrip_test.cpp.o.d"
+  "slog_tests"
+  "slog_tests.pdb"
+  "slog_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slog_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/clock_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/mpisim_tests[1]_include.cmake")
+include("/root/repo/build/tests/interval_tests[1]_include.cmake")
+include("/root/repo/build/tests/convert_tests[1]_include.cmake")
+include("/root/repo/build/tests/merge_tests[1]_include.cmake")
+include("/root/repo/build/tests/slog_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/viz_tests[1]_include.cmake")
+include("/root/repo/build/tests/cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

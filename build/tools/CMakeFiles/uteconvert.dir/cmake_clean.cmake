@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uteconvert.dir/uteconvert.cpp.o"
+  "CMakeFiles/uteconvert.dir/uteconvert.cpp.o.d"
+  "uteconvert"
+  "uteconvert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uteconvert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utedump.dir/utedump.cpp.o"
+  "CMakeFiles/utedump.dir/utedump.cpp.o.d"
+  "utedump"
+  "utedump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utedump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utemerge.dir/utemerge.cpp.o"
+  "CMakeFiles/utemerge.dir/utemerge.cpp.o.d"
+  "utemerge"
+  "utemerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utemerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utereport.dir/utereport.cpp.o"
+  "CMakeFiles/utereport.dir/utereport.cpp.o.d"
+  "utereport"
+  "utereport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utereport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

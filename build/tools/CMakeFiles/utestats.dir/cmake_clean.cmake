@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utestats.dir/utestats.cpp.o"
+  "CMakeFiles/utestats.dir/utestats.cpp.o.d"
+  "utestats"
+  "utestats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utestats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utetrace.dir/utetrace.cpp.o"
+  "CMakeFiles/utetrace.dir/utetrace.cpp.o.d"
+  "utetrace"
+  "utetrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utetrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

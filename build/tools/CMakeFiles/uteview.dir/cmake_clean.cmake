@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uteview.dir/uteview.cpp.o"
+  "CMakeFiles/uteview.dir/uteview.cpp.o.d"
+  "uteview"
+  "uteview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uteview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
