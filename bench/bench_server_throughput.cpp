@@ -1,0 +1,183 @@
+// Trace-query service throughput: queries/sec and p99 latency for window
+// queries against one TraceService, swept over the frame-cache byte
+// budget. "cold" touches every frame once through an empty cache (every
+// query decodes from disk); "warm" replays a small working set of
+// windows that stays resident — the interactive case the server exists
+// for (a viewer panning around one region). Prints the sweep, then runs
+// microbenchmarks including a full TCP round trip.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace ute;
+
+std::string gSlog;
+Tick gStart = 0;
+Tick gEnd = 0;
+
+/// Distinct windows tiling the whole run (cold sweep: every frame gets
+/// touched) — each spans ~1/32 of the run.
+std::vector<WindowQuery> tilingWindows() {
+  std::vector<WindowQuery> out;
+  const Tick span = (gEnd - gStart) / 32;
+  for (int i = 0; i < 32; ++i) {
+    WindowQuery q;
+    q.t0 = gStart + i * span;
+    q.t1 = std::min(gEnd, q.t0 + span + 1);
+    out.push_back(q);
+  }
+  return out;
+}
+
+/// A small working set: 8 windows over one quarter of the run, the kind
+/// of neighborhood a viewer pans around in.
+std::vector<WindowQuery> workingSetWindows() {
+  std::vector<WindowQuery> out;
+  const Tick span = (gEnd - gStart) / 32;
+  for (int i = 0; i < 8; ++i) {
+    WindowQuery q;
+    q.t0 = gStart + i * span;
+    q.t1 = std::min(gEnd, q.t0 + span + 1);
+    out.push_back(q);
+  }
+  return out;
+}
+
+struct RunStats {
+  double queriesPerSec = 0;
+  double p99Us = 0;
+};
+
+RunStats timeQueries(TraceService& service,
+                     const std::vector<WindowQuery>& queries, int repeats) {
+  std::vector<double> us;
+  us.reserve(queries.size() * static_cast<std::size_t>(repeats));
+  const auto total0 = benchutil::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (const WindowQuery& q : queries) {
+      const auto t0 = benchutil::now();
+      benchmark::DoNotOptimize(service.window(0, q));
+      us.push_back(benchutil::secondsSince(t0) * 1e6);
+    }
+  }
+  const double totalSeconds = benchutil::secondsSince(total0);
+  std::sort(us.begin(), us.end());
+  RunStats stats;
+  stats.queriesPerSec = static_cast<double>(us.size()) / totalSeconds;
+  stats.p99Us = us[static_cast<std::size_t>(
+      static_cast<double>(us.size() - 1) * 0.99)];
+  return stats;
+}
+
+void printSweep() {
+  TestProgramOptions workload;
+  workload.iterations = 1200;
+  PipelineOptions options;
+  options.dir = makeScratchDir("bench_server");
+  options.name = "serve";
+  options.slog.recordsPerFrame = 256;  // plenty of frames to cache
+  const PipelineResult run = runPipeline(testProgram(workload), options);
+  gSlog = run.slogFile;
+
+  // Total decoded size of every frame = the 100% budget.
+  std::size_t allFrameBytes = 0;
+  std::size_t frames = 0;
+  {
+    TraceService probe({gSlog});
+    gStart = probe.trace(0).totalStart();
+    gEnd = probe.trace(0).totalEnd();
+    frames = probe.trace(0).frameIndex().size();
+    for (std::size_t f = 0; f < frames; ++f) {
+      allFrameBytes += FrameCache::frameBytes(*probe.frame(0, f));
+    }
+  }
+
+  std::printf("=== Trace-query service: cache budget vs throughput ===\n");
+  std::printf("(%zu frames, %.1f KiB decoded; windows span ~1/32 run)\n",
+              frames, static_cast<double>(allFrameBytes) / 1024);
+  std::printf("%10s %12s %10s %12s %10s %8s %8s\n", "budget", "cold q/s",
+              "cold p99", "warm q/s", "warm p99", "hit%", "speedup");
+  for (const double fraction : {0.05, 0.25, 0.5, 1.0}) {
+    ServiceOptions serviceOptions;
+    serviceOptions.cacheBytes = std::max<std::size_t>(
+        1, static_cast<std::size_t>(fraction *
+                                    static_cast<double>(allFrameBytes)));
+    TraceService service({gSlog}, serviceOptions);
+    // Cold: every frame decoded at least once, nothing resident yet.
+    const RunStats cold = timeQueries(service, tilingWindows(), 1);
+    // Warm: repeated working set (measured after one priming pass).
+    timeQueries(service, workingSetWindows(), 1);
+    const FrameCache::Stats before = service.cache().stats();
+    const RunStats warm = timeQueries(service, workingSetWindows(), 32);
+    const FrameCache::Stats after = service.cache().stats();
+    const double lookups = static_cast<double>(
+        (after.hits - before.hits) + (after.misses - before.misses));
+    const double hitRate =
+        100.0 * static_cast<double>(after.hits - before.hits) / lookups;
+    std::printf("%9.0f%% %12.0f %8.1fus %12.0f %8.1fus %7.1f%% %7.1fx\n",
+                fraction * 100, cold.queriesPerSec, cold.p99Us,
+                warm.queriesPerSec, warm.p99Us, hitRate,
+                warm.queriesPerSec / cold.queriesPerSec);
+  }
+  std::printf("(the interactive pan/zoom loop runs entirely out of cache "
+              "once the budget covers its working set)\n\n");
+}
+
+void BM_WindowWarm(benchmark::State& state) {
+  TraceService service({gSlog});
+  WindowQuery q;
+  q.t0 = gStart;
+  q.t1 = gStart + (gEnd - gStart) / 32;
+  benchmark::DoNotOptimize(service.window(0, q));  // prime
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.window(0, q));
+  }
+}
+BENCHMARK(BM_WindowWarm)->Unit(benchmark::kMicrosecond);
+
+void BM_WindowCold(benchmark::State& state) {
+  TraceService service({gSlog});
+  WindowQuery q;
+  q.t0 = gStart;
+  q.t1 = gStart + (gEnd - gStart) / 32;
+  for (auto _ : state) {
+    service.cache().clear();
+    benchmark::DoNotOptimize(service.window(0, q));
+  }
+}
+BENCHMARK(BM_WindowCold)->Unit(benchmark::kMicrosecond);
+
+void BM_SummaryWholeRun(benchmark::State& state) {
+  TraceService service({gSlog});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.summary(0, gStart, gEnd));
+  }
+}
+BENCHMARK(BM_SummaryWholeRun)->Unit(benchmark::kMicrosecond);
+
+void BM_TcpWindowRoundTrip(benchmark::State& state) {
+  TraceServer server({gSlog});
+  TraceClient client("127.0.0.1", server.port());
+  WindowQuery q;
+  q.t0 = gStart;
+  q.t1 = gStart + (gEnd - gStart) / 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.window(0, q));
+  }
+  server.stop();
+}
+BENCHMARK(BM_TcpWindowRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printSweep();
+  return ute::benchutil::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,67 @@
+#include "server/client.h"
+
+#include "support/errors.h"
+
+namespace ute {
+
+TraceClient::TraceClient(const std::string& host, std::uint16_t port)
+    : socket_(TcpSocket::connectTo(host, port)) {
+  const ByteWriter hello = encodeHelloRequest();
+  const HelloReply reply = decodeHelloReply(roundTrip(hello.view()));
+  traceCount_ = reply.traceCount;
+}
+
+std::vector<std::uint8_t> TraceClient::roundTrip(
+    std::span<const std::uint8_t> payload) {
+  sendMessage(socket_, payload);
+  auto response = recvMessage(socket_);
+  if (!response) throw IoError("server closed the connection");
+  return std::move(*response);
+}
+
+TraceInfo TraceClient::info(std::uint32_t traceId) {
+  return decodeInfoReply(
+      roundTrip(encodeTraceRequest(Opcode::kInfo, traceId).view()));
+}
+
+std::vector<SlogStateDef> TraceClient::states(std::uint32_t traceId) {
+  return decodeStatesReply(
+      roundTrip(encodeTraceRequest(Opcode::kStates, traceId).view()));
+}
+
+std::vector<ThreadEntry> TraceClient::threads(std::uint32_t traceId) {
+  return decodeThreadsReply(
+      roundTrip(encodeTraceRequest(Opcode::kThreads, traceId).view()));
+}
+
+SlogPreview TraceClient::preview(std::uint32_t traceId) {
+  return decodePreviewReply(
+      roundTrip(encodeTraceRequest(Opcode::kPreview, traceId).view()));
+}
+
+WindowResult TraceClient::window(std::uint32_t traceId,
+                                 const WindowQuery& query) {
+  return decodeWindowReply(
+      roundTrip(encodeWindowRequest(traceId, query).view()));
+}
+
+FrameReply TraceClient::frameAt(std::uint32_t traceId, Tick t) {
+  return decodeFrameAtReply(
+      roundTrip(encodeFrameAtRequest(traceId, t).view()));
+}
+
+std::vector<SummaryEntry> TraceClient::summary(std::uint32_t traceId,
+                                               Tick t0, Tick t1) {
+  return decodeSummaryReply(
+      roundTrip(encodeSummaryRequest(traceId, t0, t1).view()));
+}
+
+ServiceStats TraceClient::stats() {
+  return decodeStatsReply(roundTrip(encodeStatsRequest().view()));
+}
+
+void TraceClient::shutdownServer() {
+  decodeOkReply(roundTrip(encodeShutdownRequest().view()));
+}
+
+}  // namespace ute

@@ -1,0 +1,49 @@
+// TraceClient: the client-side library for the uteserve protocol.
+//
+// Connects, performs the version handshake, and exposes one blocking
+// method per opcode, returning the same structs the in-process
+// TraceService API uses. Error frames surface as ServiceError (with the
+// wire ErrorCode); transport failures as IoError. Not thread-safe: one
+// TraceClient per thread (the protocol is strictly request/response per
+// connection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "server/tcp.h"
+
+namespace ute {
+
+class TraceClient {
+ public:
+  /// Connects and completes the hello handshake (throws ServiceError on
+  /// a version mismatch, IoError if the server is unreachable).
+  TraceClient(const std::string& host, std::uint16_t port);
+
+  std::uint32_t traceCount() const { return traceCount_; }
+
+  TraceInfo info(std::uint32_t traceId);
+  std::vector<SlogStateDef> states(std::uint32_t traceId);
+  std::vector<ThreadEntry> threads(std::uint32_t traceId);
+  SlogPreview preview(std::uint32_t traceId);
+  WindowResult window(std::uint32_t traceId, const WindowQuery& query);
+  FrameReply frameAt(std::uint32_t traceId, Tick t);
+  std::vector<SummaryEntry> summary(std::uint32_t traceId, Tick t0, Tick t1);
+  ServiceStats stats();
+  /// Asks the server to stop accepting and shut down.
+  void shutdownServer();
+
+  /// Sends a raw request payload and returns the raw response payload —
+  /// the byte-identity hook the integration tests compare against a
+  /// local processRequest() on the same SLOG file.
+  std::vector<std::uint8_t> roundTrip(std::span<const std::uint8_t> payload);
+
+ private:
+  TcpSocket socket_;
+  std::uint32_t traceCount_ = 0;
+};
+
+}  // namespace ute

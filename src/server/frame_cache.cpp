@@ -1,0 +1,120 @@
+#include "server/frame_cache.h"
+
+#include <algorithm>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+/// splitmix64: frame keys are (traceId << 32) | frameIdx, so neighboring
+/// frames differ only in low bits; mixing spreads them across shards.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FrameCache::FrameCache(std::size_t byteBudget, std::size_t shards)
+    : byteBudget_(byteBudget), shardCount_(std::max<std::size_t>(1, shards)) {
+  shardBudget_ = std::max<std::size_t>(1, byteBudget_ / shardCount_);
+  shards_ = std::make_unique<Shard[]>(shardCount_);
+}
+
+std::size_t FrameCache::frameBytes(const SlogFrameData& frame) {
+  return sizeof(SlogFrameData) +
+         frame.intervals.size() * sizeof(SlogInterval) +
+         frame.arrows.size() * sizeof(SlogArrow);
+}
+
+FrameCache::Shard& FrameCache::shardFor(std::uint64_t key) {
+  return shards_[mix(key) % shardCount_];
+}
+
+void FrameCache::evictOver(Shard& shard) {
+  // The most recent entry survives even when it alone exceeds the shard
+  // budget (evicting what was just inserted would make oversized frames
+  // uncacheable and the cache would thrash on them).
+  while (shard.bytes > shardBudget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.byKey.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+FrameCache::FramePtr FrameCache::lookup(std::uint64_t key) {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.byKey.find(key);
+  if (it == shard.byKey.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->frame;
+}
+
+FrameCache::FramePtr FrameCache::getOrLoad(
+    std::uint64_t key, const std::function<SlogFrameData()>& loader) {
+  Shard& shard = shardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.byKey.find(key);
+    if (it != shard.byKey.end()) {
+      ++shard.hits;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->frame;
+    }
+    ++shard.misses;
+  }
+
+  // Decode outside the lock; a concurrent loser of the same race reuses
+  // the winner's entry below.
+  auto frame = std::make_shared<const SlogFrameData>(loader());
+  const std::size_t bytes = frameBytes(*frame);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.byKey.find(key);
+  if (it != shard.byKey.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->frame;
+  }
+  shard.lru.push_front(Entry{key, frame, bytes});
+  shard.byKey.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  evictOver(shard);
+  return frame;
+}
+
+FrameCache::Stats FrameCache::stats() const {
+  Stats total;
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.evictions += shard.evictions;
+    total.bytes += shard.bytes;
+    total.entries += shard.lru.size();
+  }
+  return total;
+}
+
+void FrameCache::clear() {
+  for (std::size_t s = 0; s < shardCount_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.byKey.clear();
+    shard.bytes = 0;
+  }
+}
+
+}  // namespace ute

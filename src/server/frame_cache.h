@@ -1,0 +1,89 @@
+// Sharded LRU cache of decoded SLOG frames.
+//
+// The trace-query service answers many overlapping window queries, and a
+// hot time window maps to the same handful of frames every time; decoding
+// a frame (seek + read + record parse) once and sharing the result across
+// all clients is where the service's warm-path speedup comes from. The
+// cache is sharded — each shard owns its own mutex, LRU list, byte
+// budget and counters — so concurrent readers touching different frames
+// do not serialize on one lock. Values are shared_ptr<const ...>: an
+// entry can be evicted while clients still hold (and keep using) it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "slog/slog_format.h"
+
+namespace ute {
+
+class FrameCache {
+ public:
+  using FramePtr = std::shared_ptr<const SlogFrameData>;
+
+  /// Aggregated over all shards. hits+misses counts lookups; evictions
+  /// counts entries dropped to stay within the byte budget.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t entries = 0;
+  };
+
+  /// `byteBudget` is split evenly across `shards` (each shard evicts
+  /// independently once its slice is full).
+  FrameCache(std::size_t byteBudget, std::size_t shards);
+
+  /// Returns the cached frame for `key`, or decodes it via `loader` on a
+  /// miss. The loader runs outside the shard lock, so a slow disk read
+  /// never blocks hits on other keys in the same shard; if two threads
+  /// miss on the same key at once, both load and the first insert wins.
+  FramePtr getOrLoad(std::uint64_t key,
+                     const std::function<SlogFrameData()>& loader);
+
+  /// Hit-or-nullptr probe (counts toward hits/misses).
+  FramePtr lookup(std::uint64_t key);
+
+  Stats stats() const;
+  void clear();
+
+  std::size_t byteBudget() const { return byteBudget_; }
+  std::size_t shardCount() const { return shardCount_; }
+
+  /// Budget accounting charge for one decoded frame.
+  static std::size_t frameBytes(const SlogFrameData& frame);
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    FramePtr frame;
+    std::size_t bytes = 0;
+  };
+  /// Front of `lru` is most recently used.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byKey;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shardFor(std::uint64_t key);
+  /// Called with the shard lock held.
+  void evictOver(Shard& shard);
+
+  std::size_t byteBudget_;
+  std::size_t shardCount_;
+  std::size_t shardBudget_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace ute

@@ -1,0 +1,512 @@
+#include "server/protocol.h"
+
+#include "support/errors.h"
+
+namespace ute {
+
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kBadTrace: return "bad-trace";
+    case ErrorCode::kBadWindow: return "bad-window";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+void putOpcode(ByteWriter& w, Opcode op) {
+  w.u8(static_cast<std::uint8_t>(op));
+}
+
+void putInterval(ByteWriter& w, const SlogInterval& r) {
+  w.u32(r.stateId);
+  w.u8(r.bebits);
+  w.u8(r.pseudo ? 1 : 0);
+  w.u64(r.start);
+  w.u64(r.dura);
+  w.i32(r.node);
+  w.i32(r.cpu);
+  w.i32(r.thread);
+}
+
+SlogInterval takeInterval(ByteReader& r) {
+  SlogInterval rec;
+  rec.stateId = r.u32();
+  rec.bebits = r.u8();
+  rec.pseudo = r.u8() != 0;
+  rec.start = r.u64();
+  rec.dura = r.u64();
+  rec.node = r.i32();
+  rec.cpu = r.i32();
+  rec.thread = r.i32();
+  return rec;
+}
+
+void putArrow(ByteWriter& w, const SlogArrow& a) {
+  w.i32(a.srcNode);
+  w.i32(a.srcThread);
+  w.u64(a.sendTime);
+  w.i32(a.dstNode);
+  w.i32(a.dstThread);
+  w.u64(a.recvTime);
+  w.u32(a.bytes);
+}
+
+SlogArrow takeArrow(ByteReader& r) {
+  SlogArrow a;
+  a.srcNode = r.i32();
+  a.srcThread = r.i32();
+  a.sendTime = r.u64();
+  a.dstNode = r.i32();
+  a.dstThread = r.i32();
+  a.recvTime = r.u64();
+  a.bytes = r.u32();
+  return a;
+}
+
+void putFrameData(ByteWriter& w, const SlogFrameData& data) {
+  w.u32(static_cast<std::uint32_t>(data.intervals.size()));
+  for (const SlogInterval& r : data.intervals) putInterval(w, r);
+  w.u32(static_cast<std::uint32_t>(data.arrows.size()));
+  for (const SlogArrow& a : data.arrows) putArrow(w, a);
+}
+
+SlogFrameData takeFrameData(ByteReader& r) {
+  SlogFrameData data;
+  const std::uint32_t nIntervals = r.u32();
+  data.intervals.reserve(nIntervals);
+  for (std::uint32_t i = 0; i < nIntervals; ++i) {
+    data.intervals.push_back(takeInterval(r));
+  }
+  const std::uint32_t nArrows = r.u32();
+  data.arrows.reserve(nArrows);
+  for (std::uint32_t i = 0; i < nArrows; ++i) {
+    data.arrows.push_back(takeArrow(r));
+  }
+  return data;
+}
+
+/// Checks the leading status byte; on error consumes the error body and
+/// throws. Returns a reader positioned at the success body.
+ByteReader openReply(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const auto status = static_cast<ErrorCode>(r.u8());
+  if (status != ErrorCode::kOk) {
+    throw ServiceError(status, ByteReader(payload.subspan(1)).lstring());
+  }
+  return r;
+}
+
+ByteWriter okHeader() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ErrorCode::kOk));
+  return w;
+}
+
+}  // namespace
+
+// --- request encoding -------------------------------------------------------
+
+ByteWriter encodeHelloRequest() {
+  ByteWriter w;
+  putOpcode(w, Opcode::kHello);
+  w.u32(kQueryMagic);
+  w.u16(kProtocolVersion);
+  return w;
+}
+
+ByteWriter encodeTraceRequest(Opcode op, std::uint32_t traceId) {
+  ByteWriter w;
+  putOpcode(w, op);
+  w.u32(traceId);
+  return w;
+}
+
+ByteWriter encodeWindowRequest(std::uint32_t traceId,
+                               const WindowQuery& query) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kWindow);
+  w.u32(traceId);
+  w.u64(query.t0);
+  w.u64(query.t1);
+  w.u8(query.node ? 1 : 0);
+  w.i32(query.node.value_or(0));
+  w.u8(query.thread ? 1 : 0);
+  w.i32(query.thread.value_or(0));
+  w.u32(static_cast<std::uint32_t>(query.states.size()));
+  for (std::uint32_t s : query.states) w.u32(s);
+  return w;
+}
+
+ByteWriter encodeSummaryRequest(std::uint32_t traceId, Tick t0, Tick t1) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kSummary);
+  w.u32(traceId);
+  w.u64(t0);
+  w.u64(t1);
+  return w;
+}
+
+ByteWriter encodeFrameAtRequest(std::uint32_t traceId, Tick t) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kFrameAt);
+  w.u32(traceId);
+  w.u64(t);
+  return w;
+}
+
+ByteWriter encodeStatsRequest() {
+  ByteWriter w;
+  putOpcode(w, Opcode::kStats);
+  return w;
+}
+
+ByteWriter encodeShutdownRequest() {
+  ByteWriter w;
+  putOpcode(w, Opcode::kShutdown);
+  return w;
+}
+
+// --- response decoding ------------------------------------------------------
+
+HelloReply decodeHelloReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  HelloReply reply;
+  reply.version = r.u16();
+  reply.traceCount = r.u32();
+  return reply;
+}
+
+TraceInfo decodeInfoReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  TraceInfo info;
+  info.path = r.lstring();
+  info.totalStart = r.u64();
+  info.totalEnd = r.u64();
+  info.frames = r.u32();
+  info.states = r.u32();
+  info.threads = r.u32();
+  return info;
+}
+
+std::vector<SlogStateDef> decodeStatesReply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<SlogStateDef> states;
+  states.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SlogStateDef s;
+    s.id = r.u32();
+    s.rgb = r.u32();
+    s.name = r.lstring();
+    states.push_back(std::move(s));
+  }
+  return states;
+}
+
+std::vector<ThreadEntry> decodeThreadsReply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<ThreadEntry> threads;
+  threads.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ThreadEntry t;
+    t.task = r.i32();
+    t.pid = r.i32();
+    t.systemTid = r.i32();
+    t.node = r.i32();
+    t.ltid = r.i32();
+    t.type = static_cast<ThreadType>(r.u8());
+    threads.push_back(t);
+  }
+  return threads;
+}
+
+SlogPreview decodePreviewReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  SlogPreview preview;
+  preview.origin = r.u64();
+  preview.binWidth = r.u64();
+  preview.bins = r.u32();
+  const std::uint32_t stateCount = r.u32();
+  preview.perStateBinTime.reserve(stateCount);
+  for (std::uint32_t s = 0; s < stateCount; ++s) {
+    std::vector<double> row(preview.bins);
+    for (std::uint32_t b = 0; b < preview.bins; ++b) row[b] = r.f64();
+    preview.perStateBinTime.push_back(std::move(row));
+  }
+  return preview;
+}
+
+WindowResult decodeWindowReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  WindowResult result;
+  result.t0 = r.u64();
+  result.t1 = r.u64();
+  SlogFrameData data = takeFrameData(r);
+  result.intervals = std::move(data.intervals);
+  result.arrows = std::move(data.arrows);
+  return result;
+}
+
+FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  FrameReply reply;
+  reply.frameIdx = r.u32();
+  reply.entry.offset = r.u64();
+  reply.entry.sizeBytes = r.u32();
+  reply.entry.records = r.u32();
+  reply.entry.timeStart = r.u64();
+  reply.entry.timeEnd = r.u64();
+  reply.data = takeFrameData(r);
+  return reply;
+}
+
+std::vector<SummaryEntry> decodeSummaryReply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<SummaryEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SummaryEntry e;
+    e.stateId = r.u32();
+    e.ns = r.f64();
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+ServiceStats decodeStatsReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  ServiceStats stats;
+  stats.cache.hits = r.u64();
+  stats.cache.misses = r.u64();
+  stats.cache.evictions = r.u64();
+  stats.cache.bytes = r.u64();
+  stats.cache.entries = r.u64();
+  stats.pool.accepted = r.u64();
+  stats.pool.rejected = r.u64();
+  stats.pool.executed = r.u64();
+  return stats;
+}
+
+void decodeOkReply(std::span<const std::uint8_t> payload) {
+  openReply(payload);
+}
+
+// --- server dispatch --------------------------------------------------------
+
+std::vector<std::uint8_t> encodeErrorReply(ErrorCode code,
+                                           const std::string& message) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(code));
+  w.lstring(message);
+  return w.take();
+}
+
+namespace {
+
+RequestOutcome dispatch(TraceService& service,
+                        std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  const auto op = static_cast<Opcode>(r.u8());
+  RequestOutcome outcome;
+
+  switch (op) {
+    case Opcode::kHello: {
+      const std::uint32_t magic = r.u32();
+      const std::uint16_t version = r.u16();
+      if (magic != kQueryMagic || version != kProtocolVersion) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadVersion,
+            "server speaks protocol version " +
+                std::to_string(kProtocolVersion));
+        return outcome;
+      }
+      ByteWriter w = okHeader();
+      w.u16(kProtocolVersion);
+      w.u32(service.traceCount());
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kInfo: {
+      const SlogReader& reader = service.trace(r.u32());
+      ByteWriter w = okHeader();
+      w.lstring(reader.path());
+      w.u64(reader.totalStart());
+      w.u64(reader.totalEnd());
+      w.u32(static_cast<std::uint32_t>(reader.frameIndex().size()));
+      w.u32(static_cast<std::uint32_t>(reader.states().size()));
+      w.u32(static_cast<std::uint32_t>(reader.threads().size()));
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kStates: {
+      const SlogReader& reader = service.trace(r.u32());
+      ByteWriter w = okHeader();
+      w.u32(static_cast<std::uint32_t>(reader.states().size()));
+      for (const SlogStateDef& s : reader.states()) {
+        w.u32(s.id);
+        w.u32(s.rgb);
+        w.lstring(s.name);
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kThreads: {
+      const SlogReader& reader = service.trace(r.u32());
+      ByteWriter w = okHeader();
+      w.u32(static_cast<std::uint32_t>(reader.threads().size()));
+      for (const ThreadEntry& t : reader.threads()) {
+        w.i32(t.task);
+        w.i32(t.pid);
+        w.i32(t.systemTid);
+        w.i32(t.node);
+        w.i32(t.ltid);
+        w.u8(static_cast<std::uint8_t>(t.type));
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kPreview: {
+      const SlogReader& reader = service.trace(r.u32());
+      const SlogPreview& p = reader.preview();
+      ByteWriter w = okHeader();
+      w.u64(p.origin);
+      w.u64(p.binWidth);
+      w.u32(p.bins);
+      w.u32(static_cast<std::uint32_t>(p.perStateBinTime.size()));
+      for (const std::vector<double>& row : p.perStateBinTime) {
+        for (double v : row) w.f64(v);
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kWindow: {
+      const std::uint32_t traceId = r.u32();
+      WindowQuery query;
+      query.t0 = r.u64();
+      query.t1 = r.u64();
+      const bool hasNode = r.u8() != 0;
+      const NodeId node = r.i32();
+      if (hasNode) query.node = node;
+      const bool hasThread = r.u8() != 0;
+      const LogicalThreadId thread = r.i32();
+      if (hasThread) query.thread = thread;
+      const std::uint32_t nStates = r.u32();
+      query.states.reserve(nStates);
+      for (std::uint32_t i = 0; i < nStates; ++i) {
+        query.states.push_back(r.u32());
+      }
+      const WindowResult result = service.window(traceId, query);
+      ByteWriter w = okHeader();
+      w.u64(result.t0);
+      w.u64(result.t1);
+      SlogFrameData data;
+      data.intervals = result.intervals;
+      data.arrows = result.arrows;
+      putFrameData(w, data);
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kFrameAt: {
+      const std::uint32_t traceId = r.u32();
+      const Tick t = r.u64();
+      const FrameAtResult result = service.frameAt(traceId, t);
+      ByteWriter w = okHeader();
+      w.u32(static_cast<std::uint32_t>(result.frameIdx));
+      w.u64(result.entry.offset);
+      w.u32(result.entry.sizeBytes);
+      w.u32(result.entry.records);
+      w.u64(result.entry.timeStart);
+      w.u64(result.entry.timeEnd);
+      putFrameData(w, *result.frame);
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kSummary: {
+      const std::uint32_t traceId = r.u32();
+      const Tick t0 = r.u64();
+      const Tick t1 = r.u64();
+      const std::vector<SummaryEntry> entries =
+          service.summary(traceId, t0, t1);
+      ByteWriter w = okHeader();
+      w.u32(static_cast<std::uint32_t>(entries.size()));
+      for (const SummaryEntry& e : entries) {
+        w.u32(e.stateId);
+        w.f64(e.ns);
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kStats: {
+      const FrameCache::Stats cache = service.cache().stats();
+      const WorkerPool::Stats pool = service.pool().stats();
+      ByteWriter w = okHeader();
+      w.u64(cache.hits);
+      w.u64(cache.misses);
+      w.u64(cache.evictions);
+      w.u64(cache.bytes);
+      w.u64(cache.entries);
+      w.u64(pool.accepted);
+      w.u64(pool.rejected);
+      w.u64(pool.executed);
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kShutdown: {
+      outcome.response = okHeader().take();
+      outcome.shutdown = true;
+      return outcome;
+    }
+  }
+  outcome.response = encodeErrorReply(
+      ErrorCode::kBadRequest,
+      "unknown opcode " +
+          std::to_string(static_cast<unsigned>(payload.empty() ? 0
+                                                               : payload[0])));
+  return outcome;
+}
+
+/// UsageError carries both bad-trace and bad-window conditions; the trace
+/// message prefix disambiguates for the wire code.
+ErrorCode usageCode(const std::string& what) {
+  return what.rfind("unknown trace id", 0) == 0 ? ErrorCode::kBadTrace
+                                                : ErrorCode::kBadWindow;
+}
+
+}  // namespace
+
+RequestOutcome processRequest(TraceService& service,
+                              std::span<const std::uint8_t> payload) {
+  RequestOutcome outcome;
+  if (payload.empty()) {
+    outcome.response =
+        encodeErrorReply(ErrorCode::kBadRequest, "empty request");
+    return outcome;
+  }
+  try {
+    return dispatch(service, payload);
+  } catch (const UsageError& e) {
+    outcome.response = encodeErrorReply(usageCode(e.what()), e.what());
+  } catch (const CorruptFileError& e) {
+    // The request was fine; the file on disk is not.
+    outcome.response = encodeErrorReply(ErrorCode::kInternal, e.what());
+  } catch (const FormatError& e) {
+    // Truncated/garbled request bytes (ByteReader over-read).
+    outcome.response = encodeErrorReply(ErrorCode::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    outcome.response = encodeErrorReply(ErrorCode::kInternal, e.what());
+  }
+  return outcome;
+}
+
+}  // namespace ute

@@ -1,0 +1,138 @@
+// The uteserve wire protocol: versioned, length-prefixed binary frames.
+//
+// Every message on the wire is  u32 payloadLen | payload , little-endian
+// like every other format in this project. A request payload starts with
+// a u8 opcode; a response payload starts with a u8 status byte — 0 for
+// success followed by the op-specific body, nonzero for an error frame
+// (the status byte is the ErrorCode, followed by a human-readable
+// lstring). The same encode/decode functions back the TCP client, the
+// server dispatch loop, and the byte-identity assertions in the tests —
+// there is exactly one serialization of every message.
+//
+// docs/SERVER.md is the normative description of this protocol; keep the
+// two in sync (protocol_test.cpp pins the layouts).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/trace_service.h"
+#include "support/bytes.h"
+
+namespace ute {
+
+inline constexpr std::uint32_t kQueryMagic = 0x51455455;  // "UTEQ"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Sanity cap on one message; anything longer is a protocol violation.
+inline constexpr std::uint32_t kMaxMessageBytes = 64u << 20;
+
+enum class Opcode : std::uint8_t {
+  kHello = 1,
+  kInfo = 2,
+  kStates = 3,
+  kThreads = 4,
+  kPreview = 5,
+  kWindow = 6,
+  kFrameAt = 7,
+  kSummary = 8,
+  kStats = 9,
+  kShutdown = 10,
+};
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,   ///< unparseable payload or unknown opcode
+  kBadVersion = 2,   ///< hello magic/version mismatch
+  kBadTrace = 3,     ///< trace id out of range
+  kBadWindow = 4,    ///< empty/out-of-run window, no frame at t
+  kOverloaded = 5,   ///< request queue full — retry later
+  kInternal = 6,
+};
+
+const char* errorCodeName(ErrorCode code);
+
+/// An error frame decoded client-side becomes this exception.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(errorCodeName(code)) + ": " + message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+struct HelloReply {
+  std::uint16_t version = 0;
+  std::uint32_t traceCount = 0;
+};
+
+struct TraceInfo {
+  std::string path;
+  Tick totalStart = 0;
+  Tick totalEnd = 0;
+  std::uint32_t frames = 0;
+  std::uint32_t states = 0;
+  std::uint32_t threads = 0;
+};
+
+struct ServiceStats {
+  FrameCache::Stats cache;
+  WorkerPool::Stats pool;
+};
+
+// --- request encoding (client side) ---------------------------------------
+
+ByteWriter encodeHelloRequest();
+ByteWriter encodeTraceRequest(Opcode op, std::uint32_t traceId);
+ByteWriter encodeWindowRequest(std::uint32_t traceId,
+                               const WindowQuery& query);
+ByteWriter encodeSummaryRequest(std::uint32_t traceId, Tick t0, Tick t1);
+ByteWriter encodeFrameAtRequest(std::uint32_t traceId, Tick t);
+ByteWriter encodeStatsRequest();
+ByteWriter encodeShutdownRequest();
+
+// --- response decoding (client side) ---------------------------------------
+// Each checks the status byte and throws ServiceError on an error frame.
+
+HelloReply decodeHelloReply(std::span<const std::uint8_t> payload);
+TraceInfo decodeInfoReply(std::span<const std::uint8_t> payload);
+std::vector<SlogStateDef> decodeStatesReply(
+    std::span<const std::uint8_t> payload);
+std::vector<ThreadEntry> decodeThreadsReply(
+    std::span<const std::uint8_t> payload);
+SlogPreview decodePreviewReply(std::span<const std::uint8_t> payload);
+WindowResult decodeWindowReply(std::span<const std::uint8_t> payload);
+/// frameIdx + index entry + frame contents.
+struct FrameReply {
+  std::uint32_t frameIdx = 0;
+  SlogFrameIndexEntry entry;
+  SlogFrameData data;
+};
+FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload);
+std::vector<SummaryEntry> decodeSummaryReply(
+    std::span<const std::uint8_t> payload);
+ServiceStats decodeStatsReply(std::span<const std::uint8_t> payload);
+void decodeOkReply(std::span<const std::uint8_t> payload);
+
+// --- server dispatch --------------------------------------------------------
+
+struct RequestOutcome {
+  std::vector<std::uint8_t> response;
+  bool shutdown = false;  ///< payload was a (successful) kShutdown
+};
+
+/// Executes one request payload against `service` and produces the
+/// response payload. Never throws: every failure becomes an error frame.
+RequestOutcome processRequest(TraceService& service,
+                              std::span<const std::uint8_t> payload);
+
+/// The canonical overload error frame (sent without touching a worker).
+std::vector<std::uint8_t> encodeErrorReply(ErrorCode code,
+                                           const std::string& message);
+
+}  // namespace ute

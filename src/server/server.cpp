@@ -1,0 +1,89 @@
+#include "server/server.h"
+
+#include <future>
+
+#include "server/protocol.h"
+
+namespace ute {
+
+TraceServer::TraceServer(const std::vector<std::string>& slogPaths,
+                         const ServerOptions& options)
+    : service_(slogPaths, options.service), listener_(options.port) {
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+TraceServer::~TraceServer() { stop(); }
+
+void TraceServer::stop() {
+  if (stopping_.exchange(true)) {
+    // A second caller still waits for the accept thread below.
+  }
+  listener_.close();
+  if (acceptThread_.joinable()) acceptThread_.join();
+  {
+    std::lock_guard<std::mutex> lock(connectionsMu_);
+    for (auto& conn : connections_) conn->socket.shutdownBoth();
+  }
+  // Joining outside the lock: connection threads never re-enter the list
+  // except to be erased here.
+  std::list<std::unique_ptr<Connection>> drained;
+  {
+    std::lock_guard<std::mutex> lock(connectionsMu_);
+    drained.swap(connections_);
+  }
+  for (auto& conn : drained) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void TraceServer::acceptLoop() {
+  for (;;) {
+    std::optional<TcpSocket> client = listener_.accept();
+    if (!client) return;  // listener closed
+    if (stopping_.load()) return;
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*client);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connectionsMu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serveConnection(*raw); });
+  }
+}
+
+void TraceServer::serveConnection(Connection& conn) {
+  try {
+    for (;;) {
+      const auto request = recvMessage(conn.socket);
+      if (!request) return;  // client hung up
+      bool shutdown = false;
+      std::vector<std::uint8_t> response;
+
+      // The query runs on the worker pool; this thread only does I/O.
+      std::packaged_task<RequestOutcome()> task(
+          [this, &request] { return processRequest(service_, *request); });
+      std::future<RequestOutcome> future = task.get_future();
+      if (service_.trySubmit([&task] { task(); })) {
+        RequestOutcome outcome = future.get();
+        response = std::move(outcome.response);
+        shutdown = outcome.shutdown;
+      } else {
+        response = encodeErrorReply(
+            ErrorCode::kOverloaded,
+            "request queue full (" +
+                std::to_string(service_.pool().maxQueue()) + " deep)");
+      }
+
+      sendMessage(conn.socket, response);
+      if (shutdown) {
+        stopRequested_.store(true);
+        return;
+      }
+    }
+  } catch (const std::exception&) {
+    // Torn connection (EOF mid-message, send failure): drop the client.
+  }
+}
+
+}  // namespace ute

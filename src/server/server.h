@@ -1,0 +1,70 @@
+// TraceServer: the TCP front end of TraceService.
+//
+// One accept thread; one lightweight I/O thread per connection that
+// decodes length-prefixed requests and hands the query work to the
+// service's fixed worker pool. Responses go back in request order (the
+// connection thread waits for its job), so the protocol needs no request
+// ids. When the pool's bounded queue is full the server answers
+// immediately with an kOverloaded error frame — explicit backpressure
+// instead of unbounded buffering. A client can stop the server remotely
+// with the kShutdown opcode (uteserve exposes this via `utequery
+// shutdown`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/tcp.h"
+#include "server/trace_service.h"
+
+namespace ute {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral, see TraceServer::port()
+  ServiceOptions service;
+};
+
+class TraceServer {
+ public:
+  /// Loads the traces and starts listening + accepting immediately.
+  TraceServer(const std::vector<std::string>& slogPaths,
+              const ServerOptions& options = {});
+  ~TraceServer();
+
+  TraceServer(const TraceServer&) = delete;
+  TraceServer& operator=(const TraceServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  TraceService& service() { return service_; }
+
+  /// True once a client issued kShutdown (the owner should call stop()).
+  bool stopRequested() const { return stopRequested_.load(); }
+
+  /// Closes the listener, unblocks live connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  struct Connection {
+    TcpSocket socket;
+    std::thread thread;
+  };
+
+  void acceptLoop();
+  void serveConnection(Connection& conn);
+
+  TraceService service_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::thread acceptThread_;
+  std::mutex connectionsMu_;
+  std::list<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace ute

@@ -1,0 +1,80 @@
+// Minimal RAII TCP wrappers (loopback-oriented) for the query service.
+//
+// Just enough POSIX socket surface for a length-prefixed message
+// protocol: a listener bound to 127.0.0.1 (port 0 picks an ephemeral
+// port, reported back for tests and port files), a connected socket with
+// full-length send/recv loops, and message framing helpers that apply
+// the u32-length prefix and the kMaxMessageBytes sanity cap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ute {
+
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port; throws IoError on failure.
+  static TcpSocket connectTo(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all of `data`; throws IoError on failure.
+  void sendAll(std::span<const std::uint8_t> data);
+  /// Reads exactly data.size() bytes. Returns false on clean EOF before
+  /// the first byte; throws IoError on EOF mid-buffer or socket error.
+  bool recvAll(std::span<std::uint8_t> data);
+
+  /// Unblocks any reader/writer on this socket (e.g. from another
+  /// thread during server stop).
+  void shutdownBoth();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; nullopt once close() was called.
+  std::optional<TcpSocket> accept();
+
+  /// Thread-safe: wakes a blocked accept(), which then returns nullopt.
+  void close();
+
+ private:
+  /// Atomic because close() races with a blocked accept() by design.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Writes `payload` as one length-prefixed message.
+void sendMessage(TcpSocket& socket, std::span<const std::uint8_t> payload);
+/// Reads one message; nullopt on clean EOF between messages. Throws
+/// IoError on mid-message EOF and FormatError on an oversized length.
+std::optional<std::vector<std::uint8_t>> recvMessage(TcpSocket& socket);
+
+}  // namespace ute

@@ -1,0 +1,194 @@
+#include "server/trace_service.h"
+
+#include <algorithm>
+#include <map>
+
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+std::uint64_t frameKey(std::uint32_t traceId, std::size_t frameIdx) {
+  return (std::uint64_t{traceId} << 32) | static_cast<std::uint32_t>(frameIdx);
+}
+
+/// RAII lease of one per-trace file handle; opens a fresh handle when the
+/// free list is empty (first use by a new worker), returns it on release
+/// so steady state keeps at most one handle per concurrent reader.
+class HandleLease {
+ public:
+  HandleLease(std::mutex& mu, std::vector<std::unique_ptr<FileReader>>& pool,
+              const std::string& path)
+      : mu_(mu), pool_(pool) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pool_.empty()) {
+        handle_ = std::move(pool_.back());
+        pool_.pop_back();
+      }
+    }
+    if (!handle_) handle_ = std::make_unique<FileReader>(path);
+  }
+  ~HandleLease() {
+    std::lock_guard<std::mutex> lock(mu_);
+    pool_.push_back(std::move(handle_));
+  }
+  FileReader& get() { return *handle_; }
+
+ private:
+  std::mutex& mu_;
+  std::vector<std::unique_ptr<FileReader>>& pool_;
+  std::unique_ptr<FileReader> handle_;
+};
+
+}  // namespace
+
+TraceService::TraceService(const std::vector<std::string>& slogPaths,
+                           const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cacheBytes, options.cacheShards),
+      pool_(options.workers, options.queueDepth) {
+  if (slogPaths.empty()) {
+    throw UsageError("TraceService needs at least one SLOG file");
+  }
+  traces_.reserve(slogPaths.size());
+  for (const std::string& path : slogPaths) {
+    auto trace = std::make_unique<Trace>();
+    trace->reader = std::make_unique<SlogReader>(path);
+    traces_.push_back(std::move(trace));
+  }
+}
+
+TraceService::~TraceService() { pool_.shutdown(); }
+
+std::uint32_t TraceService::traceCount() const {
+  return static_cast<std::uint32_t>(traces_.size());
+}
+
+const SlogReader& TraceService::trace(std::uint32_t traceId) const {
+  if (traceId >= traces_.size()) {
+    throw UsageError("unknown trace id " + std::to_string(traceId));
+  }
+  return *traces_[traceId]->reader;
+}
+
+TraceService::Trace& TraceService::traceSlot(std::uint32_t traceId) {
+  if (traceId >= traces_.size()) {
+    throw UsageError("unknown trace id " + std::to_string(traceId));
+  }
+  return *traces_[traceId];
+}
+
+FrameCache::FramePtr TraceService::frame(std::uint32_t traceId,
+                                         std::size_t frameIdx) {
+  Trace& slot = traceSlot(traceId);
+  const SlogReader& reader = *slot.reader;
+  if (frameIdx >= reader.frameIndex().size()) {
+    throw UsageError("SLOG frame index out of range");
+  }
+  return cache_.getOrLoad(frameKey(traceId, frameIdx), [&] {
+    HandleLease lease(slot.handleMu, slot.freeHandles, reader.path());
+    return reader.readFrame(frameIdx, lease.get());
+  });
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> TraceService::frameSpan(
+    const SlogReader& reader, Tick t0, Tick t1) const {
+  const auto& index = reader.frameIndex();
+  std::size_t first = index.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    // Half-open selection, matching buildSlogWindowView: a frame that
+    // merely touches a window edge contributes nothing.
+    if (index[i].timeEnd <= t0 || index[i].timeStart >= t1) continue;
+    first = std::min(first, i);
+    last = std::max(last, i);
+  }
+  if (first > last) return std::nullopt;
+  return std::make_pair(first, last);
+}
+
+WindowResult TraceService::window(std::uint32_t traceId,
+                                  const WindowQuery& query) {
+  const SlogReader& reader = trace(traceId);
+  if (query.t1 <= query.t0) {
+    throw UsageError("window end must follow window start");
+  }
+  WindowResult result;
+  result.t0 = std::max(query.t0, reader.totalStart());
+  result.t1 = std::min(query.t1, reader.totalEnd());
+  if (result.t1 <= result.t0) throw UsageError("window is outside the run");
+  const auto span = frameSpan(reader, result.t0, result.t1);
+  if (!span) throw UsageError("window is outside the run");
+
+  const bool allStates = query.states.empty();
+  const auto stateWanted = [&](std::uint32_t id) {
+    return allStates || std::find(query.states.begin(), query.states.end(),
+                                  id) != query.states.end();
+  };
+
+  for (std::size_t f = span->first; f <= span->second; ++f) {
+    const FrameCache::FramePtr data = frame(traceId, f);
+    for (const SlogInterval& r : data->intervals) {
+      if (r.pseudo && f != span->first) continue;  // merged restatement
+      if (!r.pseudo && (r.end() < result.t0 || r.start > result.t1)) continue;
+      if (query.node && r.node != *query.node) continue;
+      if (query.thread && r.thread != *query.thread) continue;
+      if (!stateWanted(r.stateId)) continue;
+      result.intervals.push_back(r);
+    }
+    for (const SlogArrow& a : data->arrows) {
+      if (a.recvTime < result.t0 || a.sendTime > result.t1) continue;
+      if (query.node && a.srcNode != *query.node && a.dstNode != *query.node)
+        continue;
+      if (query.thread && a.srcThread != *query.thread &&
+          a.dstThread != *query.thread)
+        continue;
+      result.arrows.push_back(a);
+    }
+  }
+  return result;
+}
+
+std::vector<SummaryEntry> TraceService::summary(std::uint32_t traceId,
+                                                Tick t0, Tick t1) {
+  const SlogReader& reader = trace(traceId);
+  if (t1 <= t0) throw UsageError("window end must follow window start");
+  t0 = std::max(t0, reader.totalStart());
+  t1 = std::min(t1, reader.totalEnd());
+  if (t1 <= t0) throw UsageError("window is outside the run");
+  const auto span = frameSpan(reader, t0, t1);
+  std::map<std::uint32_t, double> perState;
+  if (span) {
+    for (std::size_t f = span->first; f <= span->second; ++f) {
+      const FrameCache::FramePtr data = frame(traceId, f);
+      for (const SlogInterval& r : data->intervals) {
+        if (r.pseudo) continue;
+        const Tick lo = std::max(r.start, t0);
+        const Tick hi = std::min(r.end(), t1);
+        if (hi <= lo) continue;
+        perState[r.stateId] += static_cast<double>(hi - lo);
+      }
+    }
+  }
+  std::vector<SummaryEntry> result;
+  result.reserve(perState.size());
+  for (const auto& [stateId, ns] : perState) result.push_back({stateId, ns});
+  return result;
+}
+
+FrameAtResult TraceService::frameAt(std::uint32_t traceId, Tick t) {
+  const SlogReader& reader = trace(traceId);
+  const auto idx = reader.frameIndexFor(t);
+  if (!idx) {
+    throw UsageError("no frame contains t=" + std::to_string(t));
+  }
+  FrameAtResult result;
+  result.frameIdx = *idx;
+  result.entry = reader.frameIndex()[*idx];
+  result.frame = frame(traceId, *idx);
+  return result;
+}
+
+}  // namespace ute

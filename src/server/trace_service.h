@@ -1,0 +1,135 @@
+// TraceService: the in-process trace-query engine.
+//
+// Loads one or more SLOG files once (metadata, tables, preview) and then
+// answers concurrent queries against them: preview, states, threads,
+// frame-at(t), window(t0, t1) with thread/state filters, and per-state
+// summary totals. Frames are decoded at most once through the sharded
+// FrameCache; raw file bytes are read through a small pool of per-trace
+// file handles so N worker threads can pull different frames of the same
+// file simultaneously (SlogReader::readFrame with an injected handle).
+//
+// Query methods are thread-safe and synchronous. The embedded WorkerPool
+// adds admission control on top: trySubmit() is how the TCP server
+// bounds concurrent query CPU and sheds load explicitly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "server/frame_cache.h"
+#include "server/worker_pool.h"
+#include "slog/slog_reader.h"
+
+namespace ute {
+
+struct ServiceOptions {
+  std::size_t cacheBytes = 64u << 20;
+  std::size_t cacheShards = 8;
+  std::size_t workers = 4;
+  std::size_t queueDepth = 64;
+};
+
+/// A window query: absolute tick range plus optional filters. Empty
+/// `states` means every state passes.
+struct WindowQuery {
+  Tick t0 = 0;
+  Tick t1 = 0;
+  std::optional<NodeId> node;
+  std::optional<LogicalThreadId> thread;
+  std::vector<std::uint32_t> states;
+};
+
+/// Window result semantics (the contract tests and clients rely on):
+///   - the query range is clamped to [totalStart, totalEnd];
+///   - the frames consulted are exactly those with timeEnd > t0 and
+///     timeStart < t1 (a frame merely touching an edge contributes
+///     nothing);
+///   - pseudo-intervals are merged: only the FIRST consulted frame's
+///     restatements are returned (later frames' duplicates dropped);
+///   - real intervals are returned unclipped when they overlap the
+///     clamped range (end() >= t0 and start <= t1) and pass the filters;
+///   - arrows are returned when recvTime >= t0 and sendTime <= t1; the
+///     node/thread filters keep an arrow if either endpoint matches;
+///     state filters do not apply to arrows.
+/// Record order is frame order, then in-frame order — identical to a
+/// single-threaded scan of the same frames with a bare SlogReader.
+struct WindowResult {
+  Tick t0 = 0;  ///< clamped
+  Tick t1 = 0;
+  std::vector<SlogInterval> intervals;
+  std::vector<SlogArrow> arrows;
+};
+
+/// Per-state time in a window: durations clipped to [t0, t1] and summed
+/// (pseudo-intervals have zero duration and contribute nothing). Sorted
+/// by stateId; zero-total states are omitted.
+struct SummaryEntry {
+  std::uint32_t stateId = 0;
+  double ns = 0;
+};
+
+struct FrameAtResult {
+  std::size_t frameIdx = 0;
+  SlogFrameIndexEntry entry;
+  FrameCache::FramePtr frame;
+};
+
+class TraceService {
+ public:
+  /// Opens every path up front; throws (IoError/FormatError/
+  /// CorruptFileError) if any file is unusable.
+  TraceService(const std::vector<std::string>& slogPaths,
+               const ServiceOptions& options = {});
+  ~TraceService();
+
+  TraceService(const TraceService&) = delete;
+  TraceService& operator=(const TraceService&) = delete;
+
+  std::uint32_t traceCount() const;
+  /// Metadata access (immutable after construction). Throws UsageError
+  /// for an unknown id.
+  const SlogReader& trace(std::uint32_t traceId) const;
+
+  /// Cached frame fetch (the unit the cache works in).
+  FrameCache::FramePtr frame(std::uint32_t traceId, std::size_t frameIdx);
+
+  WindowResult window(std::uint32_t traceId, const WindowQuery& query);
+  std::vector<SummaryEntry> summary(std::uint32_t traceId, Tick t0, Tick t1);
+  /// Throws UsageError when no frame contains `t`.
+  FrameAtResult frameAt(std::uint32_t traceId, Tick t);
+
+  FrameCache& cache() { return cache_; }
+  const FrameCache& cache() const { return cache_; }
+  WorkerPool& pool() { return pool_; }
+  const ServiceOptions& options() const { return options_; }
+
+  /// Admission-controlled execution (see WorkerPool::trySubmit).
+  bool trySubmit(std::function<void()> job) {
+    return pool_.trySubmit(std::move(job));
+  }
+
+ private:
+  struct Trace {
+    std::unique_ptr<SlogReader> reader;
+    std::mutex handleMu;
+    std::vector<std::unique_ptr<FileReader>> freeHandles;
+  };
+
+  /// Frame span [first, last] consulted for a clamped window; nullopt
+  /// when no frame overlaps it.
+  std::optional<std::pair<std::size_t, std::size_t>> frameSpan(
+      const SlogReader& reader, Tick t0, Tick t1) const;
+
+  Trace& traceSlot(std::uint32_t traceId);
+
+  ServiceOptions options_;
+  std::vector<std::unique_ptr<Trace>> traces_;
+  FrameCache cache_;
+  WorkerPool pool_;
+};
+
+}  // namespace ute

@@ -1,0 +1,64 @@
+#include "server/worker_pool.h"
+
+#include <algorithm>
+
+namespace ute {
+
+WorkerPool::WorkerPool(std::size_t workers, std::size_t maxQueue)
+    : maxQueue_(std::max<std::size_t>(1, maxQueue)) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+bool WorkerPool::trySubmit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= maxQueue_) {
+      ++stats_.rejected;
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    ++stats_.accepted;
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++stats_.executed;
+    }
+    job();
+  }
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ute

@@ -1,0 +1,60 @@
+// Fixed worker pool with a bounded queue and explicit backpressure.
+//
+// The trace-query service must stay responsive under overload: query CPU
+// work runs on a fixed number of workers, pending work waits in a queue
+// with a hard depth limit, and once the queue is full trySubmit() refuses
+// immediately — the caller (the TCP server) turns that refusal into an
+// "overloaded" error frame instead of queueing unboundedly and falling
+// over later. Connection I/O threads stay outside the pool, so a slow
+// client never occupies a query worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ute {
+
+class WorkerPool {
+ public:
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;  ///< refused because the queue was full
+    std::uint64_t executed = 0;
+  };
+
+  /// Spawns `workers` threads; at most `maxQueue` jobs wait unstarted.
+  WorkerPool(std::size_t workers, std::size_t maxQueue);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `job`, or returns false without blocking when the queue is
+  /// at maxQueue (or the pool is shutting down).
+  bool trySubmit(std::function<void()> job);
+
+  /// Stops accepting work, drains jobs already queued, joins workers.
+  void shutdown();
+
+  Stats stats() const;
+  std::size_t workerCount() const { return threads_.size(); }
+  std::size_t maxQueue() const { return maxQueue_; }
+
+ private:
+  void workerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t maxQueue_;
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+}  // namespace ute

@@ -10,7 +10,27 @@ namespace {
 constexpr std::uint32_t kSlogHeaderBytes = 64;
 }
 
+namespace {
+
+/// Corrupt-file guard: frame offsets, table offsets and counts all come
+/// from the file itself, so each is checked against the real byte count
+/// before any read that would trust it.
+void requireWithin(std::uint64_t offset, std::uint64_t bytes,
+                   std::uint64_t fileSize, const std::string& path,
+                   const char* what) {
+  if (offset > fileSize || bytes > fileSize - offset) {
+    throw CorruptFileError("corrupt SLOG file " + path + ": " + what +
+                           " [" + std::to_string(offset) + ", +" +
+                           std::to_string(bytes) + ") exceeds file size " +
+                           std::to_string(fileSize));
+  }
+}
+
+}  // namespace
+
 SlogReader::SlogReader(const std::string& path) : file_(path) {
+  const std::uint64_t fileSize = file_.size();
+  requireWithin(0, kSlogHeaderBytes, fileSize, path, "header");
   const auto headerBytes = file_.read(kSlogHeaderBytes);
   ByteReader r(headerBytes);
   if (r.u32() != kSlogMagic) throw FormatError("not a SLOG file: " + path);
@@ -26,6 +46,19 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
   const std::uint64_t indexOffset = r.u64();
   const std::uint64_t stateOffset = r.u64();
   const std::uint64_t previewOffset = r.u64();
+
+  requireWithin(kSlogHeaderBytes,
+                std::uint64_t{threadCount} * kThreadEntryBytes, fileSize,
+                path, "thread table");
+  requireWithin(indexOffset, std::uint64_t{frameCount} * 32, fileSize, path,
+                "frame index");
+  if (stateOffset > previewOffset) {
+    throw CorruptFileError("corrupt SLOG file " + path +
+                           ": state table offset follows preview offset");
+  }
+  requireWithin(stateOffset, previewOffset - stateOffset, fileSize, path,
+                "state table");
+  requireWithin(previewOffset, 0, fileSize, path, "preview");
 
   const auto tableBytes = file_.read(threadCount * kThreadEntryBytes);
   ByteReader tr(tableBytes);
@@ -52,6 +85,13 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
     e.records = ir.u32();
     e.timeStart = ir.u64();
     e.timeEnd = ir.u64();
+    requireWithin(e.offset, e.sizeBytes, fileSize, path,
+                  ("frame " + std::to_string(i) + " extent").c_str());
+    if (e.offset < kSlogHeaderBytes || e.timeEnd < e.timeStart) {
+      throw CorruptFileError("corrupt SLOG file " + path +
+                             ": frame index entry " + std::to_string(i) +
+                             " is inconsistent");
+    }
     index_.push_back(e);
   }
 
@@ -101,12 +141,17 @@ std::optional<std::size_t> SlogReader::frameIndexFor(Tick t) const {
 }
 
 SlogFrameData SlogReader::readFrame(std::size_t frameIdx) {
+  return readFrame(frameIdx, file_);
+}
+
+SlogFrameData SlogReader::readFrame(std::size_t frameIdx,
+                                    FileReader& file) const {
   if (frameIdx >= index_.size()) {
     throw UsageError("SLOG frame index out of range");
   }
   const SlogFrameIndexEntry& entry = index_[frameIdx];
-  file_.seek(entry.offset);
-  const auto bytes = file_.read(entry.sizeBytes);
+  file.seek(entry.offset);
+  const auto bytes = file.read(entry.sizeBytes);
   ByteReader r(bytes);
   SlogFrameData data;
   for (std::uint32_t i = 0; i < entry.records; ++i) {

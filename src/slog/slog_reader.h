@@ -3,6 +3,16 @@
 // viewer's scalability property — locating and loading the frame for any
 // chosen time without touching the rest of the file — lives in
 // frameIndexFor() + readFrame().
+//
+// All metadata (index, tables, preview) is immutable after construction,
+// and every frame offset/size from the index is validated against the
+// actual file size up front (a corrupt or truncated file throws
+// CorruptFileError instead of decoding garbage). Frame reads come in two
+// flavors: readFrame(i) uses the reader's own file handle and is NOT
+// thread-safe; readFrame(i, file) reads through an injected,
+// independently opened handle on the same path, so N threads holding N
+// handles can pull frames from one shared reader concurrently — this is
+// the read path the trace-query service builds on.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +44,12 @@ class SlogReader {
   std::optional<std::size_t> frameIndexFor(Tick t) const;
 
   SlogFrameData readFrame(std::size_t frameIdx);
+
+  /// Thread-safe variant: reads frame bytes through `file`, a separately
+  /// opened handle on path(). Only immutable metadata is touched.
+  SlogFrameData readFrame(std::size_t frameIdx, FileReader& file) const;
+
+  const std::string& path() const { return file_.path(); }
 
  private:
   FileReader file_;

@@ -21,6 +21,16 @@ class FormatError : public std::runtime_error {
   explicit FormatError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A file that carries the right magic/version but whose internal
+/// offsets, sizes or counts point outside the bytes actually present
+/// (truncation, bit rot, a hostile file). Distinguished from plain
+/// FormatError so long-running services can keep serving other files
+/// and report precisely which input is damaged.
+class CorruptFileError : public FormatError {
+ public:
+  explicit CorruptFileError(const std::string& what) : FormatError(what) {}
+};
+
 /// A syntax or semantic error in a statistics-language program.
 class ParseError : public std::runtime_error {
  public:

@@ -1,0 +1,128 @@
+// FrameCache unit tests: LRU eviction order, byte budgeting, and the
+// hit/miss/eviction counters the service's stats op reports.
+#include <gtest/gtest.h>
+
+#include "server/frame_cache.h"
+
+namespace ute {
+namespace {
+
+/// A frame with `n` intervals — its cache charge is deterministic.
+SlogFrameData frameOf(std::size_t n) {
+  SlogFrameData data;
+  data.intervals.resize(n);
+  return data;
+}
+
+const std::size_t kUnit = FrameCache::frameBytes(frameOf(10));
+
+/// getOrLoad wrapper that counts how often the loader actually ran —
+/// the observable difference between a hit and a (re)load.
+struct CountingLoader {
+  FrameCache& cache;
+  int loads = 0;
+  FrameCache::FramePtr get(std::uint64_t key, std::size_t n = 10) {
+    return cache.getOrLoad(key, [&] {
+      ++loads;
+      return frameOf(n);
+    });
+  }
+};
+
+TEST(FrameCache, HitsShareOneDecode) {
+  FrameCache cache(1 << 20, 1);
+  CountingLoader loader{cache};
+  const auto a = loader.get(1);
+  const auto b = loader.get(1);
+  EXPECT_EQ(loader.loads, 1);
+  EXPECT_EQ(a.get(), b.get());  // same decoded frame shared
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(FrameCache, EvictsLeastRecentlyUsedFirst) {
+  // Budget fits exactly 3 unit frames (single shard for determinism).
+  FrameCache cache(3 * kUnit, 1);
+  CountingLoader loader{cache};
+  loader.get(1);
+  loader.get(2);
+  loader.get(3);
+  loader.get(1);        // 1 is now most recent; LRU order: 2, 3, 1
+  loader.get(4);        // evicts 2
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(loader.loads, 4);
+
+  loader.get(3);        // still cached
+  loader.get(1);        // still cached
+  EXPECT_EQ(loader.loads, 4);
+  loader.get(2);        // was evicted -> reload
+  EXPECT_EQ(loader.loads, 5);
+}
+
+TEST(FrameCache, ByteBudgetHolds) {
+  const std::size_t budget = 8 * kUnit;
+  FrameCache cache(budget, 1);
+  CountingLoader loader{cache};
+  for (std::uint64_t key = 0; key < 100; ++key) loader.get(key);
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes, budget);
+  EXPECT_GE(stats.evictions, 100u - stats.entries);
+  EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(FrameCache, OversizedEntrySurvivesAlone) {
+  FrameCache cache(kUnit, 1);
+  CountingLoader loader{cache};
+  loader.get(1, 10000);  // far over budget
+  EXPECT_EQ(cache.stats().entries, 1u);
+  loader.get(1, 10000);
+  EXPECT_EQ(loader.loads, 1) << "oversized frame must not thrash";
+}
+
+TEST(FrameCache, ShardsEvictIndependently) {
+  // Same total budget, 4 shards: each shard holds ~2 units.
+  FrameCache cache(8 * kUnit, 4);
+  CountingLoader loader{cache};
+  for (std::uint64_t key = 0; key < 64; ++key) loader.get(key);
+  const auto stats = cache.stats();
+  EXPECT_LE(stats.bytes, 8 * kUnit);
+  EXPECT_EQ(stats.misses, 64u);
+}
+
+TEST(FrameCache, LookupProbesWithoutLoading) {
+  FrameCache cache(1 << 20, 2);
+  EXPECT_EQ(cache.lookup(7), nullptr);
+  CountingLoader loader{cache};
+  loader.get(7);
+  EXPECT_NE(cache.lookup(7), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // failed probe + initial load
+}
+
+TEST(FrameCache, ClearDropsEntriesKeepsCounters) {
+  FrameCache cache(1 << 20, 2);
+  CountingLoader loader{cache};
+  loader.get(1);
+  loader.get(2);
+  cache.clear();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.misses, 2u);
+  loader.get(1);
+  EXPECT_EQ(loader.loads, 3);
+}
+
+TEST(FrameCache, EvictedFramesStayValidForHolders) {
+  FrameCache cache(kUnit, 1);
+  CountingLoader loader{cache};
+  const auto held = loader.get(1);
+  loader.get(2);  // evicts key 1
+  EXPECT_EQ(held->intervals.size(), 10u);  // shared_ptr keeps it alive
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,238 @@
+// Wire-protocol tests: request/response round-trips through the same
+// encode/decode pair the client and server use, error frames, version
+// handshake, and rejection of malformed request bytes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "interval/standard_profile.h"
+#include "server/protocol.h"
+#include "slog/slog_writer.h"
+
+namespace ute {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// One tiny SLOG file shared by every test in this file.
+class ProtocolTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    path_ = new std::string(tempPath("protocol_test.slog"));
+    const Profile profile = makeStandardProfile();
+    SlogOptions options;
+    options.recordsPerFrame = 32;
+    SlogWriter w(*path_, options, profile,
+                 {{0, 1000, 10000, 0, 0, ThreadType::kMpi},
+                  {1, 1001, 10001, 1, 0, ThreadType::kMpi}},
+                 {{1, "Main Loop"}});
+    for (int i = 0; i < 100; ++i) {
+      ByteWriter extra;
+      extra.u64(static_cast<Tick>(i) * kMs);
+      w.addRecord(RecordView::parse(
+          encodeRecordBody(
+              makeIntervalType(kRunningState, Bebits::kComplete),
+              static_cast<Tick>(i) * kMs, kMs / 2, 0, i % 2, 0,
+              extra.view())
+              .view()));
+    }
+    w.close();
+    service_ = new TraceService({*path_});
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    service_ = nullptr;
+    delete path_;
+    path_ = nullptr;
+  }
+
+  static std::vector<std::uint8_t> exec(const ByteWriter& request) {
+    return processRequest(*service_, request.view()).response;
+  }
+
+  static std::string* path_;
+  static TraceService* service_;
+};
+
+std::string* ProtocolTest::path_ = nullptr;
+TraceService* ProtocolTest::service_ = nullptr;
+
+TEST_F(ProtocolTest, HelloHandshake) {
+  const HelloReply reply = decodeHelloReply(exec(encodeHelloRequest()));
+  EXPECT_EQ(reply.version, kProtocolVersion);
+  EXPECT_EQ(reply.traceCount, 1u);
+}
+
+TEST_F(ProtocolTest, HelloVersionMismatchRejected) {
+  ByteWriter bad;
+  bad.u8(static_cast<std::uint8_t>(Opcode::kHello));
+  bad.u32(kQueryMagic);
+  bad.u16(kProtocolVersion + 1);
+  try {
+    decodeHelloReply(exec(bad));
+    FAIL() << "mismatched version must be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadVersion);
+  }
+}
+
+TEST_F(ProtocolTest, InfoStatesThreadsRoundTrip) {
+  const SlogReader& reader = service_->trace(0);
+  const TraceInfo info =
+      decodeInfoReply(exec(encodeTraceRequest(Opcode::kInfo, 0)));
+  EXPECT_EQ(info.path, *path_);
+  EXPECT_EQ(info.totalStart, reader.totalStart());
+  EXPECT_EQ(info.totalEnd, reader.totalEnd());
+  EXPECT_EQ(info.frames, reader.frameIndex().size());
+
+  const auto states =
+      decodeStatesReply(exec(encodeTraceRequest(Opcode::kStates, 0)));
+  ASSERT_EQ(states.size(), reader.states().size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i].id, reader.states()[i].id);
+    EXPECT_EQ(states[i].rgb, reader.states()[i].rgb);
+    EXPECT_EQ(states[i].name, reader.states()[i].name);
+  }
+
+  const auto threads =
+      decodeThreadsReply(exec(encodeTraceRequest(Opcode::kThreads, 0)));
+  ASSERT_EQ(threads.size(), reader.threads().size());
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    EXPECT_EQ(threads[i].node, reader.threads()[i].node);
+    EXPECT_EQ(threads[i].ltid, reader.threads()[i].ltid);
+    EXPECT_EQ(threads[i].type, reader.threads()[i].type);
+  }
+}
+
+TEST_F(ProtocolTest, PreviewRoundTrip) {
+  const SlogPreview decoded =
+      decodePreviewReply(exec(encodeTraceRequest(Opcode::kPreview, 0)));
+  const SlogPreview& direct = service_->trace(0).preview();
+  EXPECT_EQ(decoded.origin, direct.origin);
+  EXPECT_EQ(decoded.binWidth, direct.binWidth);
+  EXPECT_EQ(decoded.bins, direct.bins);
+  ASSERT_EQ(decoded.perStateBinTime.size(), direct.perStateBinTime.size());
+  for (std::size_t s = 0; s < decoded.perStateBinTime.size(); ++s) {
+    EXPECT_EQ(decoded.perStateBinTime[s], direct.perStateBinTime[s]) << s;
+  }
+}
+
+TEST_F(ProtocolTest, WindowRoundTripPreservesEveryField) {
+  WindowQuery query;
+  query.t0 = 10 * kMs;
+  query.t1 = 60 * kMs;
+  query.node = 1;
+  const WindowResult direct = service_->window(0, query);
+  ASSERT_FALSE(direct.intervals.empty());
+  const WindowResult decoded =
+      decodeWindowReply(exec(encodeWindowRequest(0, query)));
+  EXPECT_EQ(decoded.t0, direct.t0);
+  EXPECT_EQ(decoded.t1, direct.t1);
+  ASSERT_EQ(decoded.intervals.size(), direct.intervals.size());
+  for (std::size_t i = 0; i < decoded.intervals.size(); ++i) {
+    const SlogInterval& a = decoded.intervals[i];
+    const SlogInterval& b = direct.intervals[i];
+    EXPECT_EQ(a.stateId, b.stateId);
+    EXPECT_EQ(a.bebits, b.bebits);
+    EXPECT_EQ(a.pseudo, b.pseudo);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.dura, b.dura);
+    EXPECT_EQ(a.node, b.node);
+    EXPECT_EQ(a.cpu, b.cpu);
+    EXPECT_EQ(a.thread, b.thread);
+  }
+  EXPECT_EQ(decoded.arrows.size(), direct.arrows.size());
+}
+
+TEST_F(ProtocolTest, SummaryRoundTrip) {
+  const auto direct = service_->summary(0, 0, 100 * kMs);
+  const auto decoded =
+      decodeSummaryReply(exec(encodeSummaryRequest(0, 0, 100 * kMs)));
+  ASSERT_EQ(decoded.size(), direct.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].stateId, direct[i].stateId);
+    EXPECT_EQ(decoded[i].ns, direct[i].ns);
+  }
+}
+
+TEST_F(ProtocolTest, FrameAtRoundTrip) {
+  const FrameReply reply =
+      decodeFrameAtReply(exec(encodeFrameAtRequest(0, 40 * kMs)));
+  const auto idx = service_->trace(0).frameIndexFor(40 * kMs);
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(reply.frameIdx, *idx);
+  const auto frame = service_->frame(0, *idx);
+  ASSERT_EQ(reply.data.intervals.size(), frame->intervals.size());
+  EXPECT_EQ(reply.entry.records,
+            service_->trace(0).frameIndex()[*idx].records);
+}
+
+TEST_F(ProtocolTest, StatsDecode) {
+  const ServiceStats stats = decodeStatsReply(exec(encodeStatsRequest()));
+  const FrameCache::Stats direct = service_->cache().stats();
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses,
+            direct.hits + direct.misses);
+}
+
+TEST_F(ProtocolTest, ErrorFramesCarryTypedCodes) {
+  try {
+    decodeInfoReply(exec(encodeTraceRequest(Opcode::kInfo, 99)));
+    FAIL() << "bad trace id must be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadTrace);
+  }
+  try {
+    decodeWindowReply(exec(encodeSummaryRequest(0, 50, 50)));
+    FAIL() << "empty window must be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadWindow);
+  }
+  try {
+    decodeFrameAtReply(
+        exec(encodeFrameAtRequest(0, Tick{1} << 62)));
+    FAIL() << "time outside the run must be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadWindow);
+  }
+}
+
+TEST_F(ProtocolTest, MalformedBytesAreBadRequests) {
+  // Unknown opcode.
+  ByteWriter unknown;
+  unknown.u8(200);
+  try {
+    decodeOkReply(exec(unknown));
+    FAIL();
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  // Truncated window request (opcode byte only).
+  ByteWriter truncated;
+  truncated.u8(static_cast<std::uint8_t>(Opcode::kWindow));
+  try {
+    decodeWindowReply(exec(truncated));
+    FAIL();
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  // Empty payload.
+  const auto outcome = processRequest(*service_, {});
+  try {
+    decodeOkReply(outcome.response);
+    FAIL();
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+}
+
+TEST_F(ProtocolTest, ShutdownOpcodeSignalsOutcome) {
+  const RequestOutcome outcome =
+      processRequest(*service_, encodeShutdownRequest().view());
+  EXPECT_TRUE(outcome.shutdown);
+  decodeOkReply(outcome.response);  // must be a success frame
+}
+
+}  // namespace
+}  // namespace ute

@@ -1,0 +1,162 @@
+// End-to-end integration: a real TraceServer on an ephemeral TCP port,
+// queried by concurrent TraceClients. The acceptance bar is
+// byte-identity: every response payload a client receives over the wire
+// must equal processRequest() run locally against a fresh TraceService
+// on the same SLOG file — the network layer may not change a single
+// byte, under concurrency, for any opcode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "interval/standard_profile.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "slog/slog_writer.h"
+
+namespace ute {
+namespace {
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string writeSlog(const std::string& name) {
+  const std::string path = tempPath(name);
+  const Profile profile = makeStandardProfile();
+  SlogOptions options;
+  options.recordsPerFrame = 48;
+  SlogWriter w(path, options, profile,
+               {{0, 1000, 10000, 0, 0, ThreadType::kMpi},
+                {1, 1001, 10001, 1, 0, ThreadType::kMpi}},
+               {{2, "compute"}});
+  for (int i = 0; i < 500; ++i) {
+    ByteWriter extra;
+    extra.u64(static_cast<Tick>(i) * kMs);
+    w.addRecord(RecordView::parse(
+        encodeRecordBody(makeIntervalType(kRunningState, Bebits::kComplete),
+                         static_cast<Tick>(i) * kMs, kMs / 2, 0, i % 2, 0,
+                         extra.view())
+            .view()));
+  }
+  w.close();
+  return path;
+}
+
+/// The deterministic request mix a client issues (stats excluded — its
+/// payload depends on live server counters, not on the trace).
+std::vector<ByteWriter> requestMix(int seed, Tick totalEnd) {
+  std::vector<ByteWriter> out;
+  out.push_back(encodeHelloRequest());
+  out.push_back(encodeTraceRequest(Opcode::kInfo, 0));
+  out.push_back(encodeTraceRequest(Opcode::kStates, 0));
+  out.push_back(encodeTraceRequest(Opcode::kThreads, 0));
+  out.push_back(encodeTraceRequest(Opcode::kPreview, 0));
+  for (int i = 0; i < 8; ++i) {
+    WindowQuery q;
+    q.t0 = static_cast<Tick>((seed * 13 + i * 41) % 300) * kMs;
+    q.t1 = q.t0 + static_cast<Tick>(20 + (seed * 7 + i * 11) % 120) * kMs;
+    if (i % 3 == 1) q.node = static_cast<NodeId>(i % 2);
+    if (i % 4 == 2) {
+      q.states = {static_cast<std::uint32_t>(kRunningState)};
+    }
+    out.push_back(encodeWindowRequest(0, q));
+    out.push_back(encodeSummaryRequest(0, q.t0, q.t1));
+    out.push_back(encodeFrameAtRequest(0, (q.t0 + q.t1) / 2));
+  }
+  // Requests that produce error frames must be byte-identical too.
+  out.push_back(encodeTraceRequest(Opcode::kInfo, 42));
+  out.push_back(encodeSummaryRequest(0, totalEnd + kMs, totalEnd + 2 * kMs));
+  return out;
+}
+
+TEST(ServerRoundTrip, FourConcurrentClientsGetByteIdenticalAnswers) {
+  const std::string path = writeSlog("roundtrip_test.slog");
+  TraceServer server({path});
+  ASSERT_NE(server.port(), 0);
+
+  // Independent ground truth: a fresh service on the same file, driven
+  // through the exact same dispatch the server uses.
+  TraceService local({path});
+  const Tick totalEnd = local.trace(0).totalEnd();
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        TraceClient client("127.0.0.1", server.port());
+        for (int pass = 0; pass < 3; ++pass) {
+          for (const ByteWriter& request : requestMix(c + pass, totalEnd)) {
+            const std::vector<std::uint8_t> wire =
+                client.roundTrip(request.view());
+            const std::vector<std::uint8_t> direct =
+                processRequest(local, request.view()).response;
+            if (wire != direct) ++mismatches;
+          }
+        }
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(ServerRoundTrip, TypedErrorsTravelTheWire) {
+  const std::string path = writeSlog("roundtrip_err.slog");
+  TraceServer server({path});
+  TraceClient client("127.0.0.1", server.port());
+  try {
+    client.info(9);
+    FAIL() << "bad trace id must fail";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadTrace);
+  }
+  // The connection stays usable after an error frame.
+  EXPECT_EQ(client.info(0).path, path);
+  server.stop();
+}
+
+TEST(ServerRoundTrip, StatsReflectServerSideCaching) {
+  const std::string path = writeSlog("roundtrip_stats.slog");
+  TraceServer server({path});
+  TraceClient client("127.0.0.1", server.port());
+  WindowQuery q;
+  q.t0 = 0;
+  q.t1 = 100 * kMs;
+  client.window(0, q);
+  const ServiceStats cold = client.stats();
+  for (int i = 0; i < 5; ++i) client.window(0, q);
+  const ServiceStats warm = client.stats();
+  EXPECT_GT(warm.cache.hits, cold.cache.hits);
+  EXPECT_EQ(warm.cache.misses, cold.cache.misses);  // frames were cached
+  EXPECT_GT(warm.pool.executed, cold.pool.executed);
+  server.stop();
+}
+
+TEST(ServerRoundTrip, ShutdownOpcodeStopsTheServer) {
+  const std::string path = writeSlog("roundtrip_shutdown.slog");
+  TraceServer server({path});
+  const std::uint16_t port = server.port();
+  {
+    TraceClient client("127.0.0.1", port);
+    client.shutdownServer();
+  }
+  for (int i = 0; i < 200 && !server.stopRequested(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(server.stopRequested());
+  server.stop();
+  EXPECT_THROW(TraceClient("127.0.0.1", port), IoError);
+}
+
+}  // namespace
+}  // namespace ute

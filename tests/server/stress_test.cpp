@@ -1,0 +1,195 @@
+// Concurrency stress for the query service (ctest label: stress; run
+// these under -DUTE_SANITIZE=thread). Eight threads replay deterministic
+// random query streams against one shared TraceService with a cache
+// small enough to evict constantly; every response must be byte-identical
+// to the single-threaded ground truth precomputed before the threads
+// start. Plus targeted hammering of FrameCache and WorkerPool alone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "interval/standard_profile.h"
+#include "server/protocol.h"
+#include "slog/slog_writer.h"
+
+namespace ute {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kQueriesPerThread = 200;
+
+std::string tempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string writeSlog(const std::string& name) {
+  const std::string path = tempPath(name);
+  const Profile profile = makeStandardProfile();
+  SlogOptions options;
+  options.recordsPerFrame = 32;
+  SlogWriter w(path, options, profile,
+               {{0, 1000, 10000, 0, 0, ThreadType::kMpi},
+                {1, 1001, 10001, 1, 0, ThreadType::kMpi}},
+               {});
+  for (int i = 0; i < 800; ++i) {
+    ByteWriter extra;
+    extra.u64(static_cast<Tick>(i) * kMs);
+    w.addRecord(RecordView::parse(
+        encodeRecordBody(makeIntervalType(kRunningState, Bebits::kComplete),
+                         static_cast<Tick>(i) * kMs, kMs / 2, 0, i % 2, 0,
+                         extra.view())
+            .view()));
+  }
+  w.close();
+  return path;
+}
+
+/// Deterministic random request stream for one thread.
+std::vector<ByteWriter> queryStream(int seed, Tick totalEnd) {
+  std::mt19937 rng(1234u + static_cast<unsigned>(seed));
+  std::uniform_int_distribution<int> opDist(0, 2);
+  std::uniform_int_distribution<Tick> timeDist(0, totalEnd - 1);
+  std::vector<ByteWriter> out;
+  out.reserve(kQueriesPerThread);
+  for (int i = 0; i < kQueriesPerThread; ++i) {
+    const Tick a = timeDist(rng);
+    const Tick b = timeDist(rng);
+    const Tick t0 = std::min(a, b);
+    const Tick t1 = std::max(a, b) + 1;
+    switch (opDist(rng)) {
+      case 0: {
+        WindowQuery q;
+        q.t0 = t0;
+        q.t1 = t1;
+        if (i % 5 == 0) q.node = static_cast<NodeId>(i % 2);
+        out.push_back(encodeWindowRequest(0, q));
+        break;
+      }
+      case 1:
+        out.push_back(encodeSummaryRequest(0, t0, t1));
+        break;
+      default:
+        out.push_back(encodeFrameAtRequest(0, a));
+        break;
+    }
+  }
+  return out;
+}
+
+TEST(ServerStress, EightThreadsMatchSingleThreadedGroundTruth) {
+  const std::string path = writeSlog("stress_service.slog");
+
+  // Ground truth: same dispatch, one thread, roomy cache.
+  TraceService single({path});
+  const Tick totalEnd = single.trace(0).totalEnd();
+  std::vector<std::vector<ByteWriter>> streams;
+  std::vector<std::vector<std::vector<std::uint8_t>>> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    streams.push_back(queryStream(t, totalEnd));
+    std::vector<std::vector<std::uint8_t>> answers;
+    answers.reserve(streams[t].size());
+    for (const ByteWriter& q : streams[t]) {
+      answers.push_back(processRequest(single, q.view()).response);
+    }
+    expected.push_back(std::move(answers));
+  }
+
+  // Shared service under churn: budget of roughly three decoded frames
+  // across two shards, so hot frames are evicted and reloaded all run.
+  ServiceOptions options;
+  const FrameCache::FramePtr probe = single.frame(0, 0);
+  options.cacheBytes = 3 * FrameCache::frameBytes(*probe);
+  options.cacheShards = 2;
+  TraceService shared({path}, options);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < streams[t].size(); ++i) {
+        const auto response =
+            processRequest(shared, streams[t][i].view()).response;
+        if (response != expected[t][i]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const FrameCache::Stats stats = shared.cache().stats();
+  EXPECT_GT(stats.evictions, 0u) << "cache was supposed to churn";
+  EXPECT_LE(stats.bytes, options.cacheBytes);
+}
+
+TEST(ServerStress, FrameCacheParallelGetOrLoadKeepsInvariants) {
+  SlogFrameData unit;
+  unit.intervals.resize(64);
+  const std::size_t unitBytes = FrameCache::frameBytes(unit);
+  FrameCache cache(8 * unitBytes, 4);
+
+  std::atomic<std::uint64_t> loads{0};
+  std::atomic<int> wrongSize{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(99u + static_cast<unsigned>(t));
+      std::uniform_int_distribution<std::uint64_t> keyDist(0, 31);
+      for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t key = keyDist(rng);
+        const auto frame = cache.getOrLoad(key, [&] {
+          ++loads;
+          SlogFrameData data;
+          data.intervals.resize(64);
+          // The key is recoverable from the payload so cross-key mixups
+          // are detectable.
+          data.intervals[0].stateId = static_cast<std::uint32_t>(key);
+          return data;
+        });
+        if (frame->intervals.size() != 64 ||
+            frame->intervals[0].stateId != key) {
+          ++wrongSize;
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrongSize.load(), 0);
+
+  const FrameCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * 2000u);
+  EXPECT_LE(stats.bytes, 8 * unitBytes);
+  EXPECT_GT(stats.evictions, 0u);
+  // Every recorded miss corresponds to a loader run or a lost insert
+  // race; loads can never exceed misses.
+  EXPECT_LE(loads.load(), stats.misses);
+}
+
+TEST(ServerStress, WorkerPoolSubmitShutdownRace) {
+  for (int round = 0; round < 20; ++round) {
+    WorkerPool pool(4, 16);
+    std::atomic<std::uint64_t> ran{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+          if (pool.trySubmit([&ran] { ++ran; })) ++submitted;
+        }
+      });
+    }
+    for (std::thread& th : producers) th.join();
+    pool.shutdown();  // must drain everything accepted
+    EXPECT_EQ(ran.load(), submitted.load());
+    const WorkerPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.accepted, submitted.load());
+    EXPECT_EQ(stats.executed, submitted.load());
+  }
+}
+
+}  // namespace
+}  // namespace ute

@@ -4,10 +4,12 @@
 // as UTE_TOOLS_DIR.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "workloads/pipeline.h"
 
@@ -177,6 +179,71 @@ TEST_F(CliTest, MergeThreadCategorySelection) {
   ASSERT_EQ(rc2, 0) << dump;
   EXPECT_NE(dump.find("type=MPI"), std::string::npos);
   EXPECT_EQ(dump.find("type=user"), std::string::npos);
+}
+
+TEST_F(CliTest, ServeAndQueryRoundTrip) {
+  // Build a SLOG of our own so this test is order-independent.
+  run(tool("uteconvert") + " --out " + *dir_ + "/s " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  const auto [mrc, mout] =
+      run(tool("utemerge") + " --out " + *dir_ + "/s.merged.uti --slog " +
+          *dir_ + "/s.slog --profile " + *dir_ + "/profile.ute " + *dir_ +
+          "/s.0.uti " + *dir_ + "/s.1.uti");
+  ASSERT_EQ(mrc, 0) << mout;
+
+  // Launch the server in the background on an ephemeral port; it tells
+  // us the port through --port-file.
+  const std::string portFile = *dir_ + "/uteserve.port";
+  const std::string logFile = *dir_ + "/uteserve.log";
+  ASSERT_EQ(std::system((tool("uteserve") + " " + *dir_ + "/s.slog "
+                         "--cache-mb 16 --workers 2 --port-file " + portFile +
+                         " > " + logFile + " 2>&1 &")
+                            .c_str()),
+            0);
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(portFile);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "server never wrote its port file";
+
+  const std::string query = tool("utequery") + " --port " + port + " ";
+  auto [rc, out] = run(query + "info");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("s.slog"), std::string::npos);
+  EXPECT_NE(out.find("frames"), std::string::npos);
+
+  std::tie(rc, out) = run(query + "states");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("Running"), std::string::npos);
+
+  std::tie(rc, out) = run(query + "summary 0 1");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("ms"), std::string::npos);
+
+  std::tie(rc, out) = run(query + "window 0 0.01");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("intervals"), std::string::npos);
+
+  std::tie(rc, out) = run(query + "stats");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("hit rate"), std::string::npos);
+
+  // Remote shutdown; the server process must exit on its own.
+  std::tie(rc, out) = run(query + "shutdown");
+  EXPECT_EQ(rc, 0) << out;
+  std::string log;
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(logFile);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    log = ss.str();
+    if (log.find("served") != std::string::npos) break;
+  }
+  EXPECT_NE(log.find("shutdown requested"), std::string::npos) << log;
+  EXPECT_NE(log.find("served"), std::string::npos) << log;
 }
 
 TEST_F(CliTest, ToolsFailCleanlyOnBadInput) {

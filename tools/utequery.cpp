@@ -1,0 +1,209 @@
+// utequery — command-line client for a running uteserve.
+//
+// Usage:
+//   utequery --port N [--host H] [--trace I] COMMAND [ARGS]
+//
+// Commands (T0/T1/T are seconds relative to the trace's start, like
+// uteview's --window):
+//   info                     trace path, time range, frame/table sizes
+//   states                   the state table
+//   threads                  the thread table
+//   preview                  per-state preview totals
+//   window T0 T1             intervals/arrows in the window
+//                            [--node N] [--thread T] [--states a,b,c]
+//   summary T0 T1            per-state time totals in the window
+//   frame-at T               the frame containing T
+//   stats                    server cache/pool counters
+//   shutdown                 stop the server
+#include <cstdio>
+#include <exception>
+
+#include "server/client.h"
+#include "support/cli.h"
+#include "support/text.h"
+#include "trace/events.h"
+
+namespace {
+
+using namespace ute;
+
+Tick tickOf(const TraceInfo& info, const std::string& seconds) {
+  return info.totalStart + static_cast<Tick>(parseF64(seconds) * 1e9);
+}
+
+std::string stateNameOf(const std::vector<SlogStateDef>& states,
+                        std::uint32_t id) {
+  for (const SlogStateDef& s : states) {
+    if (s.id == id) return s.name;
+  }
+  return "state" + std::to_string(id);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    CliParser cli(argc, argv,
+                  {"host", "port", "trace", "node", "thread", "states"});
+    const auto port = cli.value("port");
+    if (!port || cli.positional().empty()) {
+      std::fprintf(stderr,
+                   "usage: utequery --port N [--host H] [--trace I] "
+                   "info|states|threads|preview|window|summary|frame-at|"
+                   "stats|shutdown [args]\n");
+      return 2;
+    }
+    const std::string host = cli.valueOr("host", std::string("127.0.0.1"));
+    const auto traceId =
+        static_cast<std::uint32_t>(cli.valueOr("trace", std::uint64_t{0}));
+    const std::string command = cli.positional()[0];
+    TraceClient client(host,
+                       static_cast<std::uint16_t>(parseF64(*port)));
+
+    if (command == "info") {
+      const TraceInfo info = client.info(traceId);
+      std::printf("trace %u of %u: %s\n", traceId, client.traceCount(),
+                  info.path.c_str());
+      std::printf("  run [%.6fs, %.6fs], %u frames, %u states, "
+                  "%u threads\n",
+                  0.0,
+                  static_cast<double>(info.totalEnd - info.totalStart) / 1e9,
+                  info.frames, info.states, info.threads);
+      return 0;
+    }
+    if (command == "states") {
+      for (const SlogStateDef& s : client.states(traceId)) {
+        std::printf("%6u #%06x %s\n", s.id, s.rgb, s.name.c_str());
+      }
+      return 0;
+    }
+    if (command == "threads") {
+      for (const ThreadEntry& t : client.threads(traceId)) {
+        std::printf("n%d.t%d task=%d pid=%d tid=%d type=%s\n", t.node,
+                    t.ltid, t.task, t.pid, t.systemTid,
+                    threadTypeName(t.type).c_str());
+      }
+      return 0;
+    }
+    if (command == "preview") {
+      const SlogPreview p = client.preview(traceId);
+      const auto states = client.states(traceId);
+      std::printf("preview: %u bins of %.3fms\n", p.bins,
+                  static_cast<double>(p.binWidth) / 1e6);
+      for (std::size_t s = 0; s < p.perStateBinTime.size(); ++s) {
+        double total = 0;
+        for (double v : p.perStateBinTime[s]) total += v;
+        if (total <= 0) continue;
+        const std::uint32_t id = s < states.size() ? states[s].id : 0;
+        std::printf("%10.3fms %s\n", total / 1e6,
+                    stateNameOf(states, id).c_str());
+      }
+      return 0;
+    }
+    if (command == "stats") {
+      const ServiceStats s = client.stats();
+      const double lookups =
+          static_cast<double>(s.cache.hits + s.cache.misses);
+      std::printf("cache: %llu hits, %llu misses (%.1f%% hit rate), "
+                  "%llu evictions, %llu bytes in %llu entries\n",
+                  static_cast<unsigned long long>(s.cache.hits),
+                  static_cast<unsigned long long>(s.cache.misses),
+                  lookups > 0 ? 100.0 * static_cast<double>(s.cache.hits) /
+                                    lookups
+                              : 0.0,
+                  static_cast<unsigned long long>(s.cache.evictions),
+                  static_cast<unsigned long long>(s.cache.bytes),
+                  static_cast<unsigned long long>(s.cache.entries));
+      std::printf("pool: %llu accepted, %llu rejected, %llu executed\n",
+                  static_cast<unsigned long long>(s.pool.accepted),
+                  static_cast<unsigned long long>(s.pool.rejected),
+                  static_cast<unsigned long long>(s.pool.executed));
+      return 0;
+    }
+    if (command == "shutdown") {
+      client.shutdownServer();
+      std::printf("server shutting down\n");
+      return 0;
+    }
+
+    // The remaining commands take window arguments in seconds.
+    const TraceInfo info = client.info(traceId);
+    if (command == "window" || command == "summary") {
+      if (cli.positional().size() != 3) {
+        std::fprintf(stderr, "utequery: %s wants T0 T1 (seconds)\n",
+                     command.c_str());
+        return 2;
+      }
+      const Tick t0 = tickOf(info, cli.positional()[1]);
+      const Tick t1 = tickOf(info, cli.positional()[2]);
+      if (command == "summary") {
+        const auto states = client.states(traceId);
+        for (const SummaryEntry& e : client.summary(traceId, t0, t1)) {
+          std::printf("%12.3fms %s\n", e.ns / 1e6,
+                      stateNameOf(states, e.stateId).c_str());
+        }
+        return 0;
+      }
+      WindowQuery query;
+      query.t0 = t0;
+      query.t1 = t1;
+      if (const auto node = cli.value("node")) {
+        query.node = static_cast<NodeId>(parseF64(*node));
+      }
+      if (const auto thread = cli.value("thread")) {
+        query.thread = static_cast<LogicalThreadId>(parseF64(*thread));
+      }
+      if (const auto states = cli.value("states")) {
+        for (const std::string& s : splitString(*states, ',')) {
+          query.states.push_back(
+              static_cast<std::uint32_t>(parseF64(s)));
+        }
+      }
+      const WindowResult result = client.window(traceId, query);
+      const auto states = client.states(traceId);
+      std::printf("window [%.6fs, %.6fs]: %zu intervals, %zu arrows\n",
+                  static_cast<double>(result.t0 - info.totalStart) / 1e9,
+                  static_cast<double>(result.t1 - info.totalStart) / 1e9,
+                  result.intervals.size(), result.arrows.size());
+      for (const SlogInterval& r : result.intervals) {
+        std::printf("  n%d.t%d %s%.6fs +%.3fms %s\n", r.node, r.thread,
+                    r.pseudo ? "(pseudo) " : "",
+                    static_cast<double>(r.start - info.totalStart) / 1e9,
+                    static_cast<double>(r.dura) / 1e6,
+                    stateNameOf(states, r.stateId).c_str());
+      }
+      for (const SlogArrow& a : result.arrows) {
+        std::printf("  arrow n%d.t%d -> n%d.t%d %.6fs -> %.6fs %u bytes\n",
+                    a.srcNode, a.srcThread, a.dstNode, a.dstThread,
+                    static_cast<double>(a.sendTime - info.totalStart) / 1e9,
+                    static_cast<double>(a.recvTime - info.totalStart) / 1e9,
+                    a.bytes);
+      }
+      return 0;
+    }
+    if (command == "frame-at") {
+      if (cli.positional().size() != 2) {
+        std::fprintf(stderr, "utequery: frame-at wants T (seconds)\n");
+        return 2;
+      }
+      const FrameReply reply =
+          client.frameAt(traceId, tickOf(info, cli.positional()[1]));
+      std::printf("frame %u: [%.6fs, %.6fs], %u records "
+                  "(%zu intervals, %zu arrows)\n",
+                  reply.frameIdx,
+                  static_cast<double>(reply.entry.timeStart -
+                                      info.totalStart) / 1e9,
+                  static_cast<double>(reply.entry.timeEnd -
+                                      info.totalStart) / 1e9,
+                  reply.entry.records, reply.data.intervals.size(),
+                  reply.data.arrows.size());
+      return 0;
+    }
+    std::fprintf(stderr, "utequery: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "utequery: %s\n", e.what());
+    return 1;
+  }
+}
