@@ -6,11 +6,20 @@
 // Prints the same two rows the paper reports, then runs per-event
 // microbenchmarks on a mid-size trace. Set UTE_TABLE1_SMALL=1 to skip
 // the two multi-million-event rows (for quick runs).
+// A parallel-pipeline sweep (--jobs {1,2,4,8} by default, or {1,N} when
+// run with --jobs N) reports per-stage speedup and records/s and writes
+// BENCH_pipeline.json; each parallel run is byte-compared against the
+// sequential reference before its numbers are reported.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
+#include "support/file_io.h"
+#include "workloads/pipeline.h"
 #include "convert/converter.h"
 #include "interval/standard_profile.h"
 #include "merge/merger.h"
@@ -120,6 +129,103 @@ void printTable1() {
   gMidIntervalFiles = runs[1].intervalFiles;
 }
 
+struct SweepPoint {
+  int jobs = 1;
+  double convertSeconds = 0;
+  double mergeSeconds = 0;
+  std::uint64_t records = 0;
+  bool identical = true;  ///< outputs byte-identical to --jobs 1
+};
+
+/// Runs convert+slogmerge at each job count on one 4-node workload and
+/// verifies the parallel outputs byte-match the sequential reference.
+void printPipelineSweep(const std::vector<int>& jobsList) {
+  std::printf("=== Parallel pipeline sweep: test program on 4 nodes ===\n");
+  TestProgramOptions workload;
+  workload.iterations = testProgramIterationsFor(
+      std::getenv("UTE_TABLE1_SMALL") != nullptr ? 40282 : 641354);
+  workload.nodes = 4;
+
+  std::vector<SweepPoint> points;
+  std::vector<std::vector<std::uint8_t>> reference;  // jobs=1 outputs
+  std::string referenceMerged, referenceSlog;
+  for (const int jobs : jobsList) {
+    PipelineOptions options;
+    options.dir = gScratch + "/sweep_j" + std::to_string(jobs);
+    options.name = "sweep";
+    options.convert.jobs = jobs;
+    options.merge.jobs = jobs;
+    const PipelineResult run =
+        runPipeline(testProgram(workload), options);
+
+    SweepPoint p;
+    p.jobs = jobs;
+    p.convertSeconds = run.convertSeconds;
+    p.mergeSeconds = run.mergeSeconds;
+    p.records = run.merge.recordsIn;
+    if (reference.empty()) {
+      for (const std::string& f : run.intervalFiles) {
+        reference.push_back(readWholeFile(f));
+      }
+      referenceMerged = run.mergedFile;
+      referenceSlog = run.slogFile;
+    } else {
+      for (std::size_t i = 0; i < run.intervalFiles.size(); ++i) {
+        p.identical = p.identical &&
+                      readWholeFile(run.intervalFiles[i]) == reference[i];
+      }
+      p.identical = p.identical && readWholeFile(run.mergedFile) ==
+                                       readWholeFile(referenceMerged);
+      p.identical = p.identical &&
+                    readWholeFile(run.slogFile) == readWholeFile(referenceSlog);
+    }
+    points.push_back(p);
+  }
+
+  const double base =
+      points.front().convertSeconds + points.front().mergeSeconds;
+  std::printf("%6s %12s %12s %10s %14s %10s\n", "jobs", "convert(s)",
+              "merge(s)", "speedup", "records/s", "identical");
+  for (const SweepPoint& p : points) {
+    const double total = p.convertSeconds + p.mergeSeconds;
+    std::printf("%6d %12.3f %12.3f %9.2fx %14s %10s\n", p.jobs,
+                p.convertSeconds, p.mergeSeconds,
+                total == 0 ? 0.0 : base / total,
+                withCommas(total == 0 ? 0
+                                      : static_cast<std::uint64_t>(
+                                            static_cast<double>(p.records) /
+                                            total))
+                    .c_str(),
+                p.identical ? "yes" : "NO");
+  }
+  std::printf("\n");
+
+  std::FILE* json = std::fopen("BENCH_pipeline.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return;
+  }
+  std::fprintf(json, "{\n  \"workload\": \"test program, 4 nodes\",\n"
+               "  \"records\": %llu,\n  \"points\": [\n",
+               static_cast<unsigned long long>(points.front().records));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const double total = p.convertSeconds + p.mergeSeconds;
+    std::fprintf(
+        json,
+        "    {\"jobs\": %d, \"convert_seconds\": %.6f, "
+        "\"merge_seconds\": %.6f, \"speedup\": %.4f, "
+        "\"records_per_second\": %.1f, \"identical_to_jobs1\": %s}%s\n",
+        p.jobs, p.convertSeconds, p.mergeSeconds,
+        total == 0 ? 0.0 : base / total,
+        total == 0 ? 0.0 : static_cast<double>(p.records) / total,
+        p.identical ? "true" : "false", i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_pipeline.json\n\n");
+}
+
 void BM_ConvertPerEvent(benchmark::State& state) {
   std::uint64_t events = 0;
   for (auto _ : state) {
@@ -150,7 +256,22 @@ BENCHMARK(BM_SlogmergePerEvent)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip a leading-edge --jobs N (benchmark::Initialize rejects unknown
+  // flags): when given, sweep {1, N} instead of the default ladder.
+  std::vector<int> jobsList = {1, 2, 4, 8};
+  std::vector<char*> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::strcmp(args[i], "--jobs") == 0 && i + 1 < args.size()) {
+      jobsList = {1, std::atoi(args[i + 1])};
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      break;
+    }
+  }
+  int newArgc = static_cast<int>(args.size());
+
   gScratch = ute::makeScratchDir("bench_table1");
   printTable1();
-  return ute::benchutil::runBenchmarks(argc, argv);
+  printPipelineSweep(jobsList);
+  return ute::benchutil::runBenchmarks(newArgc, args.data());
 }

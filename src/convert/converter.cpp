@@ -1,20 +1,40 @@
 #include "convert/converter.h"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 
 #include "interval/record.h"
 #include "support/errors.h"
+#include "support/thread_pool.h"
 
 namespace ute {
 
 std::uint32_t MarkerUnifier::unify(const std::string& name) {
+  std::lock_guard lock(mu_);
   const auto it = byName_.find(name);
   if (it != byName_.end()) return it->second;
-  const std::uint32_t id = nextId_++;
-  byName_.emplace(name, id);
-  table_.emplace(id, name);
+  const std::uint32_t id = static_cast<std::uint32_t>(names_.size()) + 1;
+  const auto inserted = byName_.emplace(name, id).first;
+  names_.push_back(&inserted->first);
   return id;
+}
+
+void MarkerUnifier::preassign(const std::vector<std::string>& names) {
+  for (const std::string& name : names) unify(name);
+}
+
+std::vector<std::string> MarkerUnifier::table() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(names_.size());
+  for (const std::string* name : names_) out.push_back(*name);
+  return out;
+}
+
+std::size_t MarkerUnifier::size() const {
+  std::lock_guard lock(mu_);
+  return names_.size();
 }
 
 std::string intervalFilePath(const std::string& prefix, NodeId node) {
@@ -391,19 +411,57 @@ ConvertResult EventToIntervalConverter::convertFile(
   return conversion.run();
 }
 
+std::vector<std::string> scanMarkerNames(const std::string& rawPath,
+                                         NodeId* node) {
+  TraceFileReader reader(rawPath);
+  if (node != nullptr) *node = reader.node();
+  std::vector<std::string> names;
+  while (const auto ev = reader.next()) {
+    if (ev->type != EventType::kMarkerDef) continue;
+    ByteReader r = ev->payloadReader();
+    r.u32();  // task-local id — irrelevant to unification
+    names.push_back(r.lstring());
+  }
+  return names;
+}
+
 std::vector<ConvertResult> convertRun(const std::vector<std::string>& rawPaths,
                                       const std::string& outPrefix,
                                       ConvertOptions options) {
   MarkerUnifier markers;
-  EventToIntervalConverter converter(markers, options);
-  std::vector<ConvertResult> results;
-  results.reserve(rawPaths.size());
-  for (const std::string& raw : rawPaths) {
-    TraceFileReader probe(raw);  // to learn the node id for naming
-    const NodeId node = probe.node();
-    results.push_back(
-        converter.convertFile(raw, intervalFilePath(outPrefix, node)));
+  const std::size_t jobs =
+      std::min(effectiveJobs(options.jobs), rawPaths.size());
+  std::vector<ConvertResult> results(rawPaths.size());
+
+  if (jobs <= 1) {
+    EventToIntervalConverter converter(markers, options);
+    for (std::size_t i = 0; i < rawPaths.size(); ++i) {
+      TraceFileReader probe(rawPaths[i]);  // to learn the node id for naming
+      const NodeId node = probe.node();
+      results[i] =
+          converter.convertFile(rawPaths[i], intervalFilePath(outPrefix, node));
+    }
+    return results;
   }
+
+  // Parallel fan-out, one worker per per-node file. Marker ids must not
+  // depend on worker interleaving (output must be byte-identical to the
+  // sequential path), so a scan pass first collects every MarkerDef name
+  // in encounter order and pre-assigns ids by replaying those sequences
+  // in input-file order — exactly the order sequential conversion would
+  // have unified them in.
+  std::vector<std::vector<std::string>> perFileNames(rawPaths.size());
+  std::vector<NodeId> nodes(rawPaths.size(), -1);
+  parallelFor(jobs, rawPaths.size(), [&](std::size_t i) {
+    perFileNames[i] = scanMarkerNames(rawPaths[i], &nodes[i]);
+  });
+  for (const auto& names : perFileNames) markers.preassign(names);
+
+  parallelFor(jobs, rawPaths.size(), [&](std::size_t i) {
+    EventToIntervalConverter converter(markers, options);
+    results[i] = converter.convertFile(rawPaths[i],
+                                       intervalFilePath(outPrefix, nodes[i]));
+  });
   return results;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,21 +30,41 @@
 namespace ute {
 
 /// Run-wide marker string -> unique identifier assignment, shared by all
-/// per-node conversions of one run.
+/// per-node conversions of one run. Thread-safe: the parallel convert
+/// hands one unifier to every per-node worker. Ids are dense from 1 in
+/// first-unify order; storage is a single name->id map plus an id->name
+/// vector pointing at the map's (stable) keys.
 class MarkerUnifier {
  public:
+  /// Returns the run-wide id for `name`, assigning the next free id on
+  /// first sight. Duplicate strings (the same marker defined in several
+  /// tasks, possibly under colliding task-local ids) all map to the one
+  /// id of the string.
   std::uint32_t unify(const std::string& name);
-  const std::map<std::uint32_t, std::string>& table() const { return table_; }
+
+  /// Assigns ids for `names` in order (already-known names keep theirs).
+  /// The parallel convert pre-assigns every marker of a run from a cheap
+  /// scan pass in input-file order, so worker interleaving cannot change
+  /// the assignment and the outputs stay byte-identical to sequential
+  /// conversion.
+  void preassign(const std::vector<std::string>& names);
+
+  /// The name owning id `i + 1` is at table()[i] (ids are dense from 1).
+  std::vector<std::string> table() const;
+  std::size_t size() const;
 
  private:
-  std::uint32_t nextId_ = 1;
+  mutable std::mutex mu_;
   std::map<std::string, std::uint32_t> byName_;
-  std::map<std::uint32_t, std::string> table_;
+  std::vector<const std::string*> names_;  ///< id - 1 -> key in byName_
 };
 
 struct ConvertOptions {
   std::size_t targetFrameBytes = 32 << 10;
   int framesPerDirectory = 64;
+  /// Worker threads for convertRun: one per-node file per worker.
+  /// 1 = sequential reference path; <= 0 = one per hardware thread.
+  int jobs = 1;
 };
 
 struct ConvertResult {
@@ -67,9 +88,17 @@ class EventToIntervalConverter {
 
 /// Converts every raw file of a run ("<prefix>.<node>.utr"), producing
 /// "<outPrefix>.<node>.uti" files with a shared marker unification.
+/// With options.jobs != 1 the per-node conversions run on a thread pool
+/// after a marker pre-scan; the outputs are byte-identical to jobs == 1.
 std::vector<ConvertResult> convertRun(const std::vector<std::string>& rawPaths,
                                       const std::string& outPrefix,
                                       ConvertOptions options = {});
+
+/// The unified marker names of one raw file in definition-encounter
+/// order (the parallel convert's scan pass; repeats are preserved so the
+/// replay order matches sequential conversion exactly).
+std::vector<std::string> scanMarkerNames(const std::string& rawPath,
+                                         NodeId* node = nullptr);
 
 /// Output path convention for per-node interval files.
 std::string intervalFilePath(const std::string& prefix, NodeId node);

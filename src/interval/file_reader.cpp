@@ -67,8 +67,21 @@ FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
   }
 
   file_.seek(offset);
-  const auto headerBytes = file_.read(kDirHeaderBytes);
-  ByteReader r(headerBytes);
+  // One bulk read covers the header plus every entry of a default-sized
+  // (64-frame) directory; only oversized directories need a second read
+  // for the tail. The readahead is clamped to the file, so a directory
+  // whose entries the file cannot hold still fails the explicit length
+  // checks below rather than the clamp.
+  constexpr std::size_t kDirReadahead =
+      kDirHeaderBytes + 64 * kFrameEntryBytes;
+  const std::uint64_t avail = file_.size() - offset;
+  std::vector<std::uint8_t> buf =
+      avail < kDirReadahead ? file_.read(static_cast<std::size_t>(avail))
+                            : file_.read(kDirReadahead);
+  if (buf.size() < kDirHeaderBytes) {
+    throw FormatError("truncated frame directory header in " + file_.path());
+  }
+  ByteReader r(buf);
   FrameDirectory dir;
   dir.offset = offset;
   const std::uint32_t dirSize = r.u32();
@@ -82,8 +95,21 @@ FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
     throw FormatError("frame directory chain does not advance in " +
                       file_.path());
   }
-  const auto entryBytes = file_.read(frameCount * kFrameEntryBytes);
-  ByteReader er(entryBytes);
+  const std::size_t need = kDirHeaderBytes + frameCount * kFrameEntryBytes;
+  if (need > avail) {
+    throw FormatError("frame directory exceeds file size in " + file_.path());
+  }
+  if (buf.size() < need) {
+    // Oversized directory: fetch the entries the readahead missed. The
+    // file position is already at buf.size() past `offset`.
+    const auto tail = file_.read(need - buf.size());
+    buf.insert(buf.end(), tail.begin(), tail.end());
+  } else if (buf.size() > need) {
+    // Leave the stream positioned right after the directory, as the
+    // two-read implementation did.
+    file_.seek(offset + need);
+  }
+  ByteReader er(std::span<const std::uint8_t>(buf).subspan(kDirHeaderBytes));
   dir.frames.reserve(frameCount);
   for (std::uint32_t i = 0; i < frameCount; ++i) {
     FrameInfo f;

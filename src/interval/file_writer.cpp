@@ -117,6 +117,7 @@ void IntervalFileWriter::flushDirectory() {
   dir.u64(0);  // next directory offset; patched when it exists
 
   std::uint64_t frameOffset = dirOffset + dirSize;
+  std::size_t frameBytesTotal = 0;
   for (const PendingFrame& f : pendingFrames_) {
     dir.u64(frameOffset);
     dir.u32(static_cast<std::uint32_t>(f.bytes.size()));
@@ -124,9 +125,18 @@ void IntervalFileWriter::flushDirectory() {
     dir.u64(f.minStart);
     dir.u64(f.maxEnd);
     frameOffset += f.bytes.size();
+    frameBytesTotal += f.bytes.size();
   }
-  file_.write(dir);
-  for (const PendingFrame& f : pendingFrames_) file_.write(f.bytes);
+  // One contiguous write per directory flush (directory + all frames)
+  // instead of 1 + framesPerDirectory separate writes.
+  std::vector<std::uint8_t> batch;
+  batch.reserve(dirSize + frameBytesTotal);
+  const auto dirView = dir.view();
+  batch.insert(batch.end(), dirView.begin(), dirView.end());
+  for (const PendingFrame& f : pendingFrames_) {
+    batch.insert(batch.end(), f.bytes.begin(), f.bytes.end());
+  }
+  file_.write(batch);
   pendingFrames_.clear();
 
   if (prevDirOffset_ != 0) {

@@ -1,0 +1,64 @@
+#include "interval/frame_prefetcher.h"
+
+namespace ute {
+
+FramePrefetcher::FramePrefetcher(const std::string& path, std::size_t depth)
+    : reader_(path), frames_(depth == 0 ? 2 : depth) {
+  fetcher_ = std::thread([this] { fetchLoop(); });
+}
+
+FramePrefetcher::~FramePrefetcher() {
+  frames_.close();  // unblocks a fetcher parked on a full channel
+  if (fetcher_.joinable()) fetcher_.join();
+}
+
+void FramePrefetcher::fetchLoop() {
+  try {
+    for (FrameDirectory dir = reader_.firstDirectory(); !dir.frames.empty();
+         dir = reader_.readDirectory(dir.nextOffset)) {
+      for (const FrameInfo& f : dir.frames) {
+        if (!frames_.send(reader_.readFrame(f))) return;  // consumer gone
+      }
+      if (dir.nextOffset == 0) break;
+    }
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  frames_.close();
+}
+
+bool FramePrefetcher::next(std::vector<std::uint8_t>& frame) {
+  auto got = frames_.receive();
+  if (!got) {
+    // Closed and drained. The channel mutex orders the fetcher's error_
+    // store (made before its close()) before this read.
+    if (error_) std::rethrow_exception(error_);
+    return false;
+  }
+  frame = std::move(*got);
+  return true;
+}
+
+PrefetchRecordStream::PrefetchRecordStream(const std::string& path,
+                                           std::size_t depth)
+    : prefetcher_(path, depth) {}
+
+bool PrefetchRecordStream::next(RecordView& out) {
+  if (exhausted_) return false;
+  for (;;) {
+    if (pos_ < frameBytes_.size()) {
+      ByteReader r(std::span<const std::uint8_t>(frameBytes_).subspan(pos_));
+      const auto body = readLengthPrefixedRecord(r);
+      pos_ += r.pos();
+      out = RecordView::parse(body);
+      return true;
+    }
+    if (!prefetcher_.next(frameBytes_)) {
+      exhausted_ = true;
+      return false;
+    }
+    pos_ = 0;
+  }
+}
+
+}  // namespace ute

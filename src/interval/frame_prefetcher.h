@@ -1,0 +1,69 @@
+// Background frame prefetching for interval files.
+//
+// The k-way merge consumes each input strictly in file order, one record
+// at a time, but the underlying I/O is frame-granular — so between frames
+// the tournament tree used to stall on a synchronous readFrame(). A
+// FramePrefetcher moves that read onto a dedicated fetcher thread that
+// walks the directory chain and pushes whole frames through a bounded
+// Channel (default depth 2: one frame being consumed, one being read —
+// classic double buffering, and the bound keeps a fast disk from
+// ballooning memory on a slow consumer).
+//
+// The prefetcher opens its own IntervalFileReader, so a caller may keep a
+// separate reader on the same path for metadata without synchronization.
+// Errors raised by the fetcher thread (corrupt directories, truncated
+// frames) are captured and rethrown from the consumer's next() call, so
+// error behavior matches the synchronous path.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "interval/file_reader.h"
+#include "support/channel.h"
+
+namespace ute {
+
+class FramePrefetcher {
+ public:
+  explicit FramePrefetcher(const std::string& path, std::size_t depth = 2);
+  ~FramePrefetcher();
+
+  FramePrefetcher(const FramePrefetcher&) = delete;
+  FramePrefetcher& operator=(const FramePrefetcher&) = delete;
+
+  /// Moves the next frame's raw bytes into `frame`; false at end of
+  /// file. Rethrows any error the fetcher thread hit.
+  bool next(std::vector<std::uint8_t>& frame);
+
+ private:
+  void fetchLoop();
+
+  IntervalFileReader reader_;
+  Channel<std::vector<std::uint8_t>> frames_;
+  std::exception_ptr error_;  ///< set before frames_.close(), read after
+  std::thread fetcher_;
+};
+
+/// Record-granular view over a FramePrefetcher: the drop-in prefetching
+/// counterpart of IntervalFileReader::RecordStream (same record sequence,
+/// byte for byte). The RecordView's bytes stay valid until the next call.
+class PrefetchRecordStream {
+ public:
+  explicit PrefetchRecordStream(const std::string& path,
+                                std::size_t depth = 2);
+
+  /// False at end of file.
+  bool next(RecordView& out);
+
+ private:
+  FramePrefetcher prefetcher_;
+  std::vector<std::uint8_t> frameBytes_;
+  std::size_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace ute

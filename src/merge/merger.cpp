@@ -1,13 +1,16 @@
 #include "merge/merger.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <memory>
 #include <optional>
 
+#include "interval/frame_prefetcher.h"
 #include "interval/standard_profile.h"
 #include "merge/tournament_tree.h"
 #include "support/errors.h"
+#include "support/thread_pool.h"
 
 namespace ute {
 
@@ -16,14 +19,22 @@ namespace {
 constexpr Tick kSentinelEnd = ~Tick{0};
 
 /// One input interval file being merged: reader, clock map, and a
-/// one-record lookahead already adjusted onto the global time base.
+/// one-record lookahead already adjusted onto the global time base. The
+/// record source is either the reader's synchronous stream (jobs == 1)
+/// or a background prefetcher delivering the identical byte sequence.
 struct InputStream {
-  explicit InputStream(const std::string& path)
-      : reader(std::make_unique<IntervalFileReader>(path)),
-        stream(reader->records()) {}
+  InputStream(const std::string& path, std::size_t prefetchDepth)
+      : reader(std::make_unique<IntervalFileReader>(path)) {
+    if (prefetchDepth > 0) {
+      prefetched = std::make_unique<PrefetchRecordStream>(path, prefetchDepth);
+    } else {
+      stream.emplace(reader->records());
+    }
+  }
 
   std::unique_ptr<IntervalFileReader> reader;
-  IntervalFileReader::RecordStream stream;
+  std::optional<IntervalFileReader::RecordStream> stream;
+  std::unique_ptr<PrefetchRecordStream> prefetched;
   ClockMap map;
   /// Threads excluded by the category selection; their records are
   /// skipped during the merge.
@@ -34,12 +45,16 @@ struct InputStream {
 
   Tick key() const { return ok ? view.end() : kSentinelEnd; }
 
+  bool nextRaw(RecordView& out) {
+    return prefetched ? prefetched->next(out) : stream->next(out);
+  }
+
   /// Loads the next record, applying the timestamp adjustment and
   /// appending the merged-file origStart field.
   void advance(bool keepClockRecords) {
     RecordView raw;
     for (;;) {
-      if (!stream.next(raw)) {
+      if (!nextRaw(raw)) {
         ok = false;
         return;
       }
@@ -134,23 +149,20 @@ MergeResult IntervalMerger::mergeTo(const std::string& outPath,
     alwaysLen[intervalEventType(type)] = len;
   }
 
-  // Pass 1: clock pairs, thread tables, markers.
+  // Pass 1: clock pairs, thread tables, markers. Metadata merging stays
+  // sequential (cheap, order-sensitive validation); the per-input clock
+  // scans — a full pass over each file — fan out across the pool below.
+  const std::size_t jobs =
+      std::min(effectiveJobs(options_.jobs), inputPaths_.size());
+  const std::size_t prefetchDepth =
+      jobs > 1 ? std::max<std::size_t>(options_.prefetchDepth, 2) : 0;
   std::vector<std::unique_ptr<InputStream>> inputs;
   std::vector<ThreadEntry> mergedThreads;
   std::map<std::pair<NodeId, LogicalThreadId>, bool> seenThreads;
   std::map<std::uint32_t, std::string> mergedMarkers;
   for (const std::string& path : inputPaths_) {
-    auto input = std::make_unique<InputStream>(path);
+    auto input = std::make_unique<InputStream>(path, prefetchDepth);
     input->reader->checkProfile(profile_);
-
-    std::vector<TimestampPair> pairs = collectClockPairs(path);
-    if (options_.filterOutliers && pairs.size() >= 3) {
-      pairs = filterOutlierPairs(pairs, options_.outlierTolerance);
-    }
-    input->map = pairs.size() >= 2
-                     ? ClockMap(pairs, options_.syncMethod)
-                     : ClockMap::identity();
-    result.ratios.push_back(input->map.ratio());
 
     for (const ThreadEntry& t : input->reader->threads()) {
       if (seenThreads.emplace(std::make_pair(t.node, t.ltid), true).second ==
@@ -177,6 +189,16 @@ MergeResult IntervalMerger::mergeTo(const std::string& outPath,
     result.recordsIn += input->reader->header().totalRecords;
     inputs.push_back(std::move(input));
   }
+
+  parallelFor(jobs, inputs.size(), [&](std::size_t i) {
+    std::vector<TimestampPair> pairs = collectClockPairs(inputPaths_[i]);
+    if (options_.filterOutliers && pairs.size() >= 3) {
+      pairs = filterOutlierPairs(pairs, options_.outlierTolerance);
+    }
+    inputs[i]->map = pairs.size() >= 2 ? ClockMap(pairs, options_.syncMethod)
+                                       : ClockMap::identity();
+  });
+  for (const auto& input : inputs) result.ratios.push_back(input->map.ratio());
 
   IntervalFileOptions writerOptions;
   writerOptions.profileVersion = profile_.versionId();

@@ -17,8 +17,11 @@ constexpr std::uint32_t kPalette[] = {
     0xda8bc3, 0x8c8c8c, 0xccb974, 0x64b5cd, 0x2f4b7c, 0xffa600,
 };
 
-void encodeInterval(std::vector<std::uint8_t>& out, const SlogInterval& r) {
-  ByteWriter w;
+// The two encoders share one scratch ByteWriter per call site (cleared,
+// capacity retained) so the per-record hot path allocates nothing.
+void encodeInterval(ByteWriter& w, std::vector<std::uint8_t>& out,
+                    const SlogInterval& r) {
+  w.clear();
   w.u8(0);  // kind: interval
   w.u32(r.stateId);
   w.u8(r.bebits);
@@ -32,8 +35,9 @@ void encodeInterval(std::vector<std::uint8_t>& out, const SlogInterval& r) {
   out.insert(out.end(), view.begin(), view.end());
 }
 
-void encodeArrow(std::vector<std::uint8_t>& out, const SlogArrow& a) {
-  ByteWriter w;
+void encodeArrow(ByteWriter& w, std::vector<std::uint8_t>& out,
+                 const SlogArrow& a) {
+  w.clear();
   w.u8(1);  // kind: arrow
   w.i32(a.srcNode);
   w.i32(a.srcThread);
@@ -239,13 +243,13 @@ void SlogWriter::maybeStartFrame(Tick) {
 }
 
 void SlogWriter::appendInterval(const SlogInterval& interval) {
-  encodeInterval(frameBytes_, interval);
+  encodeInterval(scratch_, frameBytes_, interval);
   ++frameRecords_;
   ++intervalsWritten_;
 }
 
 void SlogWriter::appendArrow(const SlogArrow& arrow) {
-  encodeArrow(frameBytes_, arrow);
+  encodeArrow(scratch_, frameBytes_, arrow);
   ++frameRecords_;
   ++arrowsWritten_;
 }

@@ -72,6 +72,7 @@ class SlogWriter {
   PreviewAccumulator preview_;
 
   std::vector<std::uint8_t> frameBytes_;
+  ByteWriter scratch_;  ///< reused per-record encode buffer
   std::uint32_t frameRecords_ = 0;
   Tick frameTimeStart_ = 0;
   Tick maxEnd_ = 0;

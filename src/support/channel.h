@@ -1,0 +1,76 @@
+// Bounded MPMC channel: the hand-off primitive of the parallel pipeline.
+//
+// A fixed-capacity FIFO connecting any number of producers to any number
+// of consumers. send() blocks while the channel is full (backpressure:
+// a fast producer cannot run arbitrarily far ahead of its consumer, which
+// is what keeps the frame prefetcher "double-buffered" rather than
+// "reads the whole file into memory"), receive() blocks while it is
+// empty. close() wakes everyone: pending sends return false, receives
+// drain what is queued and then return nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ute {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full. Returns false (dropping `value`) once closed.
+  bool send(T value) {
+    std::unique_lock lock(mu_);
+    sendCv_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(value));
+    recvCv_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed and drained.
+  std::optional<T> receive() {
+    std::unique_lock lock(mu_);
+    recvCv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    std::optional<T> v(std::move(queue_.front()));
+    queue_.pop_front();
+    sendCv_.notify_one();
+    return v;
+  }
+
+  /// Idempotent. Unblocks all senders and receivers; queued items remain
+  /// receivable.
+  void close() {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+    sendCv_.notify_all();
+    recvCv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable sendCv_;
+  std::condition_variable recvCv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ute

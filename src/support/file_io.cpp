@@ -6,14 +6,22 @@
 namespace ute {
 
 namespace {
+
 [[noreturn]] void throwErrno(const std::string& op, const std::string& path) {
   throw IoError(op + " failed for '" + path + "': " + std::strerror(errno));
 }
+
+/// stdio's default buffer (typically 4-8 KiB) turns frame-sized transfers
+/// into many small write()/read() syscalls; a 256 KiB buffer batches them.
+constexpr std::size_t kStdioBufferBytes = 256 << 10;
+
 }  // namespace
 
 FileWriter::FileWriter(const std::string& path) : path_(path) {
   f_ = std::fopen(path.c_str(), "wb");
   if (f_ == nullptr) throwErrno("open for write", path);
+  iobuf_.resize(kStdioBufferBytes);
+  std::setvbuf(f_, iobuf_.data(), _IOFBF, iobuf_.size());
 }
 
 FileWriter::~FileWriter() {
@@ -64,6 +72,8 @@ void FileWriter::close() {
 FileReader::FileReader(const std::string& path) : path_(path) {
   f_ = std::fopen(path.c_str(), "rb");
   if (f_ == nullptr) throwErrno("open for read", path);
+  iobuf_.resize(kStdioBufferBytes);
+  std::setvbuf(f_, iobuf_.data(), _IOFBF, iobuf_.size());
   if (std::fseek(f_, 0, SEEK_END) != 0) throwErrno("seek", path);
   const long end = std::ftell(f_);
   if (end < 0) throwErrno("tell", path);

@@ -48,6 +48,7 @@ class FileWriter {
  private:
   std::string path_;
   std::FILE* f_ = nullptr;
+  std::vector<char> iobuf_;  ///< large stdio buffer (batched write())
 };
 
 /// Read-only binary file with random access. Throws IoError / FormatError.
@@ -77,6 +78,7 @@ class FileReader {
   std::string path_;
   std::FILE* f_ = nullptr;
   std::uint64_t size_ = 0;
+  std::vector<char> iobuf_;  ///< large stdio buffer (batched read())
 };
 
 /// Reads a whole file into memory (for small files such as profiles).

@@ -1,0 +1,101 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "support/errors.h"
+
+namespace ute {
+
+ThreadPool::ThreadPool(std::size_t workers, std::size_t queueCapacity)
+    : jobs_(queueCapacity == 0 ? std::max<std::size_t>(1, workers) * 2
+                               : queueCapacity) {
+  if (workers == 0) workers = 1;
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) throw UsageError("ThreadPool: submit after shutdown");
+    ++pending_;
+  }
+  if (!jobs_.send(std::move(job))) {
+    // Closed between the check and the send: undo the accounting.
+    std::lock_guard lock(mu_);
+    --pending_;
+    idleCv_.notify_all();
+    throw UsageError("ThreadPool: submit after shutdown");
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mu_);
+  idleCv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  jobs_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (auto job = jobs_.receive()) {
+    (*job)();
+    std::lock_guard lock(mu_);
+    if (--pending_ == 0) idleCv_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  std::mutex errMu;
+  std::exception_ptr firstError;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&, i] {
+      {
+        std::lock_guard lock(errMu);
+        if (firstError) return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(errMu);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  wait();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+std::size_t effectiveJobs(int jobs) {
+  if (jobs > 0) return static_cast<std::size_t>(jobs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = std::min(jobs, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  pool.parallelFor(n, fn);
+}
+
+}  // namespace ute

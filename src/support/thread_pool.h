@@ -1,0 +1,73 @@
+// Fixed-size thread pool for the offline utilities (convert / merge).
+//
+// Unlike the server's WorkerPool (which refuses work when its queue is
+// full so a loaded service degrades predictably), this pool is built for
+// batch throughput: submit() blocks on a bounded channel, so a producer
+// enumerating thousands of work items is throttled to what the workers
+// can absorb instead of materializing the whole backlog.
+//
+// parallelFor() is the pattern every pipeline stage actually needs: run
+// fn(0..n-1) on up to `jobs` workers, wait for all of them, and rethrow
+// the first exception. With jobs <= 1 it degenerates to a plain loop, so
+// the sequential reference path shares this code exactly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "support/channel.h"
+
+namespace ute {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. At most `queueCapacity` jobs wait
+  /// unstarted (0 = 2x workers); further submits block.
+  explicit ThreadPool(std::size_t workers, std::size_t queueCapacity = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job`, blocking while the queue is full. Throws UsageError
+  /// after shutdown().
+  void submit(std::function<void()> job);
+
+  /// Blocks until every job submitted so far has finished executing.
+  void wait();
+
+  /// Stops accepting work, drains jobs already queued, joins workers.
+  /// Called by the destructor; calling it earlier surfaces errors.
+  void shutdown();
+
+  /// Runs fn(0..n-1) across the pool's workers, waits for completion,
+  /// and rethrows the first exception any call threw. Remaining indices
+  /// are skipped (not cancelled mid-call) once a call has thrown.
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t workerCount() const { return threads_.size(); }
+
+ private:
+  void workerLoop();
+
+  Channel<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable idleCv_;
+  std::size_t pending_ = 0;  ///< submitted but not yet finished
+  bool shutdown_ = false;
+};
+
+/// Maps a --jobs style argument to a worker count: values <= 0 mean "one
+/// per hardware thread" (at least 1).
+std::size_t effectiveJobs(int jobs);
+
+/// One-shot parallel loop: runs fn(0..n-1) on up to `jobs` threads and
+/// rethrows the first exception. jobs <= 1 (or n <= 1) runs inline on the
+/// calling thread — the deterministic sequential reference path.
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace ute

@@ -1,7 +1,12 @@
 #include "workloads/pipeline.h"
 
+#include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
+
+#include <unistd.h>
 
 #include "interval/standard_profile.h"
 #include "mpisim/mpi_runtime.h"
@@ -22,9 +27,26 @@ std::string makeScratchDir(const std::string& hint) {
   namespace fs = std::filesystem;
   const fs::path base = fs::temp_directory_path() / "ute";
   fs::create_directories(base);
-  // Deterministic per-hint directory, wiped on reuse for reproducibility.
-  const fs::path dir = base / hint;
-  fs::remove_all(dir);
+  // One directory per hint *and process*: concurrently running test
+  // processes (ctest -j) must never wipe each other's files. Within one
+  // process the path is deterministic and wiped on reuse. Directories
+  // left by processes that have since exited are reclaimed here so the
+  // temp space stays bounded across runs.
+  const std::string prefix = hint + ".";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const long pid = std::strtol(name.c_str() + prefix.size(), nullptr, 10);
+    if (pid > 0 && pid != static_cast<long>(getpid()) &&
+        kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH) {
+      std::error_code ignored;
+      fs::remove_all(entry.path(), ignored);
+    }
+  }
+  const fs::path dir = base / (prefix + std::to_string(getpid()));
+  std::error_code ignored;
+  fs::remove_all(dir, ignored);
   fs::create_directories(dir);
   return dir.string();
 }

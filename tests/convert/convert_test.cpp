@@ -7,17 +7,24 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <thread>
 
 #include "interval/file_reader.h"
 #include "interval/record.h"
 #include "interval/standard_profile.h"
 #include "trace/writer.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
 std::string tempPrefix(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Each TEST runs as its own ctest process; prefixing the pid keeps
+  // parallel processes from clobbering each other's fixture files.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 struct Rec {
@@ -358,6 +365,79 @@ TEST(Convert, RecordsEmittedInEndTimeOrder) {
     lastEnd = r.start + r.dura;
   }
   ASSERT_GE(recs.size(), 5u);
+}
+
+TEST(MarkerUnifier, DuplicateStringsShareOneIdAcrossTasks) {
+  // Two tasks define the same strings under colliding task-local ids; the
+  // unifier keys on the string alone, so equal strings map to one global
+  // id and ids are dense in first-encounter order.
+  MarkerUnifier markers;
+  EXPECT_EQ(markers.unify("Init"), 1u);  // task A, local id 1
+  EXPECT_EQ(markers.unify("Work"), 2u);  // task A, local id 2
+  EXPECT_EQ(markers.unify("Work"), 2u);  // task B, local id 1 (collision)
+  EXPECT_EQ(markers.unify("Init"), 1u);  // task B, local id 2 (collision)
+  EXPECT_EQ(markers.unify("Done"), 3u);
+  EXPECT_EQ(markers.size(), 3u);
+  const std::vector<std::string> table = markers.table();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0], "Init");
+  EXPECT_EQ(table[1], "Work");
+  EXPECT_EQ(table[2], "Done");
+}
+
+TEST(MarkerUnifier, PreassignPinsIdsForLaterUnifyCalls) {
+  // preassign() replays the sequential encounter order ahead of parallel
+  // conversion; later unify() calls (from any worker) must return the
+  // pinned ids, and duplicates within the preassign list are ignored.
+  MarkerUnifier markers;
+  markers.preassign({"alpha", "beta", "alpha", "gamma"});
+  EXPECT_EQ(markers.size(), 3u);
+  EXPECT_EQ(markers.unify("gamma"), 3u);
+  EXPECT_EQ(markers.unify("beta"), 2u);
+  EXPECT_EQ(markers.unify("alpha"), 1u);
+  EXPECT_EQ(markers.unify("delta"), 4u);  // new strings keep extending
+  markers.preassign({"beta", "epsilon"});  // idempotent for known strings
+  EXPECT_EQ(markers.unify("epsilon"), 5u);
+  EXPECT_EQ(markers.size(), 5u);
+}
+
+TEST(MarkerUnifier, ConcurrentUnifyIsConsistent) {
+  // Hammer one unifier from several threads with overlapping string sets;
+  // every thread must observe the same string->id mapping and the final
+  // table must be a permutation-free dense 1..N assignment.
+  MarkerUnifier markers;
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 64;
+  std::vector<std::map<std::string, std::uint32_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &markers, &seen] {
+      for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < kStrings; ++i) {
+          // Each thread walks the strings in a different order.
+          const int idx = (i * (t + 1) + round) % kStrings;
+          const std::string name = "marker" + std::to_string(idx);
+          const std::uint32_t id = markers.unify(name);
+          const auto it = seen[static_cast<std::size_t>(t)].find(name);
+          if (it != seen[static_cast<std::size_t>(t)].end()) {
+            EXPECT_EQ(it->second, id);
+          } else {
+            seen[static_cast<std::size_t>(t)].emplace(name, id);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(markers.size(), static_cast<std::size_t>(kStrings));
+  const std::vector<std::string> table = markers.table();
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [name, id] : seen[static_cast<std::size_t>(t)]) {
+      ASSERT_GE(id, 1u);
+      ASSERT_LE(id, table.size());
+      EXPECT_EQ(table[id - 1], name);
+    }
+  }
 }
 
 TEST(Convert, MismatchedExitRejected) {

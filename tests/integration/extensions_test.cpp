@@ -15,6 +15,8 @@
 #include "workloads/pipeline.h"
 #include "workloads/workloads.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -28,8 +30,11 @@ SimulationConfig oneThreadConfig(const std::string& name, Program program) {
   tc.program = std::move(program);
   proc.threads.push_back(std::move(tc));
   config.processes.push_back(std::move(proc));
+  // Pid-prefixed so parallel ctest processes never share trace files.
   config.trace.filePrefix =
-      (std::filesystem::temp_directory_path() / name).string();
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(getpid()) + "." + name))
+          .string();
   return config;
 }
 

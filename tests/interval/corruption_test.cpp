@@ -5,6 +5,8 @@
 
 #include <filesystem>
 
+#include <unistd.h>
+
 #include "interval/file_reader.h"
 #include "interval/file_writer.h"
 #include "interval/standard_profile.h"
@@ -20,7 +22,11 @@ namespace {
 namespace fs = std::filesystem;
 
 std::string tempPath(const std::string& name) {
-  return (fs::temp_directory_path() / name).string();
+  // Each TEST in this file runs as its own ctest process; prefixing the
+  // pid keeps parallel processes from clobbering each other's fixtures.
+  return (fs::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 /// Builds a small but structurally rich interval file.

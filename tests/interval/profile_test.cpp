@@ -7,6 +7,8 @@
 #include "interval/standard_profile.h"
 #include "support/rng.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -63,7 +65,9 @@ TEST(Profile, EncodeDecodeRoundTrip) {
 
 TEST(Profile, FileRoundTrip) {
   const std::string path =
-      (std::filesystem::temp_directory_path() / "profile_rt.ute").string();
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(getpid()) + ".profile_rt.ute"))
+          .string();
   sampleProfile().writeFile(path);
   const Profile back = Profile::readFile(path);
   EXPECT_EQ(back.versionId(), 7u);

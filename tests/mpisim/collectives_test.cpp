@@ -8,6 +8,8 @@
 #include "mpisim/mpi_runtime.h"
 #include "trace/reader.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -18,8 +20,11 @@ SimulationConfig clusterOf(const std::string& name, int nodes, int cpus) {
     node.cpuCount = cpus;
     config.nodes.push_back(node);
   }
+  // Pid-prefixed so parallel ctest processes never share trace files.
   config.trace.filePrefix =
-      (std::filesystem::temp_directory_path() / name).string();
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(getpid()) + "." + name))
+          .string();
   config.clockDaemon.periodNs = 500 * kMs;
   return config;
 }

@@ -7,6 +7,8 @@
 
 #include "trace/reader.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -17,8 +19,11 @@ SimulationConfig clusterOf(const std::string& name, int nodes, int cpus) {
     node.cpuCount = cpus;
     config.nodes.push_back(node);
   }
+  // Pid-prefixed so parallel ctest processes never share trace files.
   config.trace.filePrefix =
-      (std::filesystem::temp_directory_path() / name).string();
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(getpid()) + "." + name))
+          .string();
   config.clockDaemon.periodNs = 100 * kMs;
   return config;
 }

@@ -16,6 +16,8 @@
 #include "server/protocol.h"
 #include "slog/slog_writer.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -23,7 +25,11 @@ constexpr int kThreads = 8;
 constexpr int kQueriesPerThread = 200;
 
 std::string tempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Each TEST in this file runs as its own ctest process; prefixing the
+  // pid keeps parallel processes from clobbering each other's fixtures.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 std::string writeSlog(const std::string& name) {

@@ -7,6 +7,8 @@
 
 #include "trace/reader.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
@@ -36,8 +38,11 @@ SimulationConfig baseConfig(const std::string& name, int nodes, int cpus) {
     node.cpuCount = cpus;
     config.nodes.push_back(node);  // perfect clocks by default
   }
+  // Pid-prefixed so parallel ctest processes never share trace files.
   config.trace.filePrefix =
-      (std::filesystem::temp_directory_path() / name).string();
+      (std::filesystem::temp_directory_path() /
+       (std::to_string(getpid()) + "." + name))
+          .string();
   config.clockDaemon.periodNs = 50 * kMs;
   return config;
 }

@@ -14,11 +14,17 @@
 #include "slog/slog_writer.h"
 #include "support/file_io.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
 std::string tempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Each TEST in this file runs as its own ctest process; prefixing the
+  // pid keeps parallel processes from clobbering each other's fixtures.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 /// Writes a small but multi-frame SLOG file and returns its path.

@@ -4,11 +4,17 @@
 
 #include <filesystem>
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
 std::string tempPath(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Each TEST in this file runs as its own ctest process; prefixing the
+  // pid keeps parallel processes from clobbering each other's fixtures.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 TEST(FileIo, WriteThenReadBack) {

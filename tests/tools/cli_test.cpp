@@ -13,6 +13,8 @@
 
 #include "workloads/pipeline.h"
 
+#include <unistd.h>
+
 #ifndef UTE_TOOLS_DIR
 #error "UTE_TOOLS_DIR must be defined by the build"
 #endif
@@ -29,7 +31,9 @@ std::string tool(const std::string& name) {
 /// Runs a command, returning {exit code, captured stdout+stderr}.
 std::pair<int, std::string> run(const std::string& command) {
   const std::string outFile =
-      (fs::temp_directory_path() / "ute_cli_out.txt").string();
+      (fs::temp_directory_path() /
+       (std::to_string(getpid()) + ".ute_cli_out.txt"))
+          .string();
   const int rc = std::system((command + " > " + outFile + " 2>&1").c_str());
   std::ifstream in(outFile);
   std::stringstream ss;
@@ -244,6 +248,41 @@ TEST_F(CliTest, ServeAndQueryRoundTrip) {
   }
   EXPECT_NE(log.find("shutdown requested"), std::string::npos) << log;
   EXPECT_NE(log.find("served"), std::string::npos) << log;
+}
+
+TEST_F(CliTest, PipelineToolMatchesStagedToolsAndJobsAreDeterministic) {
+  // utepipeline must equal running uteconvert + utemerge by hand, and
+  // --jobs 4 must be byte-identical to --jobs 1.
+  const std::string raws = *dir_ + "/run.0.utr " + *dir_ + "/run.1.utr";
+  auto [rc, out] = run(tool("utepipeline") + " --out " + *dir_ +
+                       "/p1 --jobs 1 --profile " + *dir_ + "/profile.ute " +
+                       raws);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("records/s"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*dir_ + "/p1.merged.uti"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/p1.slog"));
+
+  std::tie(rc, out) = run(tool("utepipeline") + " --out " + *dir_ +
+                          "/p4 --jobs 4 --profile " + *dir_ +
+                          "/profile.ute " + raws);
+  ASSERT_EQ(rc, 0) << out;
+
+  run(tool("uteconvert") + " --out " + *dir_ + "/ps --jobs 1 " + raws);
+  std::tie(rc, out) =
+      run(tool("utemerge") + " --out " + *dir_ + "/ps.merged.uti --slog " +
+          *dir_ + "/ps.slog --profile " + *dir_ + "/profile.ute " + *dir_ +
+          "/ps.0.uti " + *dir_ + "/ps.1.uti");
+  ASSERT_EQ(rc, 0) << out;
+
+  for (const char* suffix : {".0.uti", ".1.uti", ".merged.uti", ".slog"}) {
+    const auto a = run("cmp " + *dir_ + "/p1" + suffix + " " + *dir_ +
+                       "/p4" + suffix);
+    EXPECT_EQ(a.first, 0) << "--jobs 1 vs 4 differ at " << suffix;
+    const auto b = run("cmp " + *dir_ + "/p1" + suffix + " " + *dir_ +
+                       "/ps" + suffix);
+    EXPECT_EQ(b.first, 0) << "utepipeline vs staged tools differ at "
+                          << suffix;
+  }
 }
 
 TEST_F(CliTest, ToolsFailCleanlyOnBadInput) {

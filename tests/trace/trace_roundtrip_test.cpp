@@ -5,11 +5,17 @@
 #include "trace/reader.h"
 #include "trace/writer.h"
 
+#include <unistd.h>
+
 namespace ute {
 namespace {
 
 std::string tempPrefix(const std::string& name) {
-  return (std::filesystem::temp_directory_path() / name).string();
+  // Each TEST runs as its own ctest process; prefixing the pid keeps
+  // parallel processes from clobbering each other's fixture files.
+  return (std::filesystem::temp_directory_path() /
+          (std::to_string(getpid()) + "." + name))
+      .string();
 }
 
 TraceOptions optionsFor(const std::string& name) {

@@ -5,6 +5,8 @@
 //   utemerge --out MERGED.uti [--slog OUT.slog] [--profile profile.ute]
 //            [--method rms|last|piecewise] [--naive] [--keep-clock]
 //            [--threads mpi,user,system]   (categories to merge, §2.3.3)
+//            [--jobs N]   (parallel clock fits + prefetching inputs;
+//                          output byte-identical to --jobs 1)
 //            NODE0.uti NODE1.uti ...
 #include <chrono>
 #include <cstdio>
@@ -20,7 +22,8 @@ int main(int argc, char** argv) {
   using namespace ute;
   try {
     CliParser cli(argc, argv,
-                  {"out", "slog", "profile", "method", "frame-bytes", "threads"});
+                  {"out", "slog", "profile", "method", "frame-bytes",
+                   "threads", "jobs"});
     if (cli.positional().empty()) {
       std::fprintf(stderr,
                    "usage: utemerge --out MERGED.uti [--slog F] NODE.uti ...\n");
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
     options.keepClockRecords = cli.hasFlag("keep-clock");
     options.targetFrameBytes = static_cast<std::size_t>(
         cli.valueOr("frame-bytes", std::uint64_t{32} << 10));
+    options.jobs = static_cast<int>(cli.valueOr("jobs", std::uint64_t{1}));
 
     const auto t0 = std::chrono::steady_clock::now();
     IntervalMerger merger(cli.positional(), profile, options);
