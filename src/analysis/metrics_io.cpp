@@ -1,0 +1,14 @@
+#include "analysis/metrics_io.h"
+
+#include "support/file_io.h"
+
+namespace ute {
+
+void writeMetricsFile(const std::string& path, const MetricsStore& store) {
+  writeWholeFile(path, store.encode());
+}
+
+MetricsReader::MetricsReader(const std::string& path)
+    : path_(path), store_(MetricsStore::decode(readWholeFile(path))) {}
+
+}  // namespace ute

@@ -1,0 +1,31 @@
+// .utm metrics-store file I/O: the thin disk layer over
+// MetricsStore::encode()/decode(). The file is the byte-for-byte encode
+// of one store, so the server can serve the same bytes it would write
+// and a client can parse a reply and a file with the same code.
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.h"
+
+namespace ute {
+
+/// Conventional extension for metrics-store files.
+inline constexpr const char* kMetricsFileExtension = ".utm";
+
+void writeMetricsFile(const std::string& path, const MetricsStore& store);
+
+/// Loads and validates a .utm file (throws IoError / FormatError).
+class MetricsReader {
+ public:
+  explicit MetricsReader(const std::string& path);
+
+  const MetricsStore& store() const { return store_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  MetricsStore store_;
+};
+
+}  // namespace ute

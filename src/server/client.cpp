@@ -56,6 +56,12 @@ std::vector<SummaryEntry> TraceClient::summary(std::uint32_t traceId,
       roundTrip(encodeSummaryRequest(traceId, t0, t1).view()));
 }
 
+MetricsStore TraceClient::metrics(std::uint32_t traceId,
+                                  std::uint32_t bins) {
+  return decodeMetricsReply(
+      roundTrip(encodeMetricsRequest(traceId, bins).view()));
+}
+
 ServiceStats TraceClient::stats() {
   return decodeStatsReply(roundTrip(encodeStatsRequest().view()));
 }

@@ -32,6 +32,9 @@ class TraceClient {
   WindowResult window(std::uint32_t traceId, const WindowQuery& query);
   FrameReply frameAt(std::uint32_t traceId, Tick t);
   std::vector<SummaryEntry> summary(std::uint32_t traceId, Tick t0, Tick t1);
+  /// Time-resolved metrics store (bins = 0: server default). The server
+  /// computes it lazily on first request and caches the encoded bytes.
+  MetricsStore metrics(std::uint32_t traceId, std::uint32_t bins = 0);
   ServiceStats stats();
   /// Asks the server to stop accepting and shut down.
   void shutdownServer();

@@ -172,6 +172,14 @@ ByteWriter encodeShutdownRequest() {
   return w;
 }
 
+ByteWriter encodeMetricsRequest(std::uint32_t traceId, std::uint32_t bins) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kGetMetrics);
+  w.u32(traceId);
+  w.u32(bins);
+  return w;
+}
+
 // --- response decoding ------------------------------------------------------
 
 HelloReply decodeHelloReply(std::span<const std::uint8_t> payload) {
@@ -300,6 +308,11 @@ ServiceStats decodeStatsReply(std::span<const std::uint8_t> payload) {
 
 void decodeOkReply(std::span<const std::uint8_t> payload) {
   openReply(payload);
+}
+
+MetricsStore decodeMetricsReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  return MetricsStore::decode(payload.subspan(r.pos()));
 }
 
 // --- server dispatch --------------------------------------------------------
@@ -467,6 +480,21 @@ RequestOutcome dispatch(TraceService& service,
       outcome.shutdown = true;
       return outcome;
     }
+    case Opcode::kGetMetrics: {
+      const std::uint32_t traceId = r.u32();
+      const std::uint32_t bins = r.u32();
+      const TraceService::MetricsBlob blob = service.metrics(traceId, bins);
+      if (1 + blob->size() > kMaxMessageBytes) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadRequest, "metrics reply exceeds the message "
+                                    "cap; request fewer bins");
+        return outcome;
+      }
+      ByteWriter w = okHeader();
+      w.bytes(*blob);
+      outcome.response = w.take();
+      return outcome;
+    }
   }
   outcome.response = encodeErrorReply(
       ErrorCode::kBadRequest,
@@ -476,11 +504,12 @@ RequestOutcome dispatch(TraceService& service,
   return outcome;
 }
 
-/// UsageError carries both bad-trace and bad-window conditions; the trace
-/// message prefix disambiguates for the wire code.
+/// UsageError carries bad-trace, bad-window and bad-parameter
+/// conditions; the message prefix disambiguates for the wire code.
 ErrorCode usageCode(const std::string& what) {
-  return what.rfind("unknown trace id", 0) == 0 ? ErrorCode::kBadTrace
-                                                : ErrorCode::kBadWindow;
+  if (what.rfind("unknown trace id", 0) == 0) return ErrorCode::kBadTrace;
+  if (what.rfind("metrics bins", 0) == 0) return ErrorCode::kBadRequest;
+  return ErrorCode::kBadWindow;
 }
 
 }  // namespace

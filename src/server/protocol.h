@@ -40,6 +40,7 @@ enum class Opcode : std::uint8_t {
   kSummary = 8,
   kStats = 9,
   kShutdown = 10,
+  kGetMetrics = 11,
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -95,6 +96,8 @@ ByteWriter encodeSummaryRequest(std::uint32_t traceId, Tick t0, Tick t1);
 ByteWriter encodeFrameAtRequest(std::uint32_t traceId, Tick t);
 ByteWriter encodeStatsRequest();
 ByteWriter encodeShutdownRequest();
+/// bins = 0 asks for the server default (kDefaultMetricsBins).
+ByteWriter encodeMetricsRequest(std::uint32_t traceId, std::uint32_t bins);
 
 // --- response decoding (client side) ---------------------------------------
 // Each checks the status byte and throws ServiceError on an error frame.
@@ -118,6 +121,9 @@ std::vector<SummaryEntry> decodeSummaryReply(
     std::span<const std::uint8_t> payload);
 ServiceStats decodeStatsReply(std::span<const std::uint8_t> payload);
 void decodeOkReply(std::span<const std::uint8_t> payload);
+/// The reply body is one encoded .utm metrics store (docs/ANALYSIS.md);
+/// the same bytes utemetrics would write to disk for this trace.
+MetricsStore decodeMetricsReply(std::span<const std::uint8_t> payload);
 
 // --- server dispatch --------------------------------------------------------
 

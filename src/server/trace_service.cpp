@@ -178,6 +178,29 @@ std::vector<SummaryEntry> TraceService::summary(std::uint32_t traceId,
   return result;
 }
 
+TraceService::MetricsBlob TraceService::metrics(std::uint32_t traceId,
+                                                std::uint32_t bins) {
+  Trace& slot = traceSlot(traceId);
+  if (bins == 0) bins = kDefaultMetricsBins;
+  if (bins > kMaxMetricsBins) {
+    throw UsageError("metrics bins capped at " +
+                     std::to_string(kMaxMetricsBins));
+  }
+  std::lock_guard<std::mutex> lock(slot.metricsMu);
+  const auto it = slot.metricsByBins.find(bins);
+  if (it != slot.metricsByBins.end()) return it->second;
+
+  MetricsOptions options;
+  options.bins = bins;
+  const MetricsStore store = computeMetrics(
+      *slot.reader, options,
+      [&](std::size_t frameIdx) { return frame(traceId, frameIdx); });
+  auto blob =
+      std::make_shared<const std::vector<std::uint8_t>>(store.encode());
+  slot.metricsByBins.emplace(bins, blob);
+  return blob;
+}
+
 FrameAtResult TraceService::frameAt(std::uint32_t traceId, Tick t) {
   const SlogReader& reader = trace(traceId);
   const auto idx = reader.frameIndexFor(t);

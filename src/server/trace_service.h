@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/metrics.h"
 #include "server/frame_cache.h"
 #include "server/worker_pool.h"
 #include "slog/slog_reader.h"
@@ -32,6 +34,12 @@ struct ServiceOptions {
   std::size_t workers = 4;
   std::size_t queueDepth = 64;
 };
+
+/// Bin count used when a GetMetrics request passes bins = 0.
+inline constexpr std::uint32_t kDefaultMetricsBins = 240;
+/// Upper bound a request may ask for (keeps one reply well under the
+/// protocol's message cap and bounds the cached blob size).
+inline constexpr std::uint32_t kMaxMetricsBins = 100000;
 
 /// A window query: absolute tick range plus optional filters. Empty
 /// `states` means every state passes.
@@ -102,6 +110,13 @@ class TraceService {
   /// Throws UsageError when no frame contains `t`.
   FrameAtResult frameAt(std::uint32_t traceId, Tick t);
 
+  /// Encoded .utm metrics for a trace, computed lazily on first request
+  /// (frames flow through the frame cache, so the scan respects the
+  /// cache byte budget) and memoized per (trace, bins). bins = 0 means
+  /// kDefaultMetricsBins; values above kMaxMetricsBins throw UsageError.
+  using MetricsBlob = std::shared_ptr<const std::vector<std::uint8_t>>;
+  MetricsBlob metrics(std::uint32_t traceId, std::uint32_t bins = 0);
+
   FrameCache& cache() { return cache_; }
   const FrameCache& cache() const { return cache_; }
   WorkerPool& pool() { return pool_; }
@@ -117,6 +132,10 @@ class TraceService {
     std::unique_ptr<SlogReader> reader;
     std::mutex handleMu;
     std::vector<std::unique_ptr<FileReader>> freeHandles;
+    /// Lazily computed encoded metrics stores, keyed by bin count. The
+    /// mutex also serializes the (heavy) first computation per trace.
+    std::mutex metricsMu;
+    std::map<std::uint32_t, MetricsBlob> metricsByBins;
   };
 
   /// Frame span [first, last] consulted for a clamped window; nullopt

@@ -1,0 +1,55 @@
+// Heatmap rendering of the time-resolved metrics store (src/analysis):
+// time on the x axis, one row per MPI task, metric value as intensity.
+// This is the aggregate-driven companion of the time-space diagrams —
+// it draws a whole run from the binned sums, never from raw events, so
+// it stays cheap no matter how large the trace behind the store was
+// (and it renders identically from a local .utm file or a GetMetrics
+// server reply, which carry the same bytes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "analysis/metrics.h"
+#include "viz/svg_render.h"
+
+namespace ute {
+
+/// What a heatmap cell (bin x task) shows.
+enum class MetricKind {
+  kBusy,          ///< Running time (ns)
+  kMpi,           ///< MPI time (ns)
+  kIo,            ///< I/O + page-fault time (ns)
+  kMarker,        ///< user-marker time (ns)
+  kIdle,          ///< derived idle time (ns)
+  kCommFraction,  ///< MPI time / task wall time, 0..1
+  kLateSender,    ///< late-sender wait time (ns)
+  kSendBytes,     ///< message bytes sent
+  kRecvBytes,     ///< message bytes received
+};
+
+const char* metricKindName(MetricKind kind);
+/// Parses the CLI spelling ("busy", "mpi", "io", "marker", "idle",
+/// "commfrac", "latesender", "sendbytes", "recvbytes").
+std::optional<MetricKind> parseMetricKind(std::string_view name);
+
+/// Per-bin value of a metric for one task, as the heatmaps see it.
+double metricCell(const MetricsStore& store, MetricKind kind,
+                  std::uint32_t bin, std::uint32_t task);
+
+/// Terminal heatmap: one line per task, `columns` time columns, cell
+/// intensity scaled 0-9 against the hottest cell; a footer reports the
+/// scale and the run-wide derived series (peak communication fraction
+/// and load imbalance).
+std::string renderMetricsHeatmapAscii(const MetricsStore& store,
+                                      MetricKind kind, int columns = 100);
+
+/// Standalone SVG heatmap of the same grid, with a time axis in seconds
+/// and the derived communication-fraction / load-imbalance series drawn
+/// as a strip under the task rows.
+std::string renderMetricsHeatmapSvg(const MetricsStore& store,
+                                    MetricKind kind,
+                                    const SvgOptions& options = {});
+
+}  // namespace ute

@@ -1,9 +1,11 @@
 #include "viz/report.h"
 
+#include "analysis/metrics.h"
 #include "interval/file_reader.h"
 #include "slog/slog_reader.h"
 #include "stats/engine.h"
 #include "support/text.h"
+#include "viz/metrics_view.h"
 #include "viz/svg_render.h"
 #include "viz/timeline_model.h"
 
@@ -86,6 +88,18 @@ std::string buildHtmlReport(const std::string& mergedPath,
     SlogReader slog(options.slogPath);
     html += "<h2>Preview</h2>\n";
     html += renderPreviewSvg(slog.preview(), slog.states(), 50, svg);
+
+    if (options.metricsBins > 0) {
+      MetricsOptions metricsOptions;
+      metricsOptions.bins = options.metricsBins;
+      const MetricsStore metrics = computeMetrics(slog, metricsOptions);
+      html += "<h2>Time-resolved metrics</h2>\n";
+      for (MetricKind kind : {MetricKind::kBusy, MetricKind::kMpi,
+                              MetricKind::kCommFraction}) {
+        html += "<h3>" + std::string(metricKindName(kind)) + "</h3>\n" +
+                renderMetricsHeatmapSvg(metrics, kind, svg);
+      }
+    }
   }
 
   const auto addView = [&](ViewKind kind, bool connect,

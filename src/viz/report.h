@@ -22,6 +22,8 @@ struct ReportOptions {
   bool stateActivity = true;
   /// Statistics program; empty = the pre-defined tables.
   std::string statsProgram;
+  /// Metrics heatmaps (needs slogPath); 0 bins = skip the section.
+  std::uint32_t metricsBins = 240;
   int svgWidth = 1100;
 };
 

@@ -65,6 +65,54 @@ TEST(Preview, OriginAnchorsAtFirstRecord) {
   EXPECT_GT(p.perStateBinTime[0][0], 0.0);
 }
 
+TEST(Preview, ZeroDurationPinsOriginAndRegistersState) {
+  PreviewAccumulator acc(8, kMs);
+  acc.add(5, 3 * kMs, 0);
+  const SlogPreview p = acc.snapshot({5});
+  // The zero-duration add anchored the origin and created the state row
+  // without contributing any time.
+  EXPECT_EQ(p.origin, 3 * kMs);
+  EXPECT_EQ(rowSum(p.perStateBinTime[0]), 0.0);
+  // A zero-duration add far to the right still grows the binned range.
+  acc.add(5, 100 * kMs, 0);
+  const SlogPreview grown = acc.snapshot({5});
+  EXPECT_GE(grown.origin + grown.binWidth * grown.bins, 100 * kMs);
+  EXPECT_EQ(rowSum(grown.perStateBinTime[0]), 0.0);
+}
+
+TEST(Preview, StartBeforeOriginIsClampedWithoutLosingTime) {
+  PreviewAccumulator acc(16, kMs);
+  acc.add(1, 100 * kMs, kMs);  // origin pinned at 100 ms
+  // An out-of-order record starting before the origin: its start clamps
+  // to the origin but its full duration is still accumulated.
+  acc.add(1, 90 * kMs, 2 * kMs);
+  const SlogPreview p = acc.snapshot({1});
+  EXPECT_EQ(p.origin, 100 * kMs);
+  EXPECT_NEAR(rowSum(p.perStateBinTime[0]), 3e6, 1.0);
+  // The clamped interval occupies the first bins, not bin "minus ten".
+  EXPECT_GT(p.perStateBinTime[0][0], 0.0);
+}
+
+TEST(Preview, BinDoublingConservesMassAcrossGrowth) {
+  PreviewAccumulator acc(8, kMs);  // covers 8 ms initially
+  // One ms of state time in every initial bin.
+  for (int i = 0; i < 8; ++i) {
+    acc.add(1, static_cast<Tick>(i) * kMs, kMs);
+  }
+  const SlogPreview before = acc.snapshot({1});
+  EXPECT_EQ(before.binWidth, kMs);
+  EXPECT_NEAR(rowSum(before.perStateBinTime[0]), 8e6, 1.0);
+
+  // Growing to 100 ms needs several pairwise-merge doublings
+  // (1 -> 2 -> 4 -> 8 -> 16 ms bins).
+  acc.add(1, 100 * kMs, kMs);
+  const SlogPreview after = acc.snapshot({1});
+  EXPECT_EQ(after.binWidth, 16 * kMs);
+  EXPECT_NEAR(rowSum(after.perStateBinTime[0]), 9e6, 1.0);
+  // All eight original milliseconds collapsed into the first bin.
+  EXPECT_NEAR(after.perStateBinTime[0][0], 8e6, 1.0);
+}
+
 TEST(RebinPreview, ConservesMassAndResolvesTo50) {
   PreviewAccumulator acc(256, kMs);
   for (int i = 0; i < 100; ++i) {

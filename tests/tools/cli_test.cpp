@@ -250,6 +250,116 @@ TEST_F(CliTest, ServeAndQueryRoundTrip) {
   EXPECT_NE(log.find("served"), std::string::npos) << log;
 }
 
+TEST_F(CliTest, MetricsToolComputesPrintsAndRoundTripsUtm) {
+  // Build a SLOG of our own so this test is order-independent.
+  run(tool("uteconvert") + " --out " + *dir_ + "/m " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  const auto [mrc, mout] =
+      run(tool("utemerge") + " --out " + *dir_ + "/m.merged.uti --slog " +
+          *dir_ + "/m.slog --profile " + *dir_ + "/profile.ute " + *dir_ +
+          "/m.0.uti " + *dir_ + "/m.1.uti");
+  ASSERT_EQ(mrc, 0) << mout;
+
+  // Summary + .utm output.
+  auto [rc, out] = run(tool("utemetrics") + " --slog " + *dir_ +
+                       "/m.slog --bins 60 --out " + *dir_ + "/m.utm");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("bins of"), std::string::npos);
+  EXPECT_NE(out.find("task 0:"), std::string::npos);
+  EXPECT_NE(out.find("peak comm fraction"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*dir_ + "/m.utm"));
+
+  // Reading back the .utm reports the same summary as recomputing.
+  const auto fromSlog = run(tool("utemetrics") + " --slog " + *dir_ +
+                            "/m.slog --bins 60");
+  const auto fromUtm = run(tool("utemetrics") + " --utm " + *dir_ +
+                           "/m.utm");
+  EXPECT_EQ(fromSlog.first, 0);
+  EXPECT_EQ(fromUtm.first, 0);
+  EXPECT_EQ(fromSlog.second, fromUtm.second);
+
+  // --jobs 1 and --jobs 4 write byte-identical .utm files.
+  run(tool("utemetrics") + " --slog " + *dir_ + "/m.slog --bins 60 "
+      "--jobs 1 --out " + *dir_ + "/m.j1.utm");
+  run(tool("utemetrics") + " --slog " + *dir_ + "/m.slog --bins 60 "
+      "--jobs 4 --out " + *dir_ + "/m.j4.utm");
+  EXPECT_EQ(run("cmp " + *dir_ + "/m.j1.utm " + *dir_ + "/m.j4.utm").first,
+            0)
+      << ".utm differs between --jobs 1 and --jobs 4";
+
+  // The full TSV carries one row per (bin, task) plus a header.
+  std::tie(rc, out) = run(tool("utemetrics") + " --slog " + *dir_ +
+                          "/m.slog --bins 10 --tsv");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("busy_ns"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + 10u * 4u);  // header + bins x tasks
+
+  std::tie(rc, out) = run(tool("utemetrics") + " --slog " + *dir_ +
+                          "/m.slog --bins 10 --derived");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("comm_fraction"), std::string::npos);
+
+  // uteview renders heatmaps from the SLOG and from the .utm file.
+  std::tie(rc, out) = run(tool("uteview") + " --slog " + *dir_ +
+                          "/m.slog --metrics mpi --bins 60 --svg " + *dir_ +
+                          "/m.heat.svg");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("metric mpi"), std::string::npos);
+  EXPECT_TRUE(fs::exists(*dir_ + "/m.heat.svg"));
+
+  std::tie(rc, out) = run(tool("uteview") + " --utm " + *dir_ +
+                          "/m.utm --metrics busy");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("metric busy"), std::string::npos);
+
+  std::tie(rc, out) = run(tool("uteview") + " --utm " + *dir_ +
+                          "/m.utm --metrics bogus");
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown --metrics kind"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsOverTheServer) {
+  run(tool("uteconvert") + " --out " + *dir_ + "/ms " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  const auto [mrc, mout] =
+      run(tool("utemerge") + " --out " + *dir_ + "/ms.merged.uti --slog " +
+          *dir_ + "/ms.slog --profile " + *dir_ + "/profile.ute " + *dir_ +
+          "/ms.0.uti " + *dir_ + "/ms.1.uti");
+  ASSERT_EQ(mrc, 0) << mout;
+
+  const std::string portFile = *dir_ + "/utemetrics.port";
+  ASSERT_EQ(std::system((tool("uteserve") + " " + *dir_ + "/ms.slog "
+                         "--workers 2 --port-file " + portFile +
+                         " > /dev/null 2>&1 &")
+                            .c_str()),
+            0);
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(portFile);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "server never wrote its port file";
+
+  // utequery prints the per-task totals of the GetMetrics reply.
+  auto [rc, out] = run(tool("utequery") + " --port " + port +
+                       " metrics --bins 60");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("60 bins"), std::string::npos);
+  EXPECT_NE(out.find("task 0:"), std::string::npos);
+
+  // uteview renders a heatmap straight from the server reply.
+  std::tie(rc, out) = run(tool("uteview") + " --connect 127.0.0.1:" + port +
+                          " --metrics busy --bins 60");
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("metric busy"), std::string::npos);
+  EXPECT_NE(out.find("task 0"), std::string::npos);
+
+  run(tool("utequery") + " --port " + port + " shutdown");
+}
+
 TEST_F(CliTest, PipelineToolMatchesStagedToolsAndJobsAreDeterministic) {
   // utepipeline must equal running uteconvert + utemerge by hand, and
   // --jobs 4 must be byte-identical to --jobs 1.

@@ -13,11 +13,13 @@
 //                            [--node N] [--thread T] [--states a,b,c]
 //   summary T0 T1            per-state time totals in the window
 //   frame-at T               the frame containing T
+//   metrics [--bins B]       per-task time-resolved metric totals
 //   stats                    server cache/pool counters
 //   shutdown                 stop the server
 #include <cstdio>
 #include <exception>
 
+#include "analysis/metrics.h"
 #include "server/client.h"
 #include "support/cli.h"
 #include "support/text.h"
@@ -44,13 +46,14 @@ std::string stateNameOf(const std::vector<SlogStateDef>& states,
 int main(int argc, char** argv) {
   try {
     CliParser cli(argc, argv,
-                  {"host", "port", "trace", "node", "thread", "states"});
+                  {"host", "port", "trace", "node", "thread", "states",
+                   "bins"});
     const auto port = cli.value("port");
     if (!port || cli.positional().empty()) {
       std::fprintf(stderr,
                    "usage: utequery --port N [--host H] [--trace I] "
                    "info|states|threads|preview|window|summary|frame-at|"
-                   "stats|shutdown [args]\n");
+                   "metrics|stats|shutdown [args]\n");
       return 2;
     }
     const std::string host = cli.valueOr("host", std::string("127.0.0.1"));
@@ -97,6 +100,28 @@ int main(int argc, char** argv) {
         const std::uint32_t id = s < states.size() ? states[s].id : 0;
         std::printf("%10.3fms %s\n", total / 1e6,
                     stateNameOf(states, id).c_str());
+      }
+      return 0;
+    }
+    if (command == "metrics") {
+      const auto bins =
+          static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0}));
+      const MetricsStore m = client.metrics(traceId, bins);
+      std::printf("metrics: %u bins of %.3fms, %u tasks\n", m.bins(),
+                  static_cast<double>(m.binWidth()) / 1e6, m.taskCount());
+      for (std::uint32_t k = 0; k < m.taskCount(); ++k) {
+        std::uint64_t busy = 0, mpi = 0, io = 0, late = 0, bytes = 0;
+        for (std::uint32_t b = 0; b < m.bins(); ++b) {
+          busy += m.timeNs(StateClass::kBusy, b, k);
+          mpi += m.timeNs(StateClass::kMpi, b, k);
+          io += m.timeNs(StateClass::kIo, b, k);
+          late += m.lateSenderNs(b, k);
+          bytes += m.sendBytes(b, k);
+        }
+        std::printf("  task %d: busy %.3fms, mpi %.3fms, io %.3fms, "
+                    "late-sender %.3fms, sent %s bytes\n",
+                    m.tasks()[k], busy / 1e6, mpi / 1e6, io / 1e6,
+                    late / 1e6, withCommas(bytes).c_str());
       }
       return 0;
     }

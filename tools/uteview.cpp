@@ -9,29 +9,93 @@
 //   uteview --slog RUN.slog --preview [--svg OUT.svg]
 //   uteview --slog RUN.slog --frame-at SECONDS [--svg OUT.svg]
 //   uteview --slog RUN.slog --window T0:T1 [--svg OUT.svg]
+// Usage (metrics heatmaps, from a SLOG file, a .utm file, or a server):
+//   uteview --slog RUN.slog --metrics KIND [--bins N] [--jobs N]
+//   uteview --utm RUN.utm --metrics KIND
+//   uteview --connect HOST:PORT [--trace I] --metrics KIND [--bins N]
+//   (KIND: busy|mpi|io|marker|idle|commfrac|latesender|sendbytes|recvbytes)
 #include <cstdio>
 #include <exception>
 
+#include "analysis/metrics.h"
+#include "analysis/metrics_io.h"
 #include "interval/standard_profile.h"
+#include "server/client.h"
 #include "slog/slog_reader.h"
 #include "support/cli.h"
 #include "support/file_io.h"
 #include "support/text.h"
 #include "viz/ascii_render.h"
+#include "viz/metrics_view.h"
 #include "viz/svg_render.h"
 #include "viz/timeline_model.h"
+
+namespace {
+
+using namespace ute;
+
+int showMetrics(const MetricsStore& store, const std::string& kindName,
+                const CliParser& cli, int asciiCols) {
+  const auto kind = parseMetricKind(kindName);
+  if (!kind) {
+    std::fprintf(stderr, "unknown --metrics kind '%s'\n", kindName.c_str());
+    return 2;
+  }
+  std::printf("%s", renderMetricsHeatmapAscii(store, *kind, asciiCols)
+                        .c_str());
+  if (const auto svg = cli.value("svg")) {
+    writeWholeFile(*svg, renderMetricsHeatmapSvg(store, *kind));
+    std::printf("wrote %s\n", svg->c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ute;
   try {
     CliParser cli(argc, argv,
                   {"input", "profile", "view", "window", "svg", "slog",
-                   "frame-at", "ascii-cols"});
+                   "frame-at", "ascii-cols", "metrics", "bins", "jobs",
+                   "utm", "connect", "trace"});
     const int asciiCols =
         static_cast<int>(cli.valueOr("ascii-cols", std::uint64_t{100}));
 
+    if (const auto utmPath = cli.value("utm")) {
+      const MetricsReader metricsFile(*utmPath);
+      return showMetrics(metricsFile.store(),
+                         cli.valueOr("metrics", std::string("busy")), cli,
+                         asciiCols);
+    }
+    if (const auto endpoint = cli.value("connect")) {
+      const auto parts = splitString(*endpoint, ':');
+      if (parts.size() != 2) {
+        std::fprintf(stderr, "--connect wants HOST:PORT\n");
+        return 2;
+      }
+      TraceClient client(parts[0],
+                         static_cast<std::uint16_t>(parseU64(parts[1])));
+      const auto traceId =
+          static_cast<std::uint32_t>(cli.valueOr("trace", std::uint64_t{0}));
+      const auto bins =
+          static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0}));
+      const MetricsStore store = client.metrics(traceId, bins);
+      return showMetrics(store, cli.valueOr("metrics", std::string("busy")),
+                         cli, asciiCols);
+    }
+
     if (const auto slogPath = cli.value("slog")) {
       SlogReader slog(*slogPath);
+      if (const auto metricKindName = cli.value("metrics")) {
+        MetricsOptions metricsOptions;
+        metricsOptions.bins = static_cast<std::uint32_t>(
+            cli.valueOr("bins", std::uint64_t{240}));
+        metricsOptions.jobs =
+            static_cast<int>(cli.valueOr("jobs", std::uint64_t{0}));
+        const MetricsStore store = computeMetrics(slog, metricsOptions);
+        return showMetrics(store, *metricKindName, cli, asciiCols);
+      }
       if (cli.hasFlag("preview")) {
         std::printf("%s", renderPreviewAscii(slog.preview(), slog.states(),
                                              50)
