@@ -358,23 +358,23 @@ MetricsStore computeMetrics(const SlogReader& reader,
   const std::size_t jobs =
       std::min(effectiveJobs(options.jobs), frames);
   if (jobs <= 1) {
-    FileReader file(reader.path());
     for (std::size_t i = 0; i < frames; ++i) {
-      total.addFrame(reader.readFrame(i, file));
+      total.addFrame(*reader.readFrame(i));
     }
     return total;
   }
 
   // Contiguous frame chunks, one private store per worker; integer cell
-  // sums make the merged result identical for every partition.
+  // sums make the merged result identical for every partition. readFrame
+  // is thread-safe (frames decode from the shared ByteSource), so the
+  // workers need no per-thread file handles.
   std::vector<MetricsStore> partial(jobs);
   parallelFor(jobs, jobs, [&](std::size_t c) {
     partial[c] = makeMetricsStore(reader, options);
-    FileReader file(reader.path());
     const std::size_t lo = frames * c / jobs;
     const std::size_t hi = frames * (c + 1) / jobs;
     for (std::size_t i = lo; i < hi; ++i) {
-      partial[c].addFrame(reader.readFrame(i, file));
+      partial[c].addFrame(*reader.readFrame(i));
     }
   });
   for (const MetricsStore& p : partial) total.addFrom(p);

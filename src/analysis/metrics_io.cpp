@@ -1,5 +1,6 @@
 #include "analysis/metrics_io.h"
 
+#include "support/byte_source.h"
 #include "support/file_io.h"
 
 namespace ute {
@@ -8,7 +9,16 @@ void writeMetricsFile(const std::string& path, const MetricsStore& store) {
   writeWholeFile(path, store.encode());
 }
 
+namespace {
+MetricsStore decodeSource(const std::string& path) {
+  // Decode straight from the mapping when the file maps; the store copies
+  // what it keeps, so the source can go away afterwards.
+  const ByteSource source(path);
+  return MetricsStore::decode(source.whole().bytes());
+}
+}  // namespace
+
 MetricsReader::MetricsReader(const std::string& path)
-    : path_(path), store_(MetricsStore::decode(readWholeFile(path))) {}
+    : path_(path), store_(decodeSource(path)) {}
 
 }  // namespace ute

@@ -1,11 +1,14 @@
 #include "interval/file_reader.h"
 
+#include "support/errors.h"
+
 namespace ute {
 
-IntervalFileReader::IntervalFileReader(const std::string& path)
-    : file_(path) {
-  const auto headerBytes = file_.read(kIntervalHeaderBytes);
-  ByteReader r(headerBytes);
+IntervalFileReader::IntervalFileReader(const std::string& path,
+                                       ByteSource::Mode mode)
+    : source_(path, mode) {
+  const FrameBuf headerBytes = source_.fetch(0, kIntervalHeaderBytes);
+  ByteReader r = headerBytes.reader();
   if (r.u32() != kIntervalMagic) {
     throw FormatError("not an interval file: " + path);
   }
@@ -24,9 +27,9 @@ IntervalFileReader::IntervalFileReader(const std::string& path)
   header_.minStart = r.u64();
   header_.maxEnd = r.u64();
 
-  const auto tableBytes =
-      file_.read(header_.threadCount * kThreadEntryBytes);
-  ByteReader tr(tableBytes);
+  const FrameBuf tableBytes = source_.fetch(
+      kIntervalHeaderBytes, header_.threadCount * kThreadEntryBytes);
+  ByteReader tr = tableBytes.reader();
   threads_.reserve(header_.threadCount);
   for (std::uint32_t i = 0; i < header_.threadCount; ++i) {
     ThreadEntry t;
@@ -40,10 +43,10 @@ IntervalFileReader::IntervalFileReader(const std::string& path)
   }
 
   if (header_.markerCount > 0) {
-    file_.seek(header_.markerTableOffset);
-    const auto markerBytes = file_.read(
-        static_cast<std::size_t>(file_.size() - header_.markerTableOffset));
-    ByteReader mr(markerBytes);
+    const FrameBuf markerBytes = source_.fetch(
+        header_.markerTableOffset,
+        static_cast<std::size_t>(source_.size() - header_.markerTableOffset));
+    ByteReader mr = markerBytes.reader();
     for (std::uint32_t i = 0; i < header_.markerCount; ++i) {
       const std::uint32_t id = mr.u32();
       markers_.emplace(id, mr.lstring());
@@ -53,7 +56,7 @@ IntervalFileReader::IntervalFileReader(const std::string& path)
 
 void IntervalFileReader::checkProfile(const Profile& profile) const {
   if (profile.versionId() != header_.profileVersion) {
-    throw FormatError("profile version mismatch: file " + file_.path() +
+    throw FormatError("profile version mismatch: file " + path() +
                       " was written with profile version " +
                       std::to_string(header_.profileVersion) +
                       " but the profile has version " +
@@ -61,27 +64,17 @@ void IntervalFileReader::checkProfile(const Profile& profile) const {
   }
 }
 
-FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
-  if (offset == 0 || offset >= file_.size()) {
+FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) const {
+  if (offset == 0 || offset >= source_.size()) {
     return FrameDirectory{};  // empty file or end of chain
   }
 
-  file_.seek(offset);
-  // One bulk read covers the header plus every entry of a default-sized
-  // (64-frame) directory; only oversized directories need a second read
-  // for the tail. The readahead is clamped to the file, so a directory
-  // whose entries the file cannot hold still fails the explicit length
-  // checks below rather than the clamp.
-  constexpr std::size_t kDirReadahead =
-      kDirHeaderBytes + 64 * kFrameEntryBytes;
-  const std::uint64_t avail = file_.size() - offset;
-  std::vector<std::uint8_t> buf =
-      avail < kDirReadahead ? file_.read(static_cast<std::size_t>(avail))
-                            : file_.read(kDirReadahead);
-  if (buf.size() < kDirHeaderBytes) {
-    throw FormatError("truncated frame directory header in " + file_.path());
+  if (source_.size() - offset < kDirHeaderBytes) {
+    throw FormatError("truncated frame directory header" +
+                      ioContext(path(), offset));
   }
-  ByteReader r(buf);
+  const FrameBuf head = source_.fetch(offset, kDirHeaderBytes);
+  ByteReader r = head.reader();
   FrameDirectory dir;
   dir.offset = offset;
   const std::uint32_t dirSize = r.u32();
@@ -89,27 +82,22 @@ FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
   dir.prevOffset = r.u64();
   dir.nextOffset = r.u64();
   if (dirSize != kDirHeaderBytes + frameCount * kFrameEntryBytes) {
-    throw FormatError("inconsistent frame directory size in " + file_.path());
+    throw FormatError("inconsistent frame directory size" +
+                      ioContext(path(), offset));
   }
   if (dir.nextOffset != 0 && dir.nextOffset <= offset) {
-    throw FormatError("frame directory chain does not advance in " +
-                      file_.path());
+    throw FormatError("frame directory chain does not advance" +
+                      ioContext(path(), offset));
   }
-  const std::size_t need = kDirHeaderBytes + frameCount * kFrameEntryBytes;
-  if (need > avail) {
-    throw FormatError("frame directory exceeds file size in " + file_.path());
+  const std::uint64_t entryBytes =
+      std::uint64_t{frameCount} * kFrameEntryBytes;
+  if (entryBytes > source_.size() - offset - kDirHeaderBytes) {
+    throw FormatError("frame directory exceeds file size" +
+                      ioContext(path(), offset));
   }
-  if (buf.size() < need) {
-    // Oversized directory: fetch the entries the readahead missed. The
-    // file position is already at buf.size() past `offset`.
-    const auto tail = file_.read(need - buf.size());
-    buf.insert(buf.end(), tail.begin(), tail.end());
-  } else if (buf.size() > need) {
-    // Leave the stream positioned right after the directory, as the
-    // two-read implementation did.
-    file_.seek(offset + need);
-  }
-  ByteReader er(std::span<const std::uint8_t>(buf).subspan(kDirHeaderBytes));
+  const FrameBuf entries = source_.fetch(
+      offset + kDirHeaderBytes, static_cast<std::size_t>(entryBytes));
+  ByteReader er = entries.reader();
   dir.frames.reserve(frameCount);
   for (std::uint32_t i = 0; i < frameCount; ++i) {
     FrameInfo f;
@@ -123,14 +111,12 @@ FrameDirectory IntervalFileReader::readDirectory(std::uint64_t offset) {
   return dir;
 }
 
-std::vector<std::uint8_t> IntervalFileReader::readFrame(
-    const FrameInfo& frame) {
-  file_.seek(frame.offset);
-  return file_.read(frame.sizeBytes);
+FrameBuf IntervalFileReader::readFrame(const FrameInfo& frame) const {
+  return source_.fetch(frame.offset, frame.sizeBytes);
 }
 
 std::vector<std::uint8_t> IntervalFileReader::recordAt(
-    std::uint64_t frameOffset, std::uint32_t index) {
+    std::uint64_t frameOffset, std::uint32_t index) const {
   for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
        dir = readDirectory(dir.nextOffset)) {
     for (const FrameInfo& f : dir.frames) {
@@ -140,8 +126,8 @@ std::vector<std::uint8_t> IntervalFileReader::recordAt(
                          " out of range for frame with " +
                          std::to_string(f.records) + " records");
       }
-      const auto bytes = readFrame(f);
-      ByteReader r(bytes);
+      const FrameBuf bytes = readFrame(f);
+      ByteReader r = bytes.reader();
       for (std::uint32_t i = 0; i < index; ++i) {
         readLengthPrefixedRecord(r);
       }
@@ -154,7 +140,7 @@ std::vector<std::uint8_t> IntervalFileReader::recordAt(
                    std::to_string(frameOffset));
 }
 
-std::optional<FrameInfo> IntervalFileReader::frameContaining(Tick t) {
+std::optional<FrameInfo> IntervalFileReader::frameContaining(Tick t) const {
   for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
        dir = readDirectory(dir.nextOffset)) {
     for (const FrameInfo& f : dir.frames) {
@@ -165,7 +151,7 @@ std::optional<FrameInfo> IntervalFileReader::frameContaining(Tick t) {
   return std::nullopt;
 }
 
-Tick IntervalFileReader::totalElapsed() {
+Tick IntervalFileReader::totalElapsed() const {
   Tick minStart = ~Tick{0};
   Tick maxEnd = 0;
   bool any = false;
@@ -181,7 +167,7 @@ Tick IntervalFileReader::totalElapsed() {
   return any ? maxEnd - minStart : 0;
 }
 
-std::uint64_t IntervalFileReader::countRecordsViaDirectories() {
+std::uint64_t IntervalFileReader::countRecordsViaDirectories() const {
   std::uint64_t total = 0;
   for (FrameDirectory dir = firstDirectory(); !dir.frames.empty();
        dir = readDirectory(dir.nextOffset)) {
@@ -191,8 +177,10 @@ std::uint64_t IntervalFileReader::countRecordsViaDirectories() {
   return total;
 }
 
-IntervalFileReader::RecordStream::RecordStream(IntervalFileReader& reader)
+IntervalFileReader::RecordStream::RecordStream(
+    const IntervalFileReader& reader)
     : reader_(reader) {
+  reader_.source().advise(MappedFile::Hint::kSequential);
   dir_ = reader_.firstDirectory();
   if (dir_.frames.empty()) exhausted_ = true;
 }
@@ -200,7 +188,7 @@ IntervalFileReader::RecordStream::RecordStream(IntervalFileReader& reader)
 bool IntervalFileReader::RecordStream::loadNextFrame() {
   for (;;) {
     if (frameIdx_ < dir_.frames.size()) {
-      frameBytes_ = reader_.readFrame(dir_.frames[frameIdx_]);
+      frame_ = reader_.readFrame(dir_.frames[frameIdx_]);
       ++frameIdx_;
       pos_ = 0;
       return true;
@@ -215,8 +203,8 @@ bool IntervalFileReader::RecordStream::loadNextFrame() {
 bool IntervalFileReader::RecordStream::next(RecordView& out) {
   if (exhausted_) return false;
   for (;;) {
-    if (pos_ < frameBytes_.size()) {
-      ByteReader r(std::span<const std::uint8_t>(frameBytes_).subspan(pos_));
+    if (pos_ < frame_.size()) {
+      ByteReader r(frame_.bytes().subspan(pos_));
       const auto body = readLengthPrefixedRecord(r);
       pos_ += r.pos();
       out = RecordView::parse(body);

@@ -17,6 +17,11 @@ void FramePrefetcher::fetchLoop() {
     for (FrameDirectory dir = reader_.firstDirectory(); !dir.frames.empty();
          dir = reader_.readDirectory(dir.nextOffset)) {
       for (const FrameInfo& f : dir.frames) {
+        // On the mmap path readFrame is a bounds check, not I/O; the
+        // WILLNEED advice is what actually pulls the pages in ahead of
+        // the consumer.
+        reader_.source().advise(f.offset, f.sizeBytes,
+                                MappedFile::Hint::kWillNeed);
         if (!frames_.send(reader_.readFrame(f))) return;  // consumer gone
       }
       if (dir.nextOffset == 0) break;
@@ -27,7 +32,7 @@ void FramePrefetcher::fetchLoop() {
   frames_.close();
 }
 
-bool FramePrefetcher::next(std::vector<std::uint8_t>& frame) {
+bool FramePrefetcher::next(FrameBuf& frame) {
   auto got = frames_.receive();
   if (!got) {
     // Closed and drained. The channel mutex orders the fetcher's error_
@@ -46,14 +51,14 @@ PrefetchRecordStream::PrefetchRecordStream(const std::string& path,
 bool PrefetchRecordStream::next(RecordView& out) {
   if (exhausted_) return false;
   for (;;) {
-    if (pos_ < frameBytes_.size()) {
-      ByteReader r(std::span<const std::uint8_t>(frameBytes_).subspan(pos_));
+    if (pos_ < frame_.size()) {
+      ByteReader r(frame_.bytes().subspan(pos_));
       const auto body = readLengthPrefixedRecord(r);
       pos_ += r.pos();
       out = RecordView::parse(body);
       return true;
     }
-    if (!prefetcher_.next(frameBytes_)) {
+    if (!prefetcher_.next(frame_)) {
       exhausted_ = true;
       return false;
     }

@@ -3,11 +3,18 @@
 // The k-way merge consumes each input strictly in file order, one record
 // at a time, but the underlying I/O is frame-granular — so between frames
 // the tournament tree used to stall on a synchronous readFrame(). A
-// FramePrefetcher moves that read onto a dedicated fetcher thread that
-// walks the directory chain and pushes whole frames through a bounded
-// Channel (default depth 2: one frame being consumed, one being read —
-// classic double buffering, and the bound keeps a fast disk from
-// ballooning memory on a slow consumer).
+// FramePrefetcher moves that work onto a dedicated fetcher thread that
+// walks the directory chain and pushes shared immutable FrameBuf handles
+// through a bounded Channel (default depth 2: one frame being consumed,
+// one being read — classic double buffering, and the bound keeps a fast
+// disk from ballooning memory on a slow consumer).
+//
+// On the mmap path a FrameBuf is a view into the mapping, so "fetching"
+// is free; the fetcher instead issues madvise(WILLNEED) for the next
+// frame's pages, turning the double buffering into page-cache readahead
+// rather than a second in-memory copy. On the stdio fallback the frames
+// flow through the source's buffer pool, recycling the same few
+// allocations.
 //
 // The prefetcher opens its own IntervalFileReader, so a caller may keep a
 // separate reader on the same path for metadata without synchronization.
@@ -35,15 +42,15 @@ class FramePrefetcher {
   FramePrefetcher(const FramePrefetcher&) = delete;
   FramePrefetcher& operator=(const FramePrefetcher&) = delete;
 
-  /// Moves the next frame's raw bytes into `frame`; false at end of
+  /// Hands the next frame's shared byte view to `frame`; false at end of
   /// file. Rethrows any error the fetcher thread hit.
-  bool next(std::vector<std::uint8_t>& frame);
+  bool next(FrameBuf& frame);
 
  private:
   void fetchLoop();
 
   IntervalFileReader reader_;
-  Channel<std::vector<std::uint8_t>> frames_;
+  Channel<FrameBuf> frames_;
   std::exception_ptr error_;  ///< set before frames_.close(), read after
   std::thread fetcher_;
 };
@@ -61,7 +68,7 @@ class PrefetchRecordStream {
 
  private:
   FramePrefetcher prefetcher_;
-  std::vector<std::uint8_t> frameBytes_;
+  FrameBuf frame_;
   std::size_t pos_ = 0;
   bool exhausted_ = false;
 };

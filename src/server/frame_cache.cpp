@@ -62,7 +62,7 @@ FrameCache::FramePtr FrameCache::lookup(std::uint64_t key) {
 }
 
 FrameCache::FramePtr FrameCache::getOrLoad(
-    std::uint64_t key, const std::function<SlogFrameData()>& loader) {
+    std::uint64_t key, const std::function<FramePtr()>& loader) {
   Shard& shard = shardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -76,8 +76,8 @@ FrameCache::FramePtr FrameCache::getOrLoad(
   }
 
   // Decode outside the lock; a concurrent loser of the same race reuses
-  // the winner's entry below.
-  auto frame = std::make_shared<const SlogFrameData>(loader());
+  // the winner's entry below. The loader's handle is cached as-is.
+  FramePtr frame = loader();
   const std::size_t bytes = frameBytes(*frame);
 
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -24,7 +24,7 @@ namespace ute {
 
 class FrameCache {
  public:
-  using FramePtr = std::shared_ptr<const SlogFrameData>;
+  using FramePtr = SlogFramePtr;
 
   /// Aggregated over all shards. hits+misses counts lookups; evictions
   /// counts entries dropped to stay within the byte budget.
@@ -40,12 +40,14 @@ class FrameCache {
   /// independently once its slice is full).
   FrameCache(std::size_t byteBudget, std::size_t shards);
 
-  /// Returns the cached frame for `key`, or decodes it via `loader` on a
-  /// miss. The loader runs outside the shard lock, so a slow disk read
-  /// never blocks hits on other keys in the same shard; if two threads
-  /// miss on the same key at once, both load and the first insert wins.
+  /// Returns the cached frame for `key`, or obtains it via `loader` on a
+  /// miss. The loader returns the shared immutable handle directly (no
+  /// copy into the cache) and runs outside the shard lock, so a slow disk
+  /// read never blocks hits on other keys in the same shard; if two
+  /// threads miss on the same key at once, both load and the first insert
+  /// wins — every caller then holds the same single frame buffer.
   FramePtr getOrLoad(std::uint64_t key,
-                     const std::function<SlogFrameData()>& loader);
+                     const std::function<FramePtr()>& loader);
 
   /// Hit-or-nullptr probe (counts toward hits/misses).
   FramePtr lookup(std::uint64_t key);

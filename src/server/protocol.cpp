@@ -69,11 +69,14 @@ SlogArrow takeArrow(ByteReader& r) {
   return a;
 }
 
-void putFrameData(ByteWriter& w, const SlogFrameData& data) {
-  w.u32(static_cast<std::uint32_t>(data.intervals.size()));
-  for (const SlogInterval& r : data.intervals) putInterval(w, r);
-  w.u32(static_cast<std::uint32_t>(data.arrows.size()));
-  for (const SlogArrow& a : data.arrows) putArrow(w, a);
+/// Span-based so callers serialize straight from a shared frame or a
+/// WindowResult without assembling a temporary SlogFrameData.
+void putFrameData(ByteWriter& w, std::span<const SlogInterval> intervals,
+                  std::span<const SlogArrow> arrows) {
+  w.u32(static_cast<std::uint32_t>(intervals.size()));
+  for (const SlogInterval& r : intervals) putInterval(w, r);
+  w.u32(static_cast<std::uint32_t>(arrows.size()));
+  for (const SlogArrow& a : arrows) putArrow(w, a);
 }
 
 SlogFrameData takeFrameData(ByteReader& r) {
@@ -423,10 +426,7 @@ RequestOutcome dispatch(TraceService& service,
       ByteWriter w = okHeader();
       w.u64(result.t0);
       w.u64(result.t1);
-      SlogFrameData data;
-      data.intervals = result.intervals;
-      data.arrows = result.arrows;
-      putFrameData(w, data);
+      putFrameData(w, result.intervals, result.arrows);
       outcome.response = w.take();
       return outcome;
     }
@@ -441,7 +441,7 @@ RequestOutcome dispatch(TraceService& service,
       w.u32(result.entry.records);
       w.u64(result.entry.timeStart);
       w.u64(result.entry.timeEnd);
-      putFrameData(w, *result.frame);
+      putFrameData(w, result.frame->intervals, result.frame->arrows);
       outcome.response = w.take();
       return outcome;
     }

@@ -13,35 +13,6 @@ std::uint64_t frameKey(std::uint32_t traceId, std::size_t frameIdx) {
   return (std::uint64_t{traceId} << 32) | static_cast<std::uint32_t>(frameIdx);
 }
 
-/// RAII lease of one per-trace file handle; opens a fresh handle when the
-/// free list is empty (first use by a new worker), returns it on release
-/// so steady state keeps at most one handle per concurrent reader.
-class HandleLease {
- public:
-  HandleLease(std::mutex& mu, std::vector<std::unique_ptr<FileReader>>& pool,
-              const std::string& path)
-      : mu_(mu), pool_(pool) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!pool_.empty()) {
-        handle_ = std::move(pool_.back());
-        pool_.pop_back();
-      }
-    }
-    if (!handle_) handle_ = std::make_unique<FileReader>(path);
-  }
-  ~HandleLease() {
-    std::lock_guard<std::mutex> lock(mu_);
-    pool_.push_back(std::move(handle_));
-  }
-  FileReader& get() { return *handle_; }
-
- private:
-  std::mutex& mu_;
-  std::vector<std::unique_ptr<FileReader>>& pool_;
-  std::unique_ptr<FileReader> handle_;
-};
-
 }  // namespace
 
 TraceService::TraceService(const std::vector<std::string>& slogPaths,
@@ -87,10 +58,8 @@ FrameCache::FramePtr TraceService::frame(std::uint32_t traceId,
   if (frameIdx >= reader.frameIndex().size()) {
     throw UsageError("SLOG frame index out of range");
   }
-  return cache_.getOrLoad(frameKey(traceId, frameIdx), [&] {
-    HandleLease lease(slot.handleMu, slot.freeHandles, reader.path());
-    return reader.readFrame(frameIdx, lease.get());
-  });
+  return cache_.getOrLoad(frameKey(traceId, frameIdx),
+                          [&] { return reader.readFrame(frameIdx); });
 }
 
 std::optional<std::pair<std::size_t, std::size_t>> TraceService::frameSpan(

@@ -4,9 +4,10 @@
 // answers concurrent queries against them: preview, states, threads,
 // frame-at(t), window(t0, t1) with thread/state filters, and per-state
 // summary totals. Frames are decoded at most once through the sharded
-// FrameCache; raw file bytes are read through a small pool of per-trace
-// file handles so N worker threads can pull different frames of the same
-// file simultaneously (SlogReader::readFrame with an injected handle).
+// FrameCache, which stores the SlogFramePtr handles SlogReader::readFrame
+// returns — so N clients querying the same window all share one frame in
+// memory. Raw bytes come through the reader's ByteSource (mmap when
+// available), so concurrent workers need no per-thread file handles.
 //
 // Query methods are thread-safe and synchronous. The embedded WorkerPool
 // adds admission control on top: trySubmit() is how the TCP server
@@ -130,8 +131,6 @@ class TraceService {
  private:
   struct Trace {
     std::unique_ptr<SlogReader> reader;
-    std::mutex handleMu;
-    std::vector<std::unique_ptr<FileReader>> freeHandles;
     /// Lazily computed encoded metrics stores, keyed by bin count. The
     /// mutex also serializes the (heavy) first computation per trace.
     std::mutex metricsMu;

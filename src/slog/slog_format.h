@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,12 @@ struct SlogFrameData {
   std::vector<SlogInterval> intervals;
   std::vector<SlogArrow> arrows;
 };
+
+/// The shared immutable frame handle the whole read side trades in: the
+/// reader decodes a frame once into a SlogFramePtr, and the server
+/// cache, metric passes, viewers and wire encoders all reference that
+/// one decoded frame — never a private copy.
+using SlogFramePtr = std::shared_ptr<const SlogFrameData>;
 
 struct SlogFrameIndexEntry {
   std::uint64_t offset = 0;

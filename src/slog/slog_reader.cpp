@@ -19,20 +19,21 @@ void requireWithin(std::uint64_t offset, std::uint64_t bytes,
                    std::uint64_t fileSize, const std::string& path,
                    const char* what) {
   if (offset > fileSize || bytes > fileSize - offset) {
-    throw CorruptFileError("corrupt SLOG file " + path + ": " + what +
-                           " [" + std::to_string(offset) + ", +" +
+    throw CorruptFileError("corrupt SLOG file: " + std::string(what) + " [" +
+                           std::to_string(offset) + ", +" +
                            std::to_string(bytes) + ") exceeds file size " +
-                           std::to_string(fileSize));
+                           std::to_string(fileSize) + ioContext(path, offset));
   }
 }
 
 }  // namespace
 
-SlogReader::SlogReader(const std::string& path) : file_(path) {
-  const std::uint64_t fileSize = file_.size();
+SlogReader::SlogReader(const std::string& path, ByteSource::Mode mode)
+    : source_(path, mode) {
+  const std::uint64_t fileSize = source_.size();
   requireWithin(0, kSlogHeaderBytes, fileSize, path, "header");
-  const auto headerBytes = file_.read(kSlogHeaderBytes);
-  ByteReader r(headerBytes);
+  const FrameBuf headerBytes = source_.fetch(0, kSlogHeaderBytes);
+  ByteReader r = headerBytes.reader();
   if (r.u32() != kSlogMagic) throw FormatError("not a SLOG file: " + path);
   if (r.u32() != kSlogVersion) {
     throw FormatError("unsupported SLOG version in " + path);
@@ -53,15 +54,17 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
   requireWithin(indexOffset, std::uint64_t{frameCount} * 32, fileSize, path,
                 "frame index");
   if (stateOffset > previewOffset) {
-    throw CorruptFileError("corrupt SLOG file " + path +
-                           ": state table offset follows preview offset");
+    throw CorruptFileError(
+        "corrupt SLOG file: state table offset follows preview offset" +
+        ioContext(path, stateOffset));
   }
   requireWithin(stateOffset, previewOffset - stateOffset, fileSize, path,
                 "state table");
   requireWithin(previewOffset, 0, fileSize, path, "preview");
 
-  const auto tableBytes = file_.read(threadCount * kThreadEntryBytes);
-  ByteReader tr(tableBytes);
+  const FrameBuf tableBytes =
+      source_.fetch(kSlogHeaderBytes, threadCount * kThreadEntryBytes);
+  ByteReader tr = tableBytes.reader();
   threads_.reserve(threadCount);
   for (std::uint32_t i = 0; i < threadCount; ++i) {
     ThreadEntry t;
@@ -74,9 +77,8 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
     threads_.push_back(t);
   }
 
-  file_.seek(indexOffset);
-  const auto indexBytes = file_.read(frameCount * 32);
-  ByteReader ir(indexBytes);
+  const FrameBuf indexBytes = source_.fetch(indexOffset, frameCount * 32);
+  ByteReader ir = indexBytes.reader();
   index_.reserve(frameCount);
   for (std::uint32_t i = 0; i < frameCount; ++i) {
     SlogFrameIndexEntry e;
@@ -88,17 +90,16 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
     requireWithin(e.offset, e.sizeBytes, fileSize, path,
                   ("frame " + std::to_string(i) + " extent").c_str());
     if (e.offset < kSlogHeaderBytes || e.timeEnd < e.timeStart) {
-      throw CorruptFileError("corrupt SLOG file " + path +
-                             ": frame index entry " + std::to_string(i) +
-                             " is inconsistent");
+      throw CorruptFileError("corrupt SLOG file: frame index entry " +
+                             std::to_string(i) + " is inconsistent" +
+                             ioContext(path, e.offset));
     }
     index_.push_back(e);
   }
 
-  file_.seek(stateOffset);
-  const auto stateBytes = file_.read(
-      static_cast<std::size_t>(previewOffset - stateOffset));
-  ByteReader sr(stateBytes);
+  const FrameBuf stateBytes = source_.fetch(
+      stateOffset, static_cast<std::size_t>(previewOffset - stateOffset));
+  ByteReader sr = stateBytes.reader();
   states_.reserve(stateCount);
   for (std::uint32_t i = 0; i < stateCount; ++i) {
     SlogStateDef s;
@@ -108,10 +109,9 @@ SlogReader::SlogReader(const std::string& path) : file_(path) {
     states_.push_back(std::move(s));
   }
 
-  file_.seek(previewOffset);
-  const auto previewBytes = file_.read(
-      static_cast<std::size_t>(file_.size() - previewOffset));
-  ByteReader pr(previewBytes);
+  const FrameBuf previewBytes = source_.fetch(
+      previewOffset, static_cast<std::size_t>(fileSize - previewOffset));
+  ByteReader pr = previewBytes.reader();
   preview_.origin = pr.u64();
   preview_.binWidth = pr.u64();
   preview_.bins = pr.u32();
@@ -140,20 +140,17 @@ std::optional<std::size_t> SlogReader::frameIndexFor(Tick t) const {
   return static_cast<std::size_t>(it - index_.begin());
 }
 
-SlogFrameData SlogReader::readFrame(std::size_t frameIdx) {
-  return readFrame(frameIdx, file_);
-}
-
-SlogFrameData SlogReader::readFrame(std::size_t frameIdx,
-                                    FileReader& file) const {
+SlogFramePtr SlogReader::readFrame(std::size_t frameIdx) const {
   if (frameIdx >= index_.size()) {
     throw UsageError("SLOG frame index out of range");
   }
   const SlogFrameIndexEntry& entry = index_[frameIdx];
-  file.seek(entry.offset);
-  const auto bytes = file.read(entry.sizeBytes);
-  ByteReader r(bytes);
-  SlogFrameData data;
+  // The extent was validated against the file size at open; fetch()
+  // re-checks against the mapping bounds, so a file truncated after open
+  // still fails typed instead of faulting.
+  const FrameBuf bytes = source_.fetch(entry.offset, entry.sizeBytes);
+  ByteReader r = bytes.reader();
+  auto data = std::make_shared<SlogFrameData>();
   for (std::uint32_t i = 0; i < entry.records; ++i) {
     const std::uint8_t kind = r.u8();
     if (kind == 0) {
@@ -166,7 +163,7 @@ SlogFrameData SlogReader::readFrame(std::size_t frameIdx,
       rec.node = r.i32();
       rec.cpu = r.i32();
       rec.thread = r.i32();
-      data.intervals.push_back(rec);
+      data->intervals.push_back(rec);
     } else if (kind == 1) {
       SlogArrow a;
       a.srcNode = r.i32();
@@ -176,9 +173,10 @@ SlogFrameData SlogReader::readFrame(std::size_t frameIdx,
       a.dstThread = r.i32();
       a.recvTime = r.u64();
       a.bytes = r.u32();
-      data.arrows.push_back(a);
+      data->arrows.push_back(a);
     } else {
-      throw FormatError("unknown SLOG record kind " + std::to_string(kind));
+      throw FormatError("unknown SLOG record kind " + std::to_string(kind) +
+                        ioContext(path(), entry.offset + r.pos() - 1));
     }
   }
   return data;

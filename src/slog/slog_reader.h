@@ -4,15 +4,19 @@
 // chosen time without touching the rest of the file — lives in
 // frameIndexFor() + readFrame().
 //
-// All metadata (index, tables, preview) is immutable after construction,
-// and every frame offset/size from the index is validated against the
-// actual file size up front (a corrupt or truncated file throws
-// CorruptFileError instead of decoding garbage). Frame reads come in two
-// flavors: readFrame(i) uses the reader's own file handle and is NOT
-// thread-safe; readFrame(i, file) reads through an injected,
-// independently opened handle on the same path, so N threads holding N
-// handles can pull frames from one shared reader concurrently — this is
-// the read path the trace-query service builds on.
+// The reader sits on the zero-copy ByteSource layer: on the mmap path a
+// frame read decodes straight out of the mapping with no intermediate
+// byte copy, and on the stdio fallback the raw bytes come from a pooled
+// buffer. All metadata (index, tables, preview) is immutable after
+// construction, and every frame offset/size from the index is validated
+// against the actual file size up front (a corrupt or truncated file
+// throws CorruptFileError instead of decoding garbage).
+//
+// readFrame() is const and thread-safe — ByteSource needs no per-thread
+// file handles — and returns a SlogFramePtr, the shared immutable frame
+// handle every consumer (server cache, metrics, viewers) holds without
+// copying. N threads can pull frames from one shared reader concurrently;
+// this is the read path the trace-query service builds on.
 #pragma once
 
 #include <cstdint>
@@ -21,13 +25,14 @@
 #include <vector>
 
 #include "slog/slog_format.h"
-#include "support/file_io.h"
+#include "support/byte_source.h"
 
 namespace ute {
 
 class SlogReader {
  public:
-  explicit SlogReader(const std::string& path);
+  explicit SlogReader(const std::string& path,
+                      ByteSource::Mode mode = ByteSource::Mode::kAuto);
 
   Tick totalStart() const { return totalStart_; }
   Tick totalEnd() const { return totalEnd_; }
@@ -43,16 +48,14 @@ class SlogReader {
   /// contains `t`, or nullopt outside the run.
   std::optional<std::size_t> frameIndexFor(Tick t) const;
 
-  SlogFrameData readFrame(std::size_t frameIdx);
+  /// Decodes one frame into a shared immutable handle. Thread-safe.
+  SlogFramePtr readFrame(std::size_t frameIdx) const;
 
-  /// Thread-safe variant: reads frame bytes through `file`, a separately
-  /// opened handle on path(). Only immutable metadata is touched.
-  SlogFrameData readFrame(std::size_t frameIdx, FileReader& file) const;
-
-  const std::string& path() const { return file_.path(); }
+  const std::string& path() const { return source_.path(); }
+  const ByteSource& source() const { return source_; }
 
  private:
-  FileReader file_;
+  ByteSource source_;
   Tick totalStart_ = 0;
   Tick totalEnd_ = 0;
   std::vector<SlogStateDef> states_;

@@ -36,6 +36,41 @@ CliParser::CliParser(int argc, const char* const* argv,
   }
 }
 
+Endpoint parseEndpoint(const std::string& text, const std::string& what) {
+  Endpoint ep;
+  std::string portText = text;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon == 0) throw UsageError(what + ": empty host in '" + text + "'");
+    ep.host = text.substr(0, colon);
+    portText = text.substr(colon + 1);
+  }
+  if (portText.empty()) {
+    throw UsageError(what + ": missing port in '" + text + "'");
+  }
+  const std::uint64_t port = parseU64(portText);
+  if (port == 0 || port > 65535) {
+    throw UsageError(what + ": port " + portText + " out of range");
+  }
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+std::optional<Endpoint> CliParser::endpoint() const {
+  if (const auto connect = value("connect")) {
+    return parseEndpoint(*connect, "--connect");
+  }
+  const auto port = value("port");
+  if (!port) return std::nullopt;
+  Endpoint ep = parseEndpoint(*port, "--port");
+  if (const auto host = value("host")) ep.host = *host;
+  return ep;
+}
+
+std::uint32_t CliParser::traceId() const {
+  return static_cast<std::uint32_t>(valueOr("trace", std::uint64_t{0}));
+}
+
 bool CliParser::hasFlag(const std::string& name) const {
   return flags_.count(name) != 0;
 }

@@ -12,6 +12,20 @@
 
 namespace ute {
 
+/// A parsed server address. The tools that can talk to a uteserve
+/// (utequery, uteview, utemetrics) all accept the same spellings and
+/// share this struct instead of each splitting host:port by hand.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// Parses "HOST:PORT" or a bare "PORT" (host defaults to 127.0.0.1).
+/// Throws UsageError naming `what` on an empty host, a missing port, or
+/// a port outside [1, 65535].
+Endpoint parseEndpoint(const std::string& text,
+                       const std::string& what = "endpoint");
+
 class CliParser {
  public:
   /// `spec` lists the option names that take a value; names absent from it
@@ -26,6 +40,15 @@ class CliParser {
   double valueOr(const std::string& name, double dflt) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
+
+  /// The shared server-address convention: --connect HOST:PORT (or a
+  /// bare port), else the --host/--port pair. nullopt when no address
+  /// was given; throws UsageError on a malformed one. Callers listing
+  /// value options must include "connect", "host" and "port".
+  std::optional<Endpoint> endpoint() const;
+
+  /// The shared --trace N trace-selection option (default trace 0).
+  std::uint32_t traceId() const;
 
  private:
   std::map<std::string, std::string> values_;

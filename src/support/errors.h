@@ -3,6 +3,7 @@
 // the boundary and converts them to the paper's error-code conventions.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -42,5 +43,16 @@ class UsageError : public std::logic_error {
  public:
   explicit UsageError(const std::string& what) : std::logic_error(what) {}
 };
+
+/// Uniform location suffix for I/O and format errors, so every reader
+/// reports *which* file and *where* in it the failure happened:
+///   throw CorruptFileError("frame extent exceeds file size" +
+///                          ioContext(path, offset));
+inline std::string ioContext(const std::string& path) {
+  return " in '" + path + "'";
+}
+inline std::string ioContext(const std::string& path, std::uint64_t offset) {
+  return " in '" + path + "' at byte " + std::to_string(offset);
+}
 
 }  // namespace ute

@@ -8,7 +8,8 @@ namespace ute {
 namespace {
 
 [[noreturn]] void throwErrno(const std::string& op, const std::string& path) {
-  throw IoError(op + " failed for '" + path + "': " + std::strerror(errno));
+  throw IoError(op + " failed" + ioContext(path) + ": " +
+                std::strerror(errno));
 }
 
 /// stdio's default buffer (typically 4-8 KiB) turns frame-sized transfers
@@ -86,8 +87,9 @@ FileReader::~FileReader() {
 }
 
 void FileReader::readExact(std::span<std::uint8_t> data) {
+  const std::uint64_t pos = tell();
   if (readSome(data) != data.size()) {
-    throw FormatError("unexpected end of file in '" + path_ + "'");
+    throw FormatError("unexpected end of file" + ioContext(path_, pos));
   }
 }
 
@@ -95,9 +97,9 @@ std::vector<std::uint8_t> FileReader::read(std::size_t n) {
   // Guard before allocating: corrupted headers can claim absurd sizes.
   const std::uint64_t pos = tell();
   if (pos > size_ || n > size_ - pos) {
-    throw FormatError("read of " + std::to_string(n) + " bytes at offset " +
-                      std::to_string(pos) + " exceeds file size " +
-                      std::to_string(size_) + " in '" + path_ + "'");
+    throw FormatError("read of " + std::to_string(n) +
+                      " bytes exceeds file size " + std::to_string(size_) +
+                      ioContext(path_, pos));
   }
   std::vector<std::uint8_t> out(n);
   readExact(out);

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "support/errors.h"
+#include "support/mapped_file.h"
 
 namespace ute {
 
@@ -20,14 +21,26 @@ std::uint32_t leU32(const std::uint8_t* p) {
 
 TraceFileReader::TraceFileReader(const std::string& path,
                                  std::size_t chunkBytes)
-    : file_(path), buf_(chunkBytes < 1 << 16 ? 1 << 16 : chunkBytes) {
-  if (!ensure(16)) throw FormatError("raw trace file too short: " + path);
-  ByteReader header(std::span(buf_.data() + pos_, 16));
+    : source_(path) {
+  if (source_.mapped()) {
+    // Decode straight from the mapping; conversion walks the file once.
+    source_.advise(MappedFile::Hint::kSequential);
+    whole_ = source_.whole();
+    base_ = whole_.data();
+    filled_ = whole_.size();
+  } else {
+    buf_.resize(chunkBytes < 1 << 16 ? 1 << 16 : chunkBytes);
+    base_ = buf_.data();
+  }
+  if (!ensure(16)) {
+    throw FormatError("raw trace file too short" + ioContext(source_.path()));
+  }
+  ByteReader header(std::span(cur(), 16));
   if (header.u32() != kRawMagic) {
-    throw FormatError("not a raw trace file: " + path);
+    throw FormatError("not a raw trace file: " + source_.path());
   }
   if (header.u32() != kRawVersion) {
-    throw FormatError("unsupported raw trace version in " + path);
+    throw FormatError("unsupported raw trace version in " + source_.path());
   }
   node_ = header.i32();
   cpuCount_ = header.i32();
@@ -36,15 +49,17 @@ TraceFileReader::TraceFileReader(const std::string& path,
 
 bool TraceFileReader::ensure(std::size_t n) {
   if (filled_ - pos_ >= n) return true;
+  if (source_.mapped()) return false;  // the mapping is the whole file
   // Compact the unconsumed tail to the front, then refill.
   const std::size_t tail = filled_ - pos_;
   if (tail > 0 && pos_ > 0) std::memmove(buf_.data(), buf_.data() + pos_, tail);
   pos_ = 0;
   filled_ = tail;
   while (filled_ < n) {
-    const std::size_t got = file_.readSome(
-        std::span(buf_.data() + filled_, buf_.size() - filled_));
+    const std::size_t got = source_.readAt(
+        fileOffset_, std::span(buf_.data() + filled_, buf_.size() - filled_));
     if (got == 0) return filled_ >= n;
+    fileOffset_ += got;
     filled_ += got;
   }
   return true;
@@ -54,24 +69,29 @@ std::optional<RawEvent> TraceFileReader::next() {
   for (;;) {
     if (!ensure(12)) {
       if (filled_ - pos_ != 0) {
-        throw FormatError("truncated record at end of " + file_.path());
+        throw FormatError("truncated record at end of file" +
+                          ioContext(source_.path(), recordOffset()));
       }
       return std::nullopt;
     }
-    const std::uint32_t hw = leU32(buf_.data() + pos_);
-    const std::uint32_t tsLow = leU32(buf_.data() + pos_ + 4);
-    const std::uint32_t ctx = leU32(buf_.data() + pos_ + 8);
+    const std::uint32_t hw = leU32(cur());
+    const std::uint32_t tsLow = leU32(cur() + 4);
+    const std::uint32_t ctx = leU32(cur() + 8);
 
     std::size_t headerLen = 12;
     std::size_t payloadLen = hookwordLength(hw);
     if (payloadLen == kExtendedLength) {
-      if (!ensure(14)) throw FormatError("truncated record in " + file_.path());
-      payloadLen = static_cast<std::size_t>(buf_[pos_ + 12]) |
-                   (static_cast<std::size_t>(buf_[pos_ + 13]) << 8);
+      if (!ensure(14)) {
+        throw FormatError("truncated record" +
+                          ioContext(source_.path(), recordOffset()));
+      }
+      payloadLen = static_cast<std::size_t>(cur()[12]) |
+                   (static_cast<std::size_t>(cur()[13]) << 8);
       headerLen = 14;
     }
     if (!ensure(headerLen + payloadLen)) {
-      throw FormatError("truncated payload in " + file_.path());
+      throw FormatError("truncated payload" +
+                        ioContext(source_.path(), recordOffset()));
     }
 
     RawEvent ev;
@@ -79,7 +99,7 @@ std::optional<RawEvent> TraceFileReader::next() {
     ev.flags = hookwordFlags(hw);
     ev.cpu = contextCpu(ctx);
     ev.ltid = contextThread(ctx);
-    ev.payload = std::span(buf_.data() + pos_ + headerLen, payloadLen);
+    ev.payload = std::span(cur() + headerLen, payloadLen);
     pos_ += headerLen + payloadLen;
 
     if (ev.type == EventType::kTimestampWrap) {

@@ -2,10 +2,14 @@
 //
 // Reconstructs full 64-bit local timestamps from the 32-bit on-disk
 // timestamp words plus TimestampWrap records, and decodes hookword /
-// context words back into typed events. The reader streams through a
-// bounded refill buffer so converting multi-hundred-megabyte trace files
-// (Table 1 runs up to 11.2 M raw events) does not require holding the
-// file in memory.
+// context words back into typed events.
+//
+// Decoding runs over the ByteSource layer: when the file maps, records
+// are decoded in place from the mapping (no refill buffer, no copy — the
+// payload spans point straight into the file's pages); on the stdio
+// fallback the reader streams through a bounded refill buffer, so
+// converting multi-hundred-megabyte trace files (Table 1 runs up to
+// 11.2 M raw events) never requires holding the file in memory.
 #pragma once
 
 #include <cstdint>
@@ -13,15 +17,16 @@
 #include <string>
 #include <vector>
 
+#include "support/byte_source.h"
 #include "support/bytes.h"
-#include "support/file_io.h"
 #include "support/types.h"
 #include "trace/events.h"
 
 namespace ute {
 
-/// One decoded raw trace event. `payload` points into the reader's refill
-/// buffer and is invalidated by the next call to next().
+/// One decoded raw trace event. `payload` points into the file mapping
+/// (valid for the reader's lifetime) or into the reader's refill buffer
+/// (invalidated by the next call to next()); treat it as next()-scoped.
 struct RawEvent {
   EventType type = EventType::kInvalid;
   std::uint8_t flags = 0;
@@ -50,11 +55,19 @@ class TraceFileReader {
 
  private:
   bool ensure(std::size_t n);
+  const std::uint8_t* cur() const { return base_ + pos_; }
+  /// Absolute file offset of the byte at cur() (for error context).
+  std::uint64_t recordOffset() const {
+    return source_.mapped() ? pos_ : fileOffset_ - (filled_ - pos_);
+  }
 
-  FileReader file_;
-  std::vector<std::uint8_t> buf_;
+  ByteSource source_;
+  FrameBuf whole_;                 ///< the mapping (mmap path only)
+  std::vector<std::uint8_t> buf_;  ///< refill buffer (stdio path only)
+  const std::uint8_t* base_ = nullptr;
   std::size_t pos_ = 0;
   std::size_t filled_ = 0;
+  std::uint64_t fileOffset_ = 0;  ///< next refill position (stdio path)
   NodeId node_ = -1;
   int cpuCount_ = 0;
   std::uint64_t highWord_ = 0;

@@ -342,20 +342,20 @@ namespace {
 /// frames [firstFrame, lastFrame] and renders the states of the time
 /// range [t0, t1], using the first frame's pseudo-intervals for states
 /// crossing in from the left.
-TimeSpaceModel assembleSlogView(SlogReader& slog, std::size_t firstFrame,
+TimeSpaceModel assembleSlogView(const SlogReader& slog, std::size_t firstFrame,
                                 std::size_t lastFrame, Tick t0, Tick t1,
                                 std::string title);
 
 }  // namespace
 
-TimeSpaceModel buildSlogFrameView(SlogReader& slog, std::size_t frameIdx) {
+TimeSpaceModel buildSlogFrameView(const SlogReader& slog, std::size_t frameIdx) {
   const SlogFrameIndexEntry& entry = slog.frameIndex().at(frameIdx);
   return assembleSlogView(slog, frameIdx, frameIdx, entry.timeStart,
                           entry.timeEnd,
                           "frame " + std::to_string(frameIdx));
 }
 
-TimeSpaceModel buildSlogWindowView(SlogReader& slog, Tick t0, Tick t1) {
+TimeSpaceModel buildSlogWindowView(const SlogReader& slog, Tick t0, Tick t1) {
   if (t1 <= t0) throw UsageError("window end must follow window start");
   const auto& index = slog.frameIndex();
   if (index.empty()) throw UsageError("SLOG file has no frames");
@@ -378,7 +378,7 @@ TimeSpaceModel buildSlogWindowView(SlogReader& slog, Tick t0, Tick t1) {
 
 namespace {
 
-TimeSpaceModel assembleSlogView(SlogReader& slog, std::size_t firstFrame,
+TimeSpaceModel assembleSlogView(const SlogReader& slog, std::size_t firstFrame,
                                 std::size_t lastFrame, Tick t0, Tick t1,
                                 std::string title) {
   ModelBuilder b;
@@ -404,8 +404,8 @@ TimeSpaceModel assembleSlogView(SlogReader& slog, std::size_t firstFrame,
   const auto clip = [&](Tick v) { return std::clamp(v, t0, t1); };
 
   for (std::size_t f = firstFrame; f <= lastFrame; ++f) {
-    const SlogFrameData frame = slog.readFrame(f);
-    for (const SlogInterval& r : frame.intervals) {
+    const SlogFramePtr frame = slog.readFrame(f);
+    for (const SlogInterval& r : frame->intervals) {
       // Later frames restate their own pseudo-intervals; only the first
       // frame's matter (the stacks carry the rest forward).
       if (r.pseudo && f != firstFrame) continue;
@@ -439,7 +439,7 @@ TimeSpaceModel assembleSlogView(SlogReader& slog, std::size_t firstFrame,
         }
       }
     }
-    for (const SlogArrow& a : frame.arrows) {
+    for (const SlogArrow& a : frame->arrows) {
       const auto fromIt = b.rowIndex.find({a.srcNode, a.srcThread});
       const auto toIt = b.rowIndex.find({a.dstNode, a.dstThread});
       if (fromIt == b.rowIndex.end() || toIt == b.rowIndex.end()) continue;

@@ -99,12 +99,12 @@ TimeSpaceModel buildView(IntervalFileReader& file, const Profile& profile,
 /// Builds a thread-activity view of one SLOG frame — the Figure 7 "frame
 /// display": pseudo-intervals complete the picture at the frame edges
 /// without reading any other part of the file.
-TimeSpaceModel buildSlogFrameView(SlogReader& slog, std::size_t frameIdx);
+TimeSpaceModel buildSlogFrameView(const SlogReader& slog, std::size_t frameIdx);
 
 /// Builds a thread-activity view of an arbitrary time window, reading
 /// only the frames the window intersects (located via the frame index).
 /// The first frame's pseudo-intervals complete states entering the
 /// window; segments are clipped to [t0, t1].
-TimeSpaceModel buildSlogWindowView(SlogReader& slog, Tick t0, Tick t1);
+TimeSpaceModel buildSlogWindowView(const SlogReader& slog, Tick t0, Tick t1);
 
 }  // namespace ute

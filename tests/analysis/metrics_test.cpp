@@ -312,10 +312,9 @@ Oracle bruteForce(const SlogReader& reader, const MetricsStore& shape) {
     }
   };
 
-  FileReader file(reader.path());
   for (std::size_t f = 0; f < reader.frameIndex().size(); ++f) {
-    const SlogFrameData frame = reader.readFrame(f, file);
-    for (const SlogInterval& r : frame.intervals) {
+    const SlogFramePtr frame = reader.readFrame(f);
+    for (const SlogInterval& r : frame->intervals) {
       if (r.pseudo) continue;
       StateClass c;
       if (!classifyState(r.stateId, c)) continue;
@@ -324,7 +323,7 @@ Oracle bruteForce(const SlogReader& reader, const MetricsStore& shape) {
       spreadOracle(o.timeNs[static_cast<std::size_t>(c)], it->second,
                    r.start, r.dura);
     }
-    for (const SlogArrow& a : frame.arrows) {
+    for (const SlogArrow& a : frame->arrows) {
       const auto src = taskOf.find({a.srcNode, a.srcThread});
       if (src != taskOf.end()) {
         ++o.sendCount[cellOf(binOf(a.sendTime), src->second)];
@@ -336,7 +335,7 @@ Oracle bruteForce(const SlogReader& reader, const MetricsStore& shape) {
       o.recvBytes[cellOf(binOf(a.recvTime), dst->second)] += a.bytes;
       // First receive-ish interval ending exactly at recvTime on the
       // destination thread (same retention rule as the engine's map).
-      for (const SlogInterval& r : frame.intervals) {
+      for (const SlogInterval& r : frame->intervals) {
         if (r.pseudo || r.node != a.dstNode || r.thread != a.dstThread) {
           continue;
         }

@@ -209,9 +209,9 @@ TEST(Figure7, FrameViewCompletesStatesViaPseudoIntervals) {
   const auto idx = slog.frameIndexFor(middle);
   ASSERT_TRUE(idx.has_value());
   ASSERT_GT(*idx, 0u);
-  const SlogFrameData frame = slog.readFrame(*idx);
+  const SlogFramePtr frame = slog.readFrame(*idx);
   bool sawPseudo = false;
-  for (const SlogInterval& i : frame.intervals) {
+  for (const SlogInterval& i : frame->intervals) {
     if (i.pseudo) sawPseudo = true;
   }
   EXPECT_TRUE(sawPseudo)

@@ -172,8 +172,8 @@ TEST(IntervalFile, FrameStartHookInjectsPseudoRecords) {
   for (FrameDirectory dir = r.firstDirectory(); !dir.frames.empty();
        dir = r.readDirectory(dir.nextOffset)) {
     for (const FrameInfo& frame : dir.frames) {
-      const auto bytes = r.readFrame(frame);
-      ByteReader br(bytes);
+      const FrameBuf bytes = r.readFrame(frame);
+      ByteReader br = bytes.reader();
       const auto body = readLengthPrefixedRecord(br);
       const RecordView first = RecordView::parse(body);
       if (frameIdx > 0) {

@@ -109,13 +109,17 @@ TEST(Prefetch, FramePrefetcherDeliversFramesInFileOrder) {
   const std::string path = writeFile("prefetch_frames.uti", 1500, 4);
   IntervalFileReader reader(path);
   FramePrefetcher prefetcher(path, /*depth=*/2);
-  std::vector<std::uint8_t> frame;
+  FrameBuf frame;
   std::size_t idx = 0;
   for (FrameDirectory dir = reader.firstDirectory(); !dir.frames.empty();
        dir = reader.readDirectory(dir.nextOffset)) {
     for (const FrameInfo& info : dir.frames) {
       ASSERT_TRUE(prefetcher.next(frame)) << "prefetcher short at " << idx;
-      EXPECT_EQ(frame, reader.readFrame(info)) << "frame " << idx;
+      const FrameBuf expected = reader.readFrame(info);
+      ASSERT_EQ(frame.size(), expected.size()) << "frame " << idx;
+      EXPECT_TRUE(std::equal(frame.bytes().begin(), frame.bytes().end(),
+                             expected.bytes().begin()))
+          << "frame " << idx;
       ++idx;
     }
     if (dir.nextOffset == 0) break;

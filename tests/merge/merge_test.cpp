@@ -212,8 +212,8 @@ TEST(Merge, PseudoIntervalsRestateOpenStatesAtFrameStarts) {
   for (FrameDirectory dir = merged.firstDirectory(); !dir.frames.empty();
        dir = merged.readDirectory(dir.nextOffset)) {
     for (std::size_t f = 0; f < dir.frames.size(); ++f) {
-      const auto bytes = merged.readFrame(dir.frames[f]);
-      ByteReader r(bytes);
+      const FrameBuf bytes = merged.readFrame(dir.frames[f]);
+      ByteReader r = bytes.reader();
       const RecordView first = RecordView::parse(readLengthPrefixedRecord(r));
       if (framesChecked > 0 &&
           dir.frames[f].endTime <= 800 * kMs) {

@@ -8,13 +8,13 @@ namespace ute {
 namespace {
 
 /// A frame with `n` intervals — its cache charge is deterministic.
-SlogFrameData frameOf(std::size_t n) {
-  SlogFrameData data;
-  data.intervals.resize(n);
+FrameCache::FramePtr frameOf(std::size_t n) {
+  auto data = std::make_shared<SlogFrameData>();
+  data->intervals.resize(n);
   return data;
 }
 
-const std::size_t kUnit = FrameCache::frameBytes(frameOf(10));
+const std::size_t kUnit = FrameCache::frameBytes(*frameOf(10));
 
 /// getOrLoad wrapper that counts how often the loader actually ran —
 /// the observable difference between a hit and a (re)load.

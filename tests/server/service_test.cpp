@@ -109,8 +109,8 @@ WindowResult referenceWindow(SlogReader& reader, const WindowQuery& q) {
   for (std::size_t f = 0; f < reader.frameIndex().size(); ++f) {
     const SlogFrameIndexEntry& e = reader.frameIndex()[f];
     if (e.timeEnd <= out.t0 || e.timeStart >= out.t1) continue;
-    const SlogFrameData frame = reader.readFrame(f);
-    for (const SlogInterval& r : frame.intervals) {
+    const SlogFramePtr frame = reader.readFrame(f);
+    for (const SlogInterval& r : frame->intervals) {
       if (r.pseudo && !firstConsulted) continue;
       if (!r.pseudo && (r.end() < out.t0 || r.start > out.t1)) continue;
       if (q.node && r.node != *q.node) continue;
@@ -118,7 +118,7 @@ WindowResult referenceWindow(SlogReader& reader, const WindowQuery& q) {
       if (!stateWanted(r.stateId)) continue;
       out.intervals.push_back(r);
     }
-    for (const SlogArrow& a : frame.arrows) {
+    for (const SlogArrow& a : frame->arrows) {
       if (a.recvTime < out.t0 || a.sendTime > out.t1) continue;
       if (q.node && a.srcNode != *q.node && a.dstNode != *q.node) continue;
       if (q.thread && a.srcThread != *q.thread && a.dstThread != *q.thread)

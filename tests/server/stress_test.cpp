@@ -131,6 +131,56 @@ TEST(ServerStress, EightThreadsMatchSingleThreadedGroundTruth) {
   EXPECT_LE(stats.bytes, options.cacheBytes);
 }
 
+TEST(ServerStress, ClientsShareOneFrameBufferWithoutCopies) {
+  // The zero-copy contract: N concurrent clients pulling the same frame
+  // must all receive the SAME shared decoded buffer — pointer-identical,
+  // one decode total per frame — never per-client copies.
+  const std::string path = writeSlog("stress_shared_frame.slog");
+  ServiceOptions options;
+  options.cacheBytes = 64u << 20;  // roomy: nothing evicts during the test
+  TraceService service({path}, options);
+  const std::size_t frames = service.trace(0).frameIndex().size();
+  ASSERT_GE(frames, 4u);
+
+  std::vector<std::vector<FrameCache::FramePtr>> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t].reserve(frames * 4);
+      for (int round = 0; round < 4; ++round) {
+        for (std::size_t f = 0; f < frames; ++f) {
+          seen[t].push_back(service.frame(0, f));
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  // Every thread's handle for frame f aliases one shared buffer. (Even a
+  // lost insert race returns the winner's entry, so pointer identity
+  // holds under contention.)
+  for (std::size_t f = 0; f < frames; ++f) {
+    const SlogFrameData* canonical = seen[0][f].get();
+    ASSERT_NE(canonical, nullptr);
+    for (int t = 0; t < kThreads; ++t) {
+      for (int round = 0; round < 4; ++round) {
+        EXPECT_EQ(seen[t][round * frames + f].get(), canonical)
+            << "thread " << t << " round " << round << " frame " << f
+            << " got a private copy";
+      }
+    }
+  }
+  // Misses can only happen before a frame's first insert (at most one
+  // racing miss per thread); every later lookup must be a hit on the one
+  // shared entry.
+  const FrameCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.entries, frames);
+  const auto total = static_cast<std::uint64_t>(kThreads) * 4 * frames;
+  EXPECT_EQ(stats.hits + stats.misses, total);
+  EXPECT_LE(stats.misses, static_cast<std::uint64_t>(kThreads) * frames);
+  EXPECT_GE(stats.hits, total - static_cast<std::uint64_t>(kThreads) * frames);
+}
+
 TEST(ServerStress, FrameCacheParallelGetOrLoadKeepsInvariants) {
   SlogFrameData unit;
   unit.intervals.resize(64);
@@ -146,13 +196,13 @@ TEST(ServerStress, FrameCacheParallelGetOrLoadKeepsInvariants) {
       std::uniform_int_distribution<std::uint64_t> keyDist(0, 31);
       for (int i = 0; i < 2000; ++i) {
         const std::uint64_t key = keyDist(rng);
-        const auto frame = cache.getOrLoad(key, [&] {
+        const auto frame = cache.getOrLoad(key, [&]() -> FrameCache::FramePtr {
           ++loads;
-          SlogFrameData data;
-          data.intervals.resize(64);
+          auto data = std::make_shared<SlogFrameData>();
+          data->intervals.resize(64);
           // The key is recoverable from the payload so cross-key mixups
           // are detectable.
-          data.intervals[0].stateId = static_cast<std::uint32_t>(key);
+          data->intervals[0].stateId = static_cast<std::uint32_t>(key);
           return data;
         });
         if (frame->intervals.size() != 64 ||

@@ -83,11 +83,17 @@ void putU32At(std::vector<std::uint8_t>& bytes, std::size_t pos,
 constexpr std::size_t kIndexOffsetPos = 24 + 16;
 constexpr std::size_t kStateOffsetPos = 24 + 24;
 
+// Every corruption case must fail identically on the mmap path and the
+// stdio fallback — the validation lives above ByteSource, so the two
+// paths share it, and this keeps UTE_NO_MMAP deployments honest.
+constexpr ByteSource::Mode kModes[] = {ByteSource::Mode::kAuto,
+                                       ByteSource::Mode::kStream};
+
 TEST(SlogCorruption, ReaderStaysUsableOnValidFile) {
   const std::string path = writeValidSlog("corrupt_base.slog");
   SlogReader reader(path);
   ASSERT_GE(reader.frameIndex().size(), 4u);
-  EXPECT_GT(reader.readFrame(0).intervals.size(), 0u);
+  EXPECT_GT(reader.readFrame(0)->intervals.size(), 0u);
 }
 
 /// Fuzz-style sweep: every truncation length must throw a typed error
@@ -105,23 +111,26 @@ TEST(SlogCorruption, TruncationAlwaysThrowsTypedError) {
     lengths.push_back(n);
   }
   lengths.push_back(full.size() - 1);  // exactly one preview byte short
-  for (const std::size_t n : lengths) {
-    writeWholeFile(cut, std::span(full.data(), n));
-    try {
-      SlogReader reader(cut);
-      // Metadata happened to fit; every frame read must still be safe.
-      for (std::size_t f = 0; f < reader.frameIndex().size(); ++f) {
-        reader.readFrame(f);
+  for (const ByteSource::Mode mode : kModes) {
+    for (const std::size_t n : lengths) {
+      writeWholeFile(cut, std::span(full.data(), n));
+      try {
+        SlogReader reader(cut, mode);
+        // Metadata happened to fit; every frame read must still be safe.
+        for (std::size_t f = 0; f < reader.frameIndex().size(); ++f) {
+          reader.readFrame(f);
+        }
+        // Fully intact metadata+frames can only mean we kept everything
+        // but preview tail bytes — those are read in the constructor, so
+        // reaching here with n < full.size() means validation failed.
+        FAIL() << "truncation to " << n << " bytes was not detected (mode "
+               << static_cast<int>(mode) << ")";
+      } catch (const FormatError&) {
+        // CorruptFileError or FormatError: both are acceptable typed
+        // failures (CorruptFileError derives from FormatError).
+      } catch (const IoError&) {
+        // Short read detected at the file layer.
       }
-      // Fully intact metadata+frames can only mean we kept everything
-      // but preview tail bytes — those are read in the constructor, so
-      // reaching here with n < full.size() means validation failed.
-      FAIL() << "truncation to " << n << " bytes was not detected";
-    } catch (const FormatError&) {
-      // CorruptFileError or FormatError: both are acceptable typed
-      // failures (CorruptFileError derives from FormatError).
-    } catch (const IoError&) {
-      // Short read detected at the file layer.
     }
   }
 }
@@ -135,7 +144,9 @@ TEST(SlogCorruption, FrameOffsetBeyondFileRejectedAtOpen) {
            bytes.size() + 4096);
   const std::string bad = tempPath("corrupt_offset_bad.slog");
   writeWholeFile(bad, bytes);
-  EXPECT_THROW(SlogReader reader(bad), CorruptFileError);
+  for (const ByteSource::Mode mode : kModes) {
+    EXPECT_THROW(SlogReader reader(bad, mode), CorruptFileError);
+  }
 }
 
 TEST(SlogCorruption, FrameSizeBeyondFileRejectedAtOpen) {
@@ -146,7 +157,9 @@ TEST(SlogCorruption, FrameSizeBeyondFileRejectedAtOpen) {
   putU32At(bytes, static_cast<std::size_t>(indexOffset) + 8, 0x7fffffff);
   const std::string bad = tempPath("corrupt_size_bad.slog");
   writeWholeFile(bad, bytes);
-  EXPECT_THROW(SlogReader reader(bad), CorruptFileError);
+  for (const ByteSource::Mode mode : kModes) {
+    EXPECT_THROW(SlogReader reader(bad, mode), CorruptFileError);
+  }
 }
 
 TEST(SlogCorruption, StateTableAfterPreviewRejected) {
@@ -156,7 +169,9 @@ TEST(SlogCorruption, StateTableAfterPreviewRejected) {
   putU64At(bytes, kStateOffsetPos, u64At(bytes, kStateOffsetPos + 8) + 8);
   const std::string bad = tempPath("corrupt_order_bad.slog");
   writeWholeFile(bad, bytes);
-  EXPECT_THROW(SlogReader reader(bad), CorruptFileError);
+  for (const ByteSource::Mode mode : kModes) {
+    EXPECT_THROW(SlogReader reader(bad, mode), CorruptFileError);
+  }
 }
 
 TEST(SlogCorruption, RecordCountLieThrowsInsteadOfGarbage) {
@@ -168,8 +183,10 @@ TEST(SlogCorruption, RecordCountLieThrowsInsteadOfGarbage) {
   putU32At(bytes, static_cast<std::size_t>(indexOffset) + 12, 1u << 20);
   const std::string bad = tempPath("corrupt_records_bad.slog");
   writeWholeFile(bad, bytes);
-  SlogReader reader(bad);  // index itself is still self-consistent
-  EXPECT_THROW(reader.readFrame(0), FormatError);
+  for (const ByteSource::Mode mode : kModes) {
+    SlogReader reader(bad, mode);  // index itself is still self-consistent
+    EXPECT_THROW(reader.readFrame(0), FormatError);
+  }
 }
 
 }  // namespace

@@ -95,8 +95,8 @@ TEST(Slog, FramesTileTimeAndLookupWorks) {
   ASSERT_TRUE(idx.has_value());
   EXPECT_LE(r.frameIndex()[*idx].timeStart, middle);
   EXPECT_GE(r.frameIndex()[*idx].timeEnd, middle);
-  const SlogFrameData frame = r.readFrame(*idx);
-  EXPECT_EQ(frame.intervals.size(), 100u);
+  const SlogFramePtr frame = r.readFrame(*idx);
+  EXPECT_EQ(frame->intervals.size(), 100u);
   EXPECT_FALSE(r.frameIndexFor(5000 * kMs).has_value());
 }
 
@@ -130,9 +130,9 @@ TEST(Slog, PseudoIntervalsRestateOpenStates) {
   // Every frame after the first (while the marker is open) starts with
   // its pseudo-interval.
   for (std::size_t f = 1; f + 1 < r.frameIndex().size(); ++f) {
-    const SlogFrameData frame = r.readFrame(f);
-    ASSERT_FALSE(frame.intervals.empty());
-    const SlogInterval& first = frame.intervals.front();
+    const SlogFramePtr frame = r.readFrame(f);
+    ASSERT_FALSE(frame->intervals.empty());
+    const SlogInterval& first = frame->intervals.front();
     EXPECT_TRUE(first.pseudo);
     EXPECT_EQ(first.stateId, kMarkerStateBase + 9);
     EXPECT_EQ(first.dura, 0u);
@@ -169,9 +169,9 @@ TEST(Slog, ArrowsMatchedBySequenceNumber) {
     EXPECT_EQ(w.arrowsWritten(), 1u);
   }
   SlogReader r(path);
-  const SlogFrameData frame = r.readFrame(0);
-  ASSERT_EQ(frame.arrows.size(), 1u);
-  const SlogArrow& a = frame.arrows.front();
+  const SlogFramePtr frame = r.readFrame(0);
+  ASSERT_EQ(frame->arrows.size(), 1u);
+  const SlogArrow& a = frame->arrows.front();
   EXPECT_EQ(a.srcNode, 0);
   EXPECT_EQ(a.dstNode, 1);
   EXPECT_EQ(a.sendTime, 1000u);
@@ -230,7 +230,7 @@ TEST(Slog, ClockSyncRecordsSkipped) {
     EXPECT_EQ(w.intervalsWritten(), 1u);
   }
   SlogReader r(path);
-  EXPECT_EQ(r.readFrame(0).intervals.size(), 1u);
+  EXPECT_EQ(r.readFrame(0)->intervals.size(), 1u);
 }
 
 TEST(Slog, GarbageRejected) {

@@ -6,6 +6,7 @@
 //   utemetrics --slog RUN.slog [--bins N] [--jobs N] [--out RUN.utm]
 //              [--tsv] [--derived]
 //   utemetrics --utm RUN.utm [--tsv] [--derived]
+//   utemetrics --connect HOST:PORT [--trace I] [--bins N] [--tsv] ...
 //
 // --tsv      one row per (bin, task) with every base column
 // --derived  one row per bin with the derived series (commfrac,
@@ -16,6 +17,7 @@
 
 #include "analysis/metrics.h"
 #include "analysis/metrics_io.h"
+#include "server/client.h"
 #include "slog/slog_reader.h"
 #include "support/cli.h"
 #include "support/text.h"
@@ -98,19 +100,30 @@ void printSummary(const MetricsStore& m) {
 int main(int argc, char** argv) {
   using namespace ute;
   try {
-    CliParser cli(argc, argv, {"slog", "utm", "bins", "jobs", "out"});
+    CliParser cli(argc, argv,
+                  {"slog", "utm", "bins", "jobs", "out", "connect", "host",
+                   "port", "trace"});
     const auto slogPath = cli.value("slog");
     const auto utmPath = cli.value("utm");
-    if (!slogPath && !utmPath) {
+    const auto endpoint = cli.endpoint();
+    if (!slogPath && !utmPath && !endpoint) {
       std::fprintf(stderr,
                    "usage: utemetrics --slog RUN.slog [--bins N] [--jobs N] "
                    "[--out RUN.utm] [--tsv] [--derived]\n"
-                   "       utemetrics --utm RUN.utm [--tsv] [--derived]\n");
+                   "       utemetrics --utm RUN.utm [--tsv] [--derived]\n"
+                   "       utemetrics --connect HOST:PORT [--trace I] "
+                   "[--bins N] [--tsv] [--derived]\n");
       return 2;
     }
 
     MetricsStore store = [&] {
       if (utmPath) return MetricsReader(*utmPath).store();
+      if (endpoint) {
+        TraceClient client(endpoint->host, endpoint->port);
+        return client.metrics(
+            cli.traceId(),
+            static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0})));
+      }
       SlogReader slog(*slogPath);
       MetricsOptions options;
       options.bins = static_cast<std::uint32_t>(

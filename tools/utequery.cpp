@@ -1,6 +1,7 @@
 // utequery — command-line client for a running uteserve.
 //
 // Usage:
+//   utequery --connect HOST:PORT [--trace I] COMMAND [ARGS]
 //   utequery --port N [--host H] [--trace I] COMMAND [ARGS]
 //
 // Commands (T0/T1/T are seconds relative to the trace's start, like
@@ -46,22 +47,19 @@ std::string stateNameOf(const std::vector<SlogStateDef>& states,
 int main(int argc, char** argv) {
   try {
     CliParser cli(argc, argv,
-                  {"host", "port", "trace", "node", "thread", "states",
-                   "bins"});
-    const auto port = cli.value("port");
-    if (!port || cli.positional().empty()) {
+                  {"connect", "host", "port", "trace", "node", "thread",
+                   "states", "bins"});
+    const auto endpoint = cli.endpoint();
+    if (!endpoint || cli.positional().empty()) {
       std::fprintf(stderr,
-                   "usage: utequery --port N [--host H] [--trace I] "
+                   "usage: utequery --connect HOST:PORT [--trace I] "
                    "info|states|threads|preview|window|summary|frame-at|"
                    "metrics|stats|shutdown [args]\n");
       return 2;
     }
-    const std::string host = cli.valueOr("host", std::string("127.0.0.1"));
-    const auto traceId =
-        static_cast<std::uint32_t>(cli.valueOr("trace", std::uint64_t{0}));
+    const std::uint32_t traceId = cli.traceId();
     const std::string command = cli.positional()[0];
-    TraceClient client(host,
-                       static_cast<std::uint16_t>(parseF64(*port)));
+    TraceClient client(endpoint->host, endpoint->port);
 
     if (command == "info") {
       const TraceInfo info = client.info(traceId);

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
     CliParser cli(argc, argv,
                   {"input", "profile", "view", "window", "svg", "slog",
                    "frame-at", "ascii-cols", "metrics", "bins", "jobs",
-                   "utm", "connect", "trace"});
+                   "utm", "connect", "host", "port", "trace"});
     const int asciiCols =
         static_cast<int>(cli.valueOr("ascii-cols", std::uint64_t{100}));
 
@@ -68,16 +68,9 @@ int main(int argc, char** argv) {
                          cli.valueOr("metrics", std::string("busy")), cli,
                          asciiCols);
     }
-    if (const auto endpoint = cli.value("connect")) {
-      const auto parts = splitString(*endpoint, ':');
-      if (parts.size() != 2) {
-        std::fprintf(stderr, "--connect wants HOST:PORT\n");
-        return 2;
-      }
-      TraceClient client(parts[0],
-                         static_cast<std::uint16_t>(parseU64(parts[1])));
-      const auto traceId =
-          static_cast<std::uint32_t>(cli.valueOr("trace", std::uint64_t{0}));
+    if (const auto endpoint = cli.endpoint()) {
+      TraceClient client(endpoint->host, endpoint->port);
+      const std::uint32_t traceId = cli.traceId();
       const auto bins =
           static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0}));
       const MetricsStore store = client.metrics(traceId, bins);
