@@ -40,8 +40,17 @@ void* operator new(std::size_t n) {
   throw std::bad_alloc();
 }
 
+// GCC flags free() here because it cannot see that the replacement
+// operator new above allocates with malloc; the pairing is correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace {
 
