@@ -11,7 +11,7 @@
 namespace ute {
 
 std::uint32_t MarkerUnifier::unify(const std::string& name) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto it = byName_.find(name);
   if (it != byName_.end()) return it->second;
   const std::uint32_t id = static_cast<std::uint32_t>(names_.size()) + 1;
@@ -25,7 +25,7 @@ void MarkerUnifier::preassign(const std::vector<std::string>& names) {
 }
 
 std::vector<std::string> MarkerUnifier::table() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(names_.size());
   for (const std::string* name : names_) out.push_back(*name);
@@ -33,7 +33,7 @@ std::vector<std::string> MarkerUnifier::table() const {
 }
 
 std::size_t MarkerUnifier::size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 

@@ -18,12 +18,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "interval/file_writer.h"
 #include "interval/standard_profile.h"
+#include "support/thread_annotations.h"
 #include "support/types.h"
 #include "trace/reader.h"
 
@@ -40,7 +40,7 @@ class MarkerUnifier {
   /// first sight. Duplicate strings (the same marker defined in several
   /// tasks, possibly under colliding task-local ids) all map to the one
   /// id of the string.
-  std::uint32_t unify(const std::string& name);
+  std::uint32_t unify(const std::string& name) UTE_EXCLUDES(mu_);
 
   /// Assigns ids for `names` in order (already-known names keep theirs).
   /// The parallel convert pre-assigns every marker of a run from a cheap
@@ -50,13 +50,14 @@ class MarkerUnifier {
   void preassign(const std::vector<std::string>& names);
 
   /// The name owning id `i + 1` is at table()[i] (ids are dense from 1).
-  std::vector<std::string> table() const;
-  std::size_t size() const;
+  std::vector<std::string> table() const UTE_EXCLUDES(mu_);
+  std::size_t size() const UTE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint32_t> byName_;
-  std::vector<const std::string*> names_;  ///< id - 1 -> key in byName_
+  mutable Mutex mu_;
+  std::map<std::string, std::uint32_t> byName_ UTE_GUARDED_BY(mu_);
+  /// id - 1 -> key in byName_.
+  std::vector<const std::string*> names_ UTE_GUARDED_BY(mu_);
 };
 
 struct ConvertOptions {

@@ -27,6 +27,7 @@ void FramePrefetcher::fetchLoop() {
       if (dir.nextOffset == 0) break;
     }
   } catch (...) {
+    MutexLock lock(errorMu_);
     error_ = std::current_exception();
   }
   frames_.close();
@@ -35,9 +36,13 @@ void FramePrefetcher::fetchLoop() {
 bool FramePrefetcher::next(FrameBuf& frame) {
   auto got = frames_.receive();
   if (!got) {
-    // Closed and drained. The channel mutex orders the fetcher's error_
-    // store (made before its close()) before this read.
-    if (error_) std::rethrow_exception(error_);
+    // Closed and drained; the fetcher stored error_ before its close().
+    std::exception_ptr error;
+    {
+      MutexLock lock(errorMu_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
     return false;
   }
   frame = std::move(*got);

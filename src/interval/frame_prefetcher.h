@@ -31,6 +31,7 @@
 
 #include "interval/file_reader.h"
 #include "support/channel.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -51,7 +52,10 @@ class FramePrefetcher {
 
   IntervalFileReader reader_;
   Channel<FrameBuf> frames_;
-  std::exception_ptr error_;  ///< set before frames_.close(), read after
+  Mutex errorMu_;
+  /// Set by the fetcher before it closes frames_, read by the consumer
+  /// after receive() returns nullopt.
+  std::exception_ptr error_ UTE_GUARDED_BY(errorMu_);
   std::thread fetcher_;
 };
 

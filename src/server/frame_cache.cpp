@@ -50,7 +50,7 @@ void FrameCache::evictOver(Shard& shard) {
 
 FrameCache::FramePtr FrameCache::lookup(std::uint64_t key) {
   Shard& shard = shardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.byKey.find(key);
   if (it == shard.byKey.end()) {
     ++shard.misses;
@@ -65,7 +65,7 @@ FrameCache::FramePtr FrameCache::getOrLoad(
     std::uint64_t key, const std::function<FramePtr()>& loader) {
   Shard& shard = shardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     const auto it = shard.byKey.find(key);
     if (it != shard.byKey.end()) {
       ++shard.hits;
@@ -80,7 +80,7 @@ FrameCache::FramePtr FrameCache::getOrLoad(
   FramePtr frame = loader();
   const std::size_t bytes = frameBytes(*frame);
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.byKey.find(key);
   if (it != shard.byKey.end()) {
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -97,7 +97,7 @@ FrameCache::Stats FrameCache::stats() const {
   Stats total;
   for (std::size_t s = 0; s < shardCount_; ++s) {
     const Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total.hits += shard.hits;
     total.misses += shard.misses;
     total.evictions += shard.evictions;
@@ -110,7 +110,7 @@ FrameCache::Stats FrameCache::stats() const {
 void FrameCache::clear() {
   for (std::size_t s = 0; s < shardCount_; ++s) {
     Shard& shard = shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.byKey.clear();
     shard.bytes = 0;

@@ -14,11 +14,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "slog/slog_format.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -67,20 +67,23 @@ class FrameCache {
     FramePtr frame;
     std::size_t bytes = 0;
   };
-  /// Front of `lru` is most recently used.
+  /// Front of `lru` is most recently used. Each shard is its own
+  /// capability: two threads touching different shards never share a
+  /// lock, and the analysis checks every field access against the
+  /// owning shard's mutex.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byKey;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru UTE_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byKey
+        UTE_GUARDED_BY(mu);
+    std::size_t bytes UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t hits UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t misses UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions UTE_GUARDED_BY(mu) = 0;
   };
 
   Shard& shardFor(std::uint64_t key);
-  /// Called with the shard lock held.
-  void evictOver(Shard& shard);
+  void evictOver(Shard& shard) UTE_REQUIRES(shard.mu);
 
   std::size_t byteBudget_;
   std::size_t shardCount_;

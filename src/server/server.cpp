@@ -21,14 +21,14 @@ void TraceServer::stop() {
   listener_.close();
   if (acceptThread_.joinable()) acceptThread_.join();
   {
-    std::lock_guard<std::mutex> lock(connectionsMu_);
+    MutexLock lock(connectionsMu_);
     for (auto& conn : connections_) conn->socket.shutdownBoth();
   }
   // Joining outside the lock: connection threads never re-enter the list
   // except to be erased here.
   std::list<std::unique_ptr<Connection>> drained;
   {
-    std::lock_guard<std::mutex> lock(connectionsMu_);
+    MutexLock lock(connectionsMu_);
     drained.swap(connections_);
   }
   for (auto& conn : drained) {
@@ -45,7 +45,7 @@ void TraceServer::acceptLoop() {
     conn->socket = std::move(*client);
     Connection* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(connectionsMu_);
+      MutexLock lock(connectionsMu_);
       connections_.push_back(std::move(conn));
     }
     raw->thread = std::thread([this, raw] { serveConnection(*raw); });

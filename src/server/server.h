@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "server/tcp.h"
 #include "server/trace_service.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -47,7 +47,7 @@ class TraceServer {
 
   /// Closes the listener, unblocks live connections, joins all threads.
   /// Idempotent; also run by the destructor.
-  void stop();
+  void stop() UTE_EXCLUDES(connectionsMu_);
 
  private:
   struct Connection {
@@ -55,7 +55,7 @@ class TraceServer {
     std::thread thread;
   };
 
-  void acceptLoop();
+  void acceptLoop() UTE_EXCLUDES(connectionsMu_);
   void serveConnection(Connection& conn);
 
   TraceService service_;
@@ -63,8 +63,9 @@ class TraceServer {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopRequested_{false};
   std::thread acceptThread_;
-  std::mutex connectionsMu_;
-  std::list<std::unique_ptr<Connection>> connections_;
+  Mutex connectionsMu_;
+  std::list<std::unique_ptr<Connection>> connections_
+      UTE_GUARDED_BY(connectionsMu_);
 };
 
 }  // namespace ute

@@ -155,7 +155,7 @@ TraceService::MetricsBlob TraceService::metrics(std::uint32_t traceId,
     throw UsageError("metrics bins capped at " +
                      std::to_string(kMaxMetricsBins));
   }
-  std::lock_guard<std::mutex> lock(slot.metricsMu);
+  MutexLock lock(slot.metricsMu);
   const auto it = slot.metricsByBins.find(bins);
   if (it != slot.metricsByBins.end()) return it->second;
 

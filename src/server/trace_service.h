@@ -17,7 +17,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "server/frame_cache.h"
 #include "server/worker_pool.h"
 #include "slog/slog_reader.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -133,8 +133,9 @@ class TraceService {
     std::unique_ptr<SlogReader> reader;
     /// Lazily computed encoded metrics stores, keyed by bin count. The
     /// mutex also serializes the (heavy) first computation per trace.
-    std::mutex metricsMu;
-    std::map<std::uint32_t, MetricsBlob> metricsByBins;
+    Mutex metricsMu;
+    std::map<std::uint32_t, MetricsBlob> metricsByBins
+        UTE_GUARDED_BY(metricsMu);
   };
 
   /// Frame span [first, last] consulted for a clamped window; nullopt

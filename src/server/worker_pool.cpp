@@ -17,7 +17,7 @@ WorkerPool::~WorkerPool() { shutdown(); }
 
 bool WorkerPool::trySubmit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_ || queue_.size() >= maxQueue_) {
       ++stats_.rejected;
       return false;
@@ -25,17 +25,17 @@ bool WorkerPool::trySubmit(std::function<void()> job) {
     queue_.push_back(std::move(job));
     ++stats_.accepted;
   }
-  cv_.notify_one();
+  cv_.notifyOne();
   return true;
 }
 
 void WorkerPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
   for (std::thread& t : threads_) {
     if (t.joinable()) t.join();
   }
@@ -45,8 +45,8 @@ void WorkerPool::workerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mu_);
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -57,7 +57,7 @@ void WorkerPool::workerLoop() {
 }
 
 WorkerPool::Stats WorkerPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

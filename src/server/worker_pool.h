@@ -9,13 +9,13 @@
 // client never occupies a query worker.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -36,25 +36,25 @@ class WorkerPool {
 
   /// Enqueues `job`, or returns false without blocking when the queue is
   /// at maxQueue (or the pool is shutting down).
-  bool trySubmit(std::function<void()> job);
+  bool trySubmit(std::function<void()> job) UTE_EXCLUDES(mu_);
 
   /// Stops accepting work, drains jobs already queued, joins workers.
-  void shutdown();
+  void shutdown() UTE_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const UTE_EXCLUDES(mu_);
   std::size_t workerCount() const { return threads_.size(); }
   std::size_t maxQueue() const { return maxQueue_; }
 
  private:
-  void workerLoop();
+  void workerLoop() UTE_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ UTE_GUARDED_BY(mu_);
   std::vector<std::thread> threads_;
   std::size_t maxQueue_;
-  bool stopping_ = false;
-  Stats stats_;
+  bool stopping_ UTE_GUARDED_BY(mu_) = false;
+  Stats stats_ UTE_GUARDED_BY(mu_);
 };
 
 }  // namespace ute

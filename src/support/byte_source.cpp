@@ -36,7 +36,7 @@ FrameBuf FrameBuf::copyOf(std::span<const std::uint8_t> bytes) {
 
 std::vector<std::uint8_t> BufferPool::acquire(std::size_t n) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!free_.empty()) {
       std::vector<std::uint8_t> buf = std::move(free_.back());
       free_.pop_back();
@@ -50,12 +50,12 @@ std::vector<std::uint8_t> BufferPool::acquire(std::size_t n) {
 }
 
 void BufferPool::release(std::vector<std::uint8_t> buf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (free_.size() < maxFree_) free_.push_back(std::move(buf));
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
@@ -94,7 +94,7 @@ FrameBuf ByteSource::fetch(std::uint64_t offset, std::size_t n) const {
   }
   std::vector<std::uint8_t> buf = pool_->acquire(n);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     file_->seek(offset);
     file_->readExact(buf);
   }
@@ -112,7 +112,7 @@ std::size_t ByteSource::readAt(std::uint64_t offset,
     std::copy_n(map_->bytes().data() + offset, n, out.data());
     return n;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   file_->seek(offset);
   return file_->readSome(out.subspan(0, n));
 }

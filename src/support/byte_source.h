@@ -27,13 +27,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "support/bytes.h"
 #include "support/mapped_file.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -72,20 +72,20 @@ class BufferPool {
 
   /// A buffer with size() == n (capacity reused from a released buffer
   /// when one is available).
-  std::vector<std::uint8_t> acquire(std::size_t n);
-  void release(std::vector<std::uint8_t> buf);
+  std::vector<std::uint8_t> acquire(std::size_t n) UTE_EXCLUDES(mu_);
+  void release(std::vector<std::uint8_t> buf) UTE_EXCLUDES(mu_);
 
   struct Stats {
     std::uint64_t reused = 0;     ///< acquires served from the free list
     std::uint64_t allocated = 0;  ///< acquires that had to allocate
   };
-  Stats stats() const;
+  Stats stats() const UTE_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<std::uint8_t>> free_;
+  mutable Mutex mu_;
+  std::vector<std::vector<std::uint8_t>> free_ UTE_GUARDED_BY(mu_);
   std::size_t maxFree_;
-  Stats stats_;
+  Stats stats_ UTE_GUARDED_BY(mu_);
 };
 
 /// Read-only random-access byte source; see file comment.
@@ -134,9 +134,10 @@ class ByteSource {
   std::string path_;
   std::uint64_t size_ = 0;
   std::shared_ptr<const MappedFile> map_;  ///< null on the stdio path
-  /// Fallback state: one stdio handle serialized by mu_, buffers pooled.
-  mutable std::mutex mu_;
-  std::unique_ptr<FileReader> file_;
+  /// Fallback state: one stdio handle serialized by mu_ (the handle
+  /// pointer itself is set once in the constructor), buffers pooled.
+  mutable Mutex mu_;
+  std::unique_ptr<FileReader> file_ UTE_PT_GUARDED_BY(mu_);
   std::shared_ptr<BufferPool> pool_;
 };
 

@@ -9,12 +9,12 @@
 // drain what is queued and then return nullopt.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -28,37 +28,37 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Blocks while full. Returns false (dropping `value`) once closed.
-  bool send(T value) {
-    std::unique_lock lock(mu_);
-    sendCv_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+  bool send(T value) UTE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (queue_.size() >= capacity_ && !closed_) sendCv_.wait(mu_);
     if (closed_) return false;
     queue_.push_back(std::move(value));
-    recvCv_.notify_one();
+    recvCv_.notifyOne();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> receive() {
-    std::unique_lock lock(mu_);
-    recvCv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+  std::optional<T> receive() UTE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (queue_.empty() && !closed_) recvCv_.wait(mu_);
     if (queue_.empty()) return std::nullopt;
     std::optional<T> v(std::move(queue_.front()));
     queue_.pop_front();
-    sendCv_.notify_one();
+    sendCv_.notifyOne();
     return v;
   }
 
   /// Idempotent. Unblocks all senders and receivers; queued items remain
   /// receivable.
-  void close() {
-    std::lock_guard lock(mu_);
+  void close() UTE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     closed_ = true;
-    sendCv_.notify_all();
-    recvCv_.notify_all();
+    sendCv_.notifyAll();
+    recvCv_.notifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard lock(mu_);
+  bool closed() const UTE_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
@@ -66,11 +66,11 @@ class Channel {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable sendCv_;
-  std::condition_variable recvCv_;
-  std::deque<T> queue_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar sendCv_;
+  CondVar recvCv_;
+  std::deque<T> queue_ UTE_GUARDED_BY(mu_);
+  bool closed_ UTE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ute

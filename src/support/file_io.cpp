@@ -1,6 +1,7 @@
 #include "support/file_io.h"
 
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 namespace ute {
@@ -10,6 +11,17 @@ namespace {
 [[noreturn]] void throwErrno(const std::string& op, const std::string& path) {
   throw IoError(op + " failed" + ioContext(path) + ": " +
                 std::strerror(errno));
+}
+
+/// fseek takes a long; a (corrupt) 64-bit offset above LONG_MAX would
+/// otherwise wrap negative and seek somewhere plausible instead of
+/// failing loudly.
+void requireSeekable(std::uint64_t offset, const std::string& path) {
+  if (offset > static_cast<std::uint64_t>(LONG_MAX)) {
+    throw IoError("seek offset " + std::to_string(offset) +
+                  " exceeds the platform file-offset range" +
+                  ioContext(path, offset));
+  }
 }
 
 /// stdio's default buffer (typically 4-8 KiB) turns frame-sized transfers
@@ -46,6 +58,7 @@ std::uint64_t FileWriter::tell() const {
 
 void FileWriter::seek(std::uint64_t offset) {
   if (f_ == nullptr) throw UsageError("FileWriter: seek after close");
+  requireSeekable(offset, path_);
   if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
     throwErrno("seek", path_);
   }
@@ -120,6 +133,7 @@ std::uint64_t FileReader::tell() const {
 }
 
 void FileReader::seek(std::uint64_t offset) {
+  requireSeekable(offset, path_);
   if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) {
     throwErrno("seek", path_);
   }

@@ -21,27 +21,27 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) throw UsageError("ThreadPool: submit after shutdown");
     ++pending_;
   }
   if (!jobs_.send(std::move(job))) {
     // Closed between the check and the send: undo the accounting.
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     --pending_;
-    idleCv_.notify_all();
+    idleCv_.notifyAll();
     throw UsageError("ThreadPool: submit after shutdown");
   }
 }
 
 void ThreadPool::wait() {
-  std::unique_lock lock(mu_);
-  idleCv_.wait(lock, [&] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) idleCv_.wait(mu_);
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   jobs_.close();
@@ -53,25 +53,25 @@ void ThreadPool::shutdown() {
 void ThreadPool::workerLoop() {
   while (auto job = jobs_.receive()) {
     (*job)();
-    std::lock_guard lock(mu_);
-    if (--pending_ == 0) idleCv_.notify_all();
+    MutexLock lock(mu_);
+    if (--pending_ == 0) idleCv_.notifyAll();
   }
 }
 
 void ThreadPool::parallelFor(std::size_t n,
                              const std::function<void(std::size_t)>& fn) {
-  std::mutex errMu;
+  Mutex errMu;
   std::exception_ptr firstError;
   for (std::size_t i = 0; i < n; ++i) {
     submit([&, i] {
       {
-        std::lock_guard lock(errMu);
+        MutexLock lock(errMu);
         if (firstError) return;
       }
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard lock(errMu);
+        MutexLock lock(errMu);
         if (!firstError) firstError = std::current_exception();
       }
     });

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "support/channel.h"
+#include "support/thread_annotations.h"
 
 namespace ute {
 
@@ -33,14 +34,14 @@ class ThreadPool {
 
   /// Enqueues `job`, blocking while the queue is full. Throws UsageError
   /// after shutdown().
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) UTE_EXCLUDES(mu_);
 
   /// Blocks until every job submitted so far has finished executing.
-  void wait();
+  void wait() UTE_EXCLUDES(mu_);
 
   /// Stops accepting work, drains jobs already queued, joins workers.
   /// Called by the destructor; calling it earlier surfaces errors.
-  void shutdown();
+  void shutdown() UTE_EXCLUDES(mu_);
 
   /// Runs fn(0..n-1) across the pool's workers, waits for completion,
   /// and rethrows the first exception any call threw. Remaining indices
@@ -50,14 +51,15 @@ class ThreadPool {
   std::size_t workerCount() const { return threads_.size(); }
 
  private:
-  void workerLoop();
+  void workerLoop() UTE_EXCLUDES(mu_);
 
   Channel<std::function<void()>> jobs_;
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable idleCv_;
-  std::size_t pending_ = 0;  ///< submitted but not yet finished
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar idleCv_;
+  /// Submitted but not yet finished.
+  std::size_t pending_ UTE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ UTE_GUARDED_BY(mu_) = false;
 };
 
 /// Maps a --jobs style argument to a worker count: values <= 0 mean "one

@@ -6,15 +6,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <filesystem>
-#include <mutex>
 #include <thread>
 
 #include "interval/standard_profile.h"
 #include "server/trace_service.h"
 #include "slog/slog_writer.h"
 #include "support/errors.h"
+#include "support/thread_annotations.h"
 
 #include <unistd.h>
 
@@ -315,14 +314,14 @@ TEST_F(ServiceTest, PoolBackpressureRejectsWhenFull) {
   options.queueDepth = 1;
   TraceService service({*path_}, options);
 
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   std::atomic<bool> started{false};
   ASSERT_TRUE(service.trySubmit([&] {
     started = true;
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.wait(mu);
   }));
   while (!started) std::this_thread::yield();  // worker now busy
 
@@ -331,10 +330,10 @@ TEST_F(ServiceTest, PoolBackpressureRejectsWhenFull) {
   EXPECT_FALSE(service.trySubmit([] {}));
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.notifyAll();
   service.pool().shutdown();  // drains the queued no-op
   const WorkerPool::Stats stats = service.pool().stats();
   EXPECT_EQ(stats.accepted, 2u);

@@ -1,0 +1,31 @@
+// Deliberate lock-discipline violations. This file must NOT compile
+// under -Wthread-safety -Werror=thread-safety: the thread_safety
+// negative-compile check (a configure-time try_compile plus the
+// thread_safety.negative_compile ctest) feeds it to the compiler and
+// asserts the build gate actually fires. If this file ever compiles on a
+// thread-safety-capable compiler, the gate is dead and the configure
+// step aborts.
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION: reads a GUARDED_BY field without holding the mutex.
+  int unsynchronizedRead() const { return value_; }
+
+  // VIOLATION: writes a GUARDED_BY field without holding the mutex.
+  void unsynchronizedWrite(int v) { value_ = v; }
+
+ private:
+  mutable ute::Mutex mu_;
+  int value_ UTE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.unsynchronizedWrite(7);
+  return c.unsynchronizedRead();
+}

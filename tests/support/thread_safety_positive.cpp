@@ -1,0 +1,42 @@
+// The well-locked twin of thread_safety_negative.cpp: same shape, locks
+// taken correctly. Compiled with -fsyntax-only under -Werror=thread-safety
+// by the thread_safety.positive_compile ctest to prove the annotated
+// primitives themselves are clean under the gate (so a negative-compile
+// failure really means the violation was caught, not that the header is
+// broken).
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  int read() const UTE_EXCLUDES(mu_) {
+    ute::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void write(int v) UTE_EXCLUDES(mu_) {
+    ute::MutexLock lock(mu_);
+    value_ = v;
+    changed_.notifyAll();
+  }
+
+  void waitFor(int v) UTE_EXCLUDES(mu_) {
+    ute::MutexLock lock(mu_);
+    while (value_ != v) changed_.wait(mu_);
+  }
+
+ private:
+  mutable ute::Mutex mu_;
+  ute::CondVar changed_;
+  int value_ UTE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.write(7);
+  c.waitFor(7);
+  return c.read();
+}

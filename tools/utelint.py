@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""utelint: UTE project-invariant linter.
+
+Checks the cross-cutting conventions that neither the compiler nor
+clang-tidy can express (see docs/STATIC_ANALYSIS.md):
+
+  raw-io        fopen/open/mmap/munmap are confined to src/support — every
+                other layer reads files through FileReader / ByteSource so
+                bounds checking, pooling and error context live in one place.
+  io-context    every `throw IoError(...)` in file-I/O code and every
+                `throw CorruptFileError(...)` carries ioContext(path[, off])
+                so failures name the file and byte that caused them.
+  raw-mutex     no std::mutex / std::condition_variable / std::lock_guard /
+                std::unique_lock / std::scoped_lock outside
+                src/support/thread_annotations.h — raw primitives are
+                invisible to Clang's thread-safety analysis.
+  ts-escape     every UTE_NO_THREAD_SAFETY_ANALYSIS carries a justification
+                comment on the preceding line(s).
+  bench-determinism
+                bench JSON writers must be reproducible: no wall-clock
+                (system_clock, time(), localtime, gmtime) or nondeterministic
+                randomness (random_device, rand) in bench/ sources —
+                measurements use steady_clock, workloads use seeded ute::Rng.
+
+Run locally:   python3 tools/utelint.py [--root REPO]
+Run via ctest: ctest -R utelint   (registered in tests/CMakeLists.txt)
+
+Exit status is the number of violations (0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_GLOBS = ("*.h", "*.cpp")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{line}: [{rule}] {message}")
+
+    def files(self, subdir: str):
+        base = self.root / subdir
+        for glob in CXX_GLOBS:
+            yield from sorted(base.rglob(glob))
+
+    # ---- raw-io ---------------------------------------------------------
+    RAW_IO = re.compile(r"\b(fopen|mmap|munmap|open)\s*\(")
+
+    def check_raw_io(self) -> None:
+        for path in self.files("src"):
+            if "src/support" in path.as_posix():
+                continue
+            code = strip_comments_and_strings(path.read_text())
+            for m in self.RAW_IO.finditer(code):
+                # Member calls (reader.open(...)) are fine; only the global C
+                # functions are restricted.
+                before = code[: m.start()].rstrip()
+                if before.endswith((".", "->", "::")):
+                    continue
+                self.report(
+                    path, line_of(code, m.start()), "raw-io",
+                    f"raw {m.group(1)}() outside src/support — go through "
+                    "FileReader / ByteSource")
+
+    # ---- io-context -----------------------------------------------------
+    IO_HEADERS = re.compile(
+        r'#include\s+"support/(file_io|mapped_file|byte_source)\.h"')
+    THROW = re.compile(r"\bthrow\s+(IoError|CorruptFileError)\s*\(")
+
+    def check_io_context(self) -> None:
+        for path in self.files("src"):
+            raw = path.read_text()
+            file_io = bool(self.IO_HEADERS.search(raw))
+            code = strip_comments_and_strings(raw)
+            for m in self.THROW.finditer(code):
+                kind = m.group(1)
+                # IoError is only held to the rule on file-I/O paths;
+                # socket code reports peers, not file offsets.
+                if kind == "IoError" and not file_io:
+                    continue
+                stmt_end = code.find(";", m.end())
+                stmt = code[m.start() : stmt_end if stmt_end != -1 else None]
+                if "ioContext" not in stmt:
+                    self.report(
+                        path, line_of(code, m.start()), "io-context",
+                        f"throw {kind}(...) without ioContext(path[, offset])")
+
+    # ---- raw-mutex ------------------------------------------------------
+    RAW_SYNC = re.compile(
+        r"\bstd::(mutex|condition_variable(?:_any)?|lock_guard|unique_lock"
+        r"|scoped_lock|shared_mutex|shared_lock)\b|#include\s+<mutex>"
+        r"|#include\s+<condition_variable>")
+
+    def check_raw_mutex(self) -> None:
+        for subdir in ("src", "tools"):
+            for path in self.files(subdir):
+                if path.name == "thread_annotations.h":
+                    continue
+                code = strip_comments_and_strings(path.read_text())
+                for m in self.RAW_SYNC.finditer(code):
+                    self.report(
+                        path, line_of(code, m.start()), "raw-mutex",
+                        f"{m.group(0).strip()} outside "
+                        "support/thread_annotations.h — use ute::Mutex / "
+                        "ute::MutexLock / ute::CondVar")
+
+    # ---- ts-escape ------------------------------------------------------
+    def check_ts_escape(self) -> None:
+        for subdir in ("src", "tools"):
+            for path in self.files(subdir):
+                if path.name == "thread_annotations.h":
+                    continue
+                lines = path.read_text().splitlines()
+                for i, line in enumerate(lines):
+                    if "UTE_NO_THREAD_SAFETY_ANALYSIS" not in line:
+                        continue
+                    context = "\n".join(lines[max(0, i - 3) : i])
+                    if "//" not in context:
+                        self.report(
+                            path, i + 1, "ts-escape",
+                            "UTE_NO_THREAD_SAFETY_ANALYSIS without a "
+                            "justification comment on the preceding lines")
+
+    # ---- bench-determinism ----------------------------------------------
+    NONDET = re.compile(
+        r"\b(system_clock|random_device|localtime|gmtime)\b"
+        r"|\bstd::time\s*\(|\btime\s*\(\s*(nullptr|NULL|0)\s*\)"
+        r"|\bstd::rand\s*\(|(?<![\w:])srand\s*\(")
+
+    def check_bench_determinism(self) -> None:
+        for path in self.files("bench"):
+            code = strip_comments_and_strings(path.read_text())
+            for m in self.NONDET.finditer(code):
+                self.report(
+                    path, line_of(code, m.start()), "bench-determinism",
+                    f"{m.group(0).strip()} in bench code — BENCH_*.json must "
+                    "be reproducible (steady_clock for timing, seeded "
+                    "ute::Rng for workloads)")
+
+    def run(self) -> int:
+        self.check_raw_io()
+        self.check_io_context()
+        self.check_raw_mutex()
+        self.check_ts_escape()
+        self.check_bench_determinism()
+        for v in self.violations:
+            print(v)
+        count = len(self.violations)
+        if count:
+            print(f"utelint: {count} violation(s)", file=sys.stderr)
+        else:
+            print("utelint: clean")
+        return count
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: parent of this script)")
+    args = parser.parse_args()
+    return min(Linter(args.root.resolve()).run(), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
