@@ -130,6 +130,31 @@ void MetricsStore::spread(std::vector<std::uint64_t>& grid,
   }
 }
 
+MetricsStore::MetricsStore(Tick origin, Tick binWidth,
+                           const std::vector<ThreadEntry>& threads)
+    : MetricsStore(origin, origin, 1, threads) {
+  if (binWidth == 0) throw UsageError("metrics bin width must be positive");
+  binWidth_ = binWidth;
+}
+
+void MetricsStore::extendTo(Tick t) {
+  if (t > totalEnd_) totalEnd_ = t;
+  const Tick span = totalEnd_ - origin_;
+  const auto needed = static_cast<std::uint32_t>(
+      span == 0 ? 1 : (span + binWidth_ - 1) / binWidth_);
+  if (needed <= bins_) return;
+  bins_ = needed;
+  // Grids are bin-major, so growing the bin count appends zeroed cells;
+  // every existing cell keeps its index and value.
+  const std::size_t cells = static_cast<std::size_t>(bins_) * tasks_.size();
+  for (auto& grid : timeNs_) grid.resize(cells, 0);
+  sendCount_.resize(cells, 0);
+  sendBytes_.resize(cells, 0);
+  recvCount_.resize(cells, 0);
+  recvBytes_.resize(cells, 0);
+  lateSenderNs_.resize(cells, 0);
+}
+
 void MetricsStore::addFrame(const SlogFrameData& frame) {
   if (tasks_.empty()) return;
 

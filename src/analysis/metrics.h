@@ -68,6 +68,12 @@ class MetricsStore {
   /// (node, thread) -> task attribution come from the thread table.
   MetricsStore(Tick origin, Tick totalEnd, std::uint32_t bins,
                const std::vector<ThreadEntry>& threads);
+  /// A live store for a run whose end is not known yet: the bin width is
+  /// fixed up front and the bin count grows with extendTo() as global
+  /// time advances (the batch shape fixes the count and derives the
+  /// width; a live run cannot). Starts with one bin.
+  MetricsStore(Tick origin, Tick binWidth,
+               const std::vector<ThreadEntry>& threads);
 
   Tick origin() const { return origin_; }
   Tick totalEnd() const { return totalEnd_; }
@@ -128,6 +134,12 @@ class MetricsStore {
   /// (their time is restated, not additional). Thread-safe only across
   /// distinct stores; merge partial stores with addFrom().
   void addFrame(const SlogFrameData& frame);
+  /// Appends zeroed fixed-width bins until the grid covers time `t`
+  /// (live stores; existing cells are untouched — only the open tail bin
+  /// of an incrementally extended store ever changes value afterwards).
+  /// Call before addFrame() on a frame that reaches past totalEnd(), or
+  /// the spill lands in the tail bin.
+  void extendTo(Tick t);
   /// Element-wise sum of another store with the same shape.
   void addFrom(const MetricsStore& other);
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <optional>
 
+#include "convert/streaming_converter.h"
 #include "interval/record.h"
 #include "support/errors.h"
 #include "support/thread_pool.h"
@@ -41,374 +41,54 @@ std::string intervalFilePath(const std::string& prefix, NodeId node) {
   return prefix + "." + std::to_string(node) + ".uti";
 }
 
-namespace {
+EventToIntervalConverter::EventToIntervalConverter(MarkerUnifier& markers,
+                                                   ConvertOptions options)
+    : markers_(markers), options_(options) {}
 
-/// One open state of a thread: its event type and the pre-encoded field
-/// bytes for the piece variants (see standard_profile.h field ordering).
-struct StateInstance {
-  EventType type = kRunningState;
-  std::uint32_t markerId = 0;  ///< user markers only (for end matching)
-  std::uint32_t pieces = 0;
-  std::vector<std::uint8_t> argsAll;
-  std::vector<std::uint8_t> argsBegin;
-  std::vector<std::uint8_t> argsEnd;
-};
+// The file conversion is the streaming conversion with a .uti writer
+// behind the callbacks: the writer is created when the thread table
+// freezes (just before the first record), and marker definitions seen
+// earlier are held back until then so the file's marker trailer matches
+// what the pre-refactor one-shot converter wrote.
+ConvertResult EventToIntervalConverter::convertFile(
+    const std::string& rawPath, const std::string& outPath) {
+  TraceFileReader reader(rawPath);
 
-struct ThreadConvertState {
-  bool known = false;  ///< seen in a ThreadInfo record
-  bool onCpu = false;
-  CpuId cpu = 0;
-  Tick pieceStart = 0;
-  std::int32_t pid = 0;
-  std::vector<StateInstance> stack;
-};
-
-/// Per-file conversion state machine.
-class FileConversion {
- public:
-  FileConversion(MarkerUnifier& markers, const ConvertOptions& options,
-                 const std::string& rawPath, const std::string& outPath)
-      : markers_(markers), options_(options), reader_(rawPath),
-        outPath_(outPath), node_(reader_.node()) {}
-
-  ConvertResult run();
-
- private:
-  ThreadConvertState& threadState(LogicalThreadId ltid);
-  IntervalFileWriter& writer();
-  void handleEvent(const RawEvent& ev);
-  void handleDispatch(const RawEvent& ev);
-  void handleCallEntry(const RawEvent& ev, ThreadConvertState& ts);
-  void handleCallExit(const RawEvent& ev, ThreadConvertState& ts);
-  void handleMarker(const RawEvent& ev, ThreadConvertState& ts);
-  void openPiece(ThreadConvertState& ts, Tick t, CpuId cpu);
-  void closePiece(LogicalThreadId ltid, ThreadConvertState& ts, Tick t,
-                  bool finalPiece);
-  void sealThread(LogicalThreadId ltid, ThreadConvertState& ts, Tick t);
-  void emitClockSync(const RawEvent& ev);
-  void finishAtEof();
-
-  MarkerUnifier& markers_;
-  ConvertOptions options_;
-  TraceFileReader reader_;
-  std::string outPath_;
-  NodeId node_;
-  std::vector<ThreadEntry> threadTable_;
-  std::vector<ThreadConvertState> threads_;
-  /// (pid, task-local marker id) -> unified marker id.
-  std::map<std::pair<std::int32_t, std::uint32_t>, std::uint32_t> markerMap_;
-  std::vector<std::pair<std::uint32_t, std::string>> pendingMarkers_;
-  std::unique_ptr<IntervalFileWriter> writer_;
-  Tick lastEventTime_ = 0;
-  std::uint64_t intervalsEmitted_ = 0;
-};
-
-ThreadConvertState& FileConversion::threadState(LogicalThreadId ltid) {
-  if (ltid < 0) throw FormatError("event attributed to no thread");
-  if (static_cast<std::size_t>(ltid) >= threads_.size()) {
-    threads_.resize(static_cast<std::size_t>(ltid) + 1);
-  }
-  return threads_[static_cast<std::size_t>(ltid)];
-}
-
-IntervalFileWriter& FileConversion::writer() {
-  if (!writer_) {
+  std::unique_ptr<IntervalFileWriter> writer;
+  std::vector<std::pair<std::uint32_t, std::string>> pendingMarkers;
+  StreamingConverter::Callbacks callbacks;
+  callbacks.onThreads = [&](const std::vector<ThreadEntry>& threads) {
     IntervalFileOptions opts;
     opts.profileVersion = kStandardProfileVersion;
     opts.fieldSelectionMask = kNodeFileMask;
     opts.merged = false;
     opts.targetFrameBytes = options_.targetFrameBytes;
     opts.framesPerDirectory = options_.framesPerDirectory;
-    writer_ = std::make_unique<IntervalFileWriter>(outPath_, opts,
-                                                   threadTable_);
-    for (const auto& [id, name] : pendingMarkers_) writer_->addMarker(id, name);
-    pendingMarkers_.clear();
-  }
-  return *writer_;
-}
+    writer = std::make_unique<IntervalFileWriter>(outPath, opts, threads);
+    for (const auto& [id, name] : pendingMarkers) writer->addMarker(id, name);
+    pendingMarkers.clear();
+  };
+  callbacks.onMarker = [&](std::uint32_t id, const std::string& name) {
+    if (writer) {
+      writer->addMarker(id, name);
+    } else {
+      pendingMarkers.emplace_back(id, name);
+    }
+  };
+  callbacks.onRecord = [&](std::span<const std::uint8_t> body) {
+    writer->addRecord(body);
+  };
 
-ConvertResult FileConversion::run() {
-  while (const auto ev = reader_.next()) {
-    lastEventTime_ = ev->localTs;
-    handleEvent(*ev);
-  }
-  finishAtEof();
-  writer().close();
+  StreamingConverter conversion(markers_, reader.node(), std::move(callbacks));
+  while (const auto ev = reader.next()) conversion.feed(*ev);
+  conversion.finish();
+  writer->close();
 
   ConvertResult result;
-  result.outputPath = outPath_;
-  result.rawEvents = reader_.eventsRead();
-  result.intervalRecords = intervalsEmitted_;
+  result.outputPath = outPath;
+  result.rawEvents = reader.eventsRead();
+  result.intervalRecords = conversion.recordsOut();
   return result;
-}
-
-void FileConversion::handleEvent(const RawEvent& ev) {
-  switch (ev.type) {
-    case EventType::kNodeInfo:
-      return;
-    case EventType::kThreadInfo: {
-      if (writer_) {
-        throw FormatError("ThreadInfo record after interval emission in " +
-                          std::to_string(node_));
-      }
-      ByteReader r = ev.payloadReader();
-      ThreadEntry entry;
-      entry.ltid = r.i32();
-      entry.pid = r.i32();
-      entry.systemTid = r.i32();
-      entry.task = r.i32();
-      entry.type = static_cast<ThreadType>(r.u8());
-      entry.node = node_;
-      threadTable_.push_back(entry);
-      ThreadConvertState& ts = threadState(entry.ltid);
-      ts.known = true;
-      ts.pid = entry.pid;
-      return;
-    }
-    case EventType::kMarkerDef: {
-      ByteReader r = ev.payloadReader();
-      const std::uint32_t localId = r.u32();
-      const std::string name = r.lstring();
-      const std::uint32_t unifiedId = markers_.unify(name);
-      const ThreadConvertState& ts = threadState(ev.ltid);
-      markerMap_[{ts.pid, localId}] = unifiedId;
-      if (writer_) {
-        writer_->addMarker(unifiedId, name);
-      } else {
-        pendingMarkers_.emplace_back(unifiedId, name);
-      }
-      return;
-    }
-    case EventType::kGlobalClock:
-      emitClockSync(ev);
-      return;
-    case EventType::kThreadDispatch:
-      handleDispatch(ev);
-      return;
-    case EventType::kUserMarker:
-      handleMarker(ev, threadState(ev.ltid));
-      return;
-    case EventType::kPageFault: {
-      // A point event: a zero-duration complete interval. It does not
-      // interrupt the thread's current state piece (the stall shows up
-      // as the descheduling that follows).
-      const ByteWriter body = encodeRecordBody(
-          makeIntervalType(EventType::kPageFault, Bebits::kComplete),
-          ev.localTs, 0, ev.cpu, node_, ev.ltid, ev.payload);
-      writer().addRecord(body.view());
-      ++intervalsEmitted_;
-      return;
-    }
-    default:
-      if (isMpiEvent(ev.type) || isIoEvent(ev.type)) {
-        ThreadConvertState& ts = threadState(ev.ltid);
-        if ((ev.flags & kFlagBegin) != 0) {
-          handleCallEntry(ev, ts);
-        } else {
-          handleCallExit(ev, ts);
-        }
-        return;
-      }
-      throw FormatError("unexpected event type " + eventTypeName(ev.type) +
-                        " in raw trace");
-  }
-}
-
-void FileConversion::handleDispatch(const RawEvent& ev) {
-  ByteReader r = ev.payloadReader();
-  const LogicalThreadId oldTid = r.i32();
-  const LogicalThreadId newTid = r.i32();
-  const bool oldExited = r.remaining() >= 4 && r.u32() != 0;
-  if (oldTid >= 0) {
-    ThreadConvertState& ts = threadState(oldTid);
-    if (oldExited) {
-      // The thread terminated: every state it still has open ends here,
-      // innermost first, so its Running default state gets a proper
-      // end/complete piece instead of lingering to the end of the trace.
-      sealThread(oldTid, ts, ev.localTs);
-    } else if (ts.onCpu) {
-      closePiece(oldTid, ts, ev.localTs, /*finalPiece=*/false);
-      ts.onCpu = false;
-    }
-  }
-  if (newTid >= 0) {
-    ThreadConvertState& ts = threadState(newTid);
-    if (ts.stack.empty()) {
-      // First dispatch of this thread: its Running default state begins.
-      ts.stack.push_back(StateInstance{});
-    }
-    openPiece(ts, ev.localTs, ev.cpu);
-  }
-}
-
-void FileConversion::openPiece(ThreadConvertState& ts, Tick t, CpuId cpu) {
-  ts.onCpu = true;
-  ts.cpu = cpu;
-  ts.pieceStart = t;
-}
-
-void FileConversion::closePiece(LogicalThreadId ltid, ThreadConvertState& ts,
-                                Tick t, bool finalPiece) {
-  StateInstance& s = ts.stack.back();
-  const Tick dura = t - ts.pieceStart;
-  // Zero-length interruption pieces carry no information; suppress them
-  // (a zero-length *final* piece still counts the call, so it is kept).
-  if (dura == 0 && !finalPiece) return;
-  const Bebits bebits =
-      s.pieces == 0 ? (finalPiece ? Bebits::kComplete : Bebits::kBegin)
-                    : (finalPiece ? Bebits::kEnd : Bebits::kContinuation);
-  ByteWriter extra;
-  extra.bytes(s.argsAll);
-  if (isFirstPiece(bebits)) extra.bytes(s.argsBegin);
-  if (isLastPiece(bebits)) extra.bytes(s.argsEnd);
-  const ByteWriter body =
-      encodeRecordBody(makeIntervalType(s.type, bebits), ts.pieceStart, dura,
-                       ts.cpu, node_, ltid, extra.view());
-  writer().addRecord(body.view());
-  ++intervalsEmitted_;
-  ++s.pieces;
-}
-
-void FileConversion::handleCallEntry(const RawEvent& ev,
-                                     ThreadConvertState& ts) {
-  if (!ts.onCpu) {
-    throw FormatError("call entry from a thread that is not dispatched");
-  }
-  closePiece(ev.ltid, ts, ev.localTs, /*finalPiece=*/false);
-  StateInstance s;
-  s.type = ev.type;
-  s.argsBegin.assign(ev.payload.begin(), ev.payload.end());
-  ts.stack.push_back(std::move(s));
-  openPiece(ts, ev.localTs, ts.cpu);
-}
-
-void FileConversion::handleCallExit(const RawEvent& ev,
-                                    ThreadConvertState& ts) {
-  if (!ts.onCpu || ts.stack.size() < 2) {
-    throw FormatError("call exit without a matching entry");
-  }
-  StateInstance& s = ts.stack.back();
-  if (s.type != ev.type) {
-    throw FormatError("call exit type " + eventTypeName(ev.type) +
-                      " does not match open call " + eventTypeName(s.type));
-  }
-  // Call results (Section 2.3.2: exit arguments become end-piece fields).
-  if ((ev.type == EventType::kMpiRecv || ev.type == EventType::kMpiWait)) {
-    if (ev.payload.size() == 16) {
-      s.argsEnd.assign(ev.payload.begin(), ev.payload.end());
-    } else {
-      // MPI_Wait on a send request: no receive result. Fill the fixed
-      // result fields with sentinels so the record matches its spec.
-      ByteWriter w;
-      w.i32(-1);  // srcTask
-      w.i32(-1);  // tagRecv
-      w.u32(0);   // msgSizeRecv
-      w.u32(0);   // seqNo
-      s.argsEnd.assign(w.view().begin(), w.view().end());
-    }
-  }
-  closePiece(ev.ltid, ts, ev.localTs, /*finalPiece=*/true);
-  ts.stack.pop_back();
-  openPiece(ts, ev.localTs, ts.cpu);
-}
-
-void FileConversion::handleMarker(const RawEvent& ev, ThreadConvertState& ts) {
-  if (!ts.onCpu) {
-    throw FormatError("marker event from a thread that is not dispatched");
-  }
-  ByteReader r = ev.payloadReader();
-  const std::uint32_t localId = r.u32();
-  const std::uint64_t instrAddr = r.u64();
-  const auto mapped = markerMap_.find({ts.pid, localId});
-  if (mapped == markerMap_.end()) {
-    throw FormatError("marker event before its definition (id " +
-                      std::to_string(localId) + ")");
-  }
-  const std::uint32_t unifiedId = mapped->second;
-
-  if ((ev.flags & kFlagBegin) != 0) {
-    closePiece(ev.ltid, ts, ev.localTs, /*finalPiece=*/false);
-    StateInstance s;
-    s.type = EventType::kUserMarker;
-    s.markerId = unifiedId;
-    ByteWriter all;
-    all.u32(unifiedId);
-    s.argsAll.assign(all.view().begin(), all.view().end());
-    ByteWriter begin;
-    begin.u64(instrAddr);
-    s.argsBegin.assign(begin.view().begin(), begin.view().end());
-    ts.stack.push_back(std::move(s));
-    openPiece(ts, ev.localTs, ts.cpu);
-  } else {
-    if (ts.stack.size() < 2 ||
-        ts.stack.back().type != EventType::kUserMarker ||
-        ts.stack.back().markerId != unifiedId) {
-      throw FormatError("marker end does not match the open marker");
-    }
-    ByteWriter end;
-    end.u64(instrAddr);
-    ts.stack.back().argsEnd.assign(end.view().begin(), end.view().end());
-    closePiece(ev.ltid, ts, ev.localTs, /*finalPiece=*/true);
-    ts.stack.pop_back();
-    openPiece(ts, ev.localTs, ts.cpu);
-  }
-}
-
-void FileConversion::emitClockSync(const RawEvent& ev) {
-  ByteReader r = ev.payloadReader();
-  const Tick global = r.u64();
-  const Tick local = r.u64();
-  ByteWriter extra;
-  extra.u64(global);
-  const ByteWriter body = encodeRecordBody(
-      makeIntervalType(kClockSyncState, Bebits::kComplete), local,
-      /*dura=*/0, ev.cpu, node_, ev.ltid, extra.view());
-  writer().addRecord(body.view());
-  ++intervalsEmitted_;
-}
-
-void FileConversion::sealThread(LogicalThreadId ltid, ThreadConvertState& ts,
-                                Tick t) {
-  while (!ts.stack.empty()) {
-    // A state sealed here never saw its exit event; pad the fixed result
-    // fields its end/complete spec requires.
-    StateInstance& top = ts.stack.back();
-    if (top.argsEnd.empty()) {
-      if (top.type == EventType::kMpiRecv || top.type == EventType::kMpiWait) {
-        top.argsEnd.assign(16, 0);
-      } else if (top.type == EventType::kUserMarker) {
-        top.argsEnd.assign(8, 0);
-      }
-    }
-    if (!ts.onCpu) {
-      // No active piece (the state was between pieces); seal it with a
-      // zero-duration end piece so every instance terminates properly.
-      openPiece(ts, t, ts.cpu);
-    }
-    closePiece(ltid, ts, t, /*finalPiece=*/true);
-    ts.onCpu = false;
-    ts.stack.pop_back();
-  }
-}
-
-void FileConversion::finishAtEof() {
-  for (LogicalThreadId ltid = 0;
-       static_cast<std::size_t>(ltid) < threads_.size(); ++ltid) {
-    sealThread(ltid, threads_[static_cast<std::size_t>(ltid)],
-               lastEventTime_);
-  }
-}
-
-}  // namespace
-
-EventToIntervalConverter::EventToIntervalConverter(MarkerUnifier& markers,
-                                                   ConvertOptions options)
-    : markers_(markers), options_(options) {}
-
-ConvertResult EventToIntervalConverter::convertFile(
-    const std::string& rawPath, const std::string& outPath) {
-  FileConversion conversion(markers_, options_, rawPath, outPath);
-  return conversion.run();
 }
 
 std::vector<std::string> scanMarkerNames(const std::string& rawPath,

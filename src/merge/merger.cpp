@@ -1,14 +1,12 @@
 #include "merge/merger.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
 #include <memory>
 #include <optional>
 
 #include "interval/frame_prefetcher.h"
 #include "interval/standard_profile.h"
-#include "merge/tournament_tree.h"
+#include "stream/stream_merger.h"
 #include "support/errors.h"
 #include "support/thread_pool.h"
 
@@ -16,14 +14,11 @@ namespace ute {
 
 namespace {
 
-constexpr Tick kSentinelEnd = ~Tick{0};
-
-/// One input interval file being merged: reader, clock map, and a
-/// one-record lookahead already adjusted onto the global time base. The
-/// record source is either the reader's synchronous stream (jobs == 1)
-/// or a background prefetcher delivering the identical byte sequence.
-struct InputStream {
-  InputStream(const std::string& path, std::size_t prefetchDepth)
+/// One input interval file: the reader plus its record source — either
+/// the reader's synchronous stream (jobs == 1) or a background
+/// prefetcher delivering the identical byte sequence.
+struct InputFile {
+  InputFile(const std::string& path, std::size_t prefetchDepth)
       : reader(std::make_unique<IntervalFileReader>(path)) {
     if (prefetchDepth > 0) {
       prefetched = std::make_unique<PrefetchRecordStream>(path, prefetchDepth);
@@ -35,55 +30,10 @@ struct InputStream {
   std::unique_ptr<IntervalFileReader> reader;
   std::optional<IntervalFileReader::RecordStream> stream;
   std::unique_ptr<PrefetchRecordStream> prefetched;
-  ClockMap map;
-  /// Threads excluded by the category selection; their records are
-  /// skipped during the merge.
-  std::set<std::pair<NodeId, LogicalThreadId>> excludedThreads;
-  std::vector<std::uint8_t> body;  ///< adjusted current record
-  RecordView view;
-  bool ok = false;
-
-  Tick key() const { return ok ? view.end() : kSentinelEnd; }
+  bool done = false;
 
   bool nextRaw(RecordView& out) {
     return prefetched ? prefetched->next(out) : stream->next(out);
-  }
-
-  /// Loads the next record, applying the timestamp adjustment and
-  /// appending the merged-file origStart field.
-  void advance(bool keepClockRecords) {
-    RecordView raw;
-    for (;;) {
-      if (!nextRaw(raw)) {
-        ok = false;
-        return;
-      }
-      if (!keepClockRecords &&
-          raw.eventType() == kClockSyncState) {
-        continue;
-      }
-      if (!excludedThreads.empty() &&
-          excludedThreads.count({raw.node, raw.thread}) != 0) {
-        continue;
-      }
-      break;
-    }
-    body.assign(raw.body.begin(), raw.body.end());
-    // Map both endpoints through the (monotone) clock map and derive the
-    // duration from them: mapping start and duration independently can
-    // round equal end times to values 1 ns apart, breaking the merged
-    // file's end-time ordering. The difference equals the paper's R*D up
-    // to rounding.
-    const Tick newStart = map.toGlobal(raw.start);
-    const Tick newEnd = map.toGlobal(raw.end());
-    patchRecordTimes(body, newStart, newEnd - newStart);
-    // Merged files carry the pre-adjustment local start time (attr-1
-    // field origStart, last in every spec).
-    for (int i = 0; i < 8; ++i) {
-      body.push_back(static_cast<std::uint8_t>(raw.start >> (8 * i)));
-    }
-    view = RecordView::parse(body);
-    ok = true;
   }
 };
 
@@ -112,15 +62,6 @@ std::vector<TimestampPair> collectClockPairs(const std::string& path) {
   return pairs;
 }
 
-/// Open-state tracking for the frame-start pseudo-intervals.
-struct OpenState {
-  EventType type = kRunningState;
-  std::int32_t cpu = 0;
-  NodeId node = 0;
-  LogicalThreadId thread = 0;
-  std::vector<std::uint8_t> alwaysBytes;  ///< fields every piece carries
-};
-
 }  // namespace
 
 IntervalMerger::IntervalMerger(std::vector<std::string> inputPaths,
@@ -137,163 +78,81 @@ MergeResult IntervalMerger::mergeTo(const std::string& outPath,
   MergeResult result;
   result.outputPath = outPath;
 
-  // Byte length of the "always" fields (those on every piece) per event
-  // type, from the continuation specs — what a pseudo-interval must copy.
-  std::map<EventType, std::size_t> alwaysLen;
-  for (const auto& [type, spec] : profile_.specs()) {
-    if (intervalBebits(type) != Bebits::kContinuation) continue;
-    std::size_t len = 0;
-    for (std::size_t i = 6; i < spec.fields.size(); ++i) {
-      if (spec.fields[i].attr == 0) len += spec.fields[i].elemLen;
-    }
-    alwaysLen[intervalEventType(type)] = len;
-  }
+  // The batch merge is the streaming merge driven to completion: feed
+  // the resumable StreamMerger (src/stream) file records in order with
+  // the final clock fits, and the tournament selection, timestamp
+  // adjustment, pseudo-record injection and output framing all happen in
+  // one shared code path — which is what guarantees the streamed and
+  // batch pipelines stay byte-identical (docs/STREAMING.md).
+  StreamMergeOptions streamOptions;
+  streamOptions.syncMethod = options_.syncMethod;
+  streamOptions.threadTypeMask = options_.threadTypeMask;
+  streamOptions.filterOutliers = options_.filterOutliers;
+  streamOptions.outlierTolerance = options_.outlierTolerance;
+  streamOptions.keepClockRecords = options_.keepClockRecords;
+  streamOptions.targetFrameBytes = options_.targetFrameBytes;
+  streamOptions.framesPerDirectory = options_.framesPerDirectory;
+  streamOptions.useNaiveMerge = options_.useNaiveMerge;
+  StreamMerger merger(profile_, streamOptions);
 
-  // Pass 1: clock pairs, thread tables, markers. Metadata merging stays
+  // Pass 1: thread tables, markers, clock pairs. Metadata merging stays
   // sequential (cheap, order-sensitive validation); the per-input clock
   // scans — a full pass over each file — fan out across the pool below.
   const std::size_t jobs =
       std::min(effectiveJobs(options_.jobs), inputPaths_.size());
   const std::size_t prefetchDepth =
       jobs > 1 ? std::max<std::size_t>(options_.prefetchDepth, 2) : 0;
-  std::vector<std::unique_ptr<InputStream>> inputs;
-  std::vector<ThreadEntry> mergedThreads;
-  std::map<std::pair<NodeId, LogicalThreadId>, bool> seenThreads;
-  std::map<std::uint32_t, std::string> mergedMarkers;
+  std::vector<std::unique_ptr<InputFile>> inputs;
   for (const std::string& path : inputPaths_) {
-    auto input = std::make_unique<InputStream>(path, prefetchDepth);
+    auto input = std::make_unique<InputFile>(path, prefetchDepth);
     input->reader->checkProfile(profile_);
-
-    for (const ThreadEntry& t : input->reader->threads()) {
-      if (seenThreads.emplace(std::make_pair(t.node, t.ltid), true).second ==
-          false) {
-        throw FormatError("thread (node " + std::to_string(t.node) +
-                          ", ltid " + std::to_string(t.ltid) +
-                          ") appears in more than one input file");
-      }
-      if ((options_.threadTypeMask & MergeOptions::threadTypeBit(t.type)) ==
-          0) {
-        input->excludedThreads.emplace(t.node, t.ltid);
-        continue;
-      }
-      mergedThreads.push_back(t);
-    }
+    const std::size_t idx = merger.addInput();
+    merger.setThreads(idx, input->reader->threads());
     for (const auto& [id, name] : input->reader->markers()) {
-      const auto [it, inserted] = mergedMarkers.emplace(id, name);
-      if (!inserted && it->second != name) {
-        throw FormatError("marker id " + std::to_string(id) +
-                          " names two strings across inputs — run the "
-                          "convert utility with a shared marker unifier");
-      }
+      merger.addMarker(id, name);
     }
     result.recordsIn += input->reader->header().totalRecords;
     inputs.push_back(std::move(input));
   }
 
+  std::vector<std::vector<TimestampPair>> pairs(inputs.size());
   parallelFor(jobs, inputs.size(), [&](std::size_t i) {
-    std::vector<TimestampPair> pairs = collectClockPairs(inputPaths_[i]);
-    if (options_.filterOutliers && pairs.size() >= 3) {
-      pairs = filterOutlierPairs(pairs, options_.outlierTolerance);
-    }
-    inputs[i]->map = pairs.size() >= 2 ? ClockMap(pairs, options_.syncMethod)
-                                       : ClockMap::identity();
+    pairs[i] = collectClockPairs(inputPaths_[i]);
   });
-  for (const auto& input : inputs) result.ratios.push_back(input->map.ratio());
-
-  IntervalFileOptions writerOptions;
-  writerOptions.profileVersion = profile_.versionId();
-  writerOptions.fieldSelectionMask = kMergedFileMask;
-  writerOptions.merged = true;
-  writerOptions.targetFrameBytes = options_.targetFrameBytes;
-  writerOptions.framesPerDirectory = options_.framesPerDirectory;
-  IntervalFileWriter writer(outPath, writerOptions, mergedThreads);
-  for (const auto& [id, name] : mergedMarkers) writer.addMarker(id, name);
-
-  // Frame-start hook: zero-duration continuation pseudo-intervals for
-  // every state open at the boundary (Section 3.3).
-  std::map<std::pair<NodeId, LogicalThreadId>, std::vector<OpenState>>
-      openStates;
-  writer.setFrameStartHook([&](Tick frameStart, std::vector<ByteWriter>& out) {
-    for (const auto& [key, stack] : openStates) {
-      for (const OpenState& s : stack) {
-        ByteWriter extra;
-        extra.bytes(s.alwaysBytes);
-        extra.u64(frameStart);  // origStart of a pseudo record: itself
-        out.push_back(encodeRecordBody(
-            makeIntervalType(s.type, Bebits::kContinuation), frameStart,
-            /*dura=*/0, s.cpu, s.node, s.thread, extra.view()));
-        ++result.pseudoRecords;
-      }
-    }
-  });
-
-  // Pass 2: the k-way merge itself.
-  for (auto& input : inputs) input->advance(options_.keepClockRecords);
-
-  const auto emit = [&](InputStream& input) {
-    const RecordView& v = input.view;
-    writer.addRecord(v.body);
-    ++result.recordsOut;
-    if (sink) sink(v);
-
-    // Maintain the per-thread open-state stacks for the hook. ClockSync
-    // records are complete-only and never tracked.
-    const Bebits bebits = v.bebits();
-    if (bebits == Bebits::kBegin) {
-      OpenState s;
-      s.type = v.eventType();
-      s.cpu = v.cpu;
-      s.node = v.node;
-      s.thread = v.thread;
-      const auto lenIt = alwaysLen.find(s.type);
-      const std::size_t n = lenIt == alwaysLen.end() ? 0 : lenIt->second;
-      if (v.body.size() >= kCommonPrefixBytes + n) {
-        s.alwaysBytes.assign(v.body.begin() + kCommonPrefixBytes,
-                             v.body.begin() + kCommonPrefixBytes + n);
-      }
-      openStates[{v.node, v.thread}].push_back(std::move(s));
-    } else if (bebits == Bebits::kEnd) {
-      auto& stack = openStates[{v.node, v.thread}];
-      if (stack.empty() || stack.back().type != v.eventType()) {
-        throw FormatError("end piece without a matching begin piece "
-                          "(node " + std::to_string(v.node) + ", thread " +
-                          std::to_string(v.thread) + ")");
-      }
-      stack.pop_back();
-    }
-    input.advance(options_.keepClockRecords);
-  };
-
-  if (options_.useNaiveMerge || inputs.size() == 1) {
-    for (;;) {
-      InputStream* best = nullptr;
-      for (auto& input : inputs) {
-        if (!input->ok) continue;
-        if (best == nullptr || input->view.end() < best->view.end()) {
-          best = input.get();
-        }
-      }
-      if (best == nullptr) break;
-      emit(*best);
-    }
-  } else {
-    const std::pair<Tick, std::size_t> sentinel{kSentinelEnd, inputs.size()};
-    const auto keyOf = [&](std::size_t i) {
-      return inputs[i]->ok ? std::pair<Tick, std::size_t>{inputs[i]->key(), i}
-                           : sentinel;
-    };
-    std::vector<std::pair<Tick, std::size_t>> keys;
-    keys.reserve(inputs.size());
-    for (std::size_t i = 0; i < inputs.size(); ++i) keys.push_back(keyOf(i));
-    LoserTree<std::pair<Tick, std::size_t>> tree(std::move(keys), sentinel);
-    while (!tree.exhausted()) {
-      const std::size_t i = tree.min();
-      emit(*inputs[i]);
-      tree.update(i, keyOf(i));
-    }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    merger.setClockPairs(i, pairs[i], /*final=*/true);
   }
 
-  writer.close();
+  merger.openOutput(outPath, sink);
+
+  // Pass 2: drive the state machine to completion. Each round refills
+  // every input the merge has drained (one lookahead record apiece, so
+  // memory stays O(inputs)) and advances; the merge stalls exactly when
+  // some input's lookahead empties.
+  RecordView raw;
+  std::size_t open = inputs.size();
+  while (open > 0) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      InputFile& in = *inputs[i];
+      if (in.done) continue;
+      while (merger.needsData(i)) {
+        if (in.nextRaw(raw)) {
+          merger.addRecord(i, raw.body);
+        } else {
+          merger.closeInput(i);
+          in.done = true;
+          --open;
+          break;
+        }
+      }
+    }
+    merger.advance();
+  }
+  const StreamMergeResult streamed = merger.finish();
+
+  result.recordsOut = streamed.recordsOut;
+  result.pseudoRecords = streamed.pseudoRecords;
+  result.ratios = streamed.ratios;
   return result;
 }
 

@@ -39,8 +39,16 @@ class LoserTree {
   /// True when every stream shows the sentinel.
   bool exhausted() const { return !(keys_[winner_] < sentinel_); }
 
-  /// Replaces stream `i`'s key and replays its path to the root.
+  /// Replaces stream `i`'s key and replays its path to the root. Only
+  /// the current winner may be updated: the stored losers along a leaf's
+  /// path are exactly the winner's candidate set, so replaying any other
+  /// leaf would drop the reigning winner from the tournament (it is
+  /// stored at no interior node). Callers that need to change a
+  /// non-winner's key must rebuild the tree.
   void update(std::size_t i, Key key) {
+    if (i != winner_) {
+      throw UsageError("LoserTree::update on a non-winner leaf");
+    }
     keys_[i] = std::move(key);
     std::size_t cur = i;
     for (std::size_t node = (m_ + i) / 2; node >= 1; node /= 2) {

@@ -7,7 +7,30 @@ namespace ute {
 TraceClient::TraceClient(const std::string& host, std::uint16_t port)
     : socket_(TcpSocket::connectTo(host, port)) {
   const ByteWriter hello = encodeHelloRequest();
-  const HelloReply reply = decodeHelloReply(roundTrip(hello.view()));
+  HelloReply reply;
+  try {
+    reply = decodeHelloReply(roundTrip(hello.view()));
+  } catch (const IoError& e) {
+    // The server may have dropped us between accept and the handshake
+    // (e.g. it was restarting). One reconnect attempt, with the original
+    // failure noted if it fails again.
+    try {
+      socket_ = TcpSocket::connectTo(host, port);
+      reply = decodeHelloReply(roundTrip(hello.view()));
+    } catch (const std::exception& retryErr) {
+      throw IoError(std::string("handshake failed twice: ") + e.what() +
+                    "; retry: " + retryErr.what());
+    }
+  } catch (const ServiceError& e) {
+    if (e.code() != ErrorCode::kBadVersion) throw;
+    // Deterministic mismatch — retrying cannot help; annotate instead.
+    std::string message = e.what();
+    const std::string prefix = std::string(errorCodeName(e.code())) + ": ";
+    if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
+    throw ServiceError(e.code(),
+                       message + " (this client speaks version " +
+                           std::to_string(kProtocolVersion) + ")");
+  }
   traceCount_ = reply.traceCount;
 }
 
@@ -60,6 +83,18 @@ MetricsStore TraceClient::metrics(std::uint32_t traceId,
                                   std::uint32_t bins) {
   return decodeMetricsReply(
       roundTrip(encodeMetricsRequest(traceId, bins).view()));
+}
+
+TailFramesReply TraceClient::tailFrames(std::uint32_t traceId,
+                                        std::uint64_t cursor,
+                                        std::uint32_t maxFrames) {
+  return decodeTailFramesReply(
+      roundTrip(encodeTailFramesRequest(traceId, cursor, maxFrames).view()));
+}
+
+TailMetricsReply TraceClient::tailMetrics(std::uint32_t traceId) {
+  return decodeTailMetricsReply(
+      roundTrip(encodeTailMetricsRequest(traceId).view()));
 }
 
 ServiceStats TraceClient::stats() {

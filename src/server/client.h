@@ -35,6 +35,13 @@ class TraceClient {
   /// Time-resolved metrics store (bins = 0: server default). The server
   /// computes it lazily on first request and caches the encoded bytes.
   MetricsStore metrics(std::uint32_t traceId, std::uint32_t bins = 0);
+  /// Sealed frames from `cursor` on (docs/STREAMING.md). Works on live
+  /// and file traces; resuming from the returned nextCursor after a
+  /// reconnect yields every sealed frame exactly once.
+  TailFramesReply tailFrames(std::uint32_t traceId, std::uint64_t cursor,
+                             std::uint32_t maxFrames = 0);
+  /// The live (or finished) metrics blob plus watermark/sealed-bin info.
+  TailMetricsReply tailMetrics(std::uint32_t traceId);
   ServiceStats stats();
   /// Asks the server to stop accepting and shut down.
   void shutdownServer();

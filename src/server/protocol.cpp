@@ -183,6 +183,24 @@ ByteWriter encodeMetricsRequest(std::uint32_t traceId, std::uint32_t bins) {
   return w;
 }
 
+ByteWriter encodeTailFramesRequest(std::uint32_t traceId,
+                                   std::uint64_t cursor,
+                                   std::uint32_t maxFrames) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kTailFrames);
+  w.u32(traceId);
+  w.u64(cursor);
+  w.u32(maxFrames);
+  return w;
+}
+
+ByteWriter encodeTailMetricsRequest(std::uint32_t traceId) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kTailMetrics);
+  w.u32(traceId);
+  return w;
+}
+
 // --- response decoding ------------------------------------------------------
 
 HelloReply decodeHelloReply(std::span<const std::uint8_t> payload) {
@@ -318,6 +336,40 @@ MetricsStore decodeMetricsReply(std::span<const std::uint8_t> payload) {
   return MetricsStore::decode(payload.subspan(r.pos()));
 }
 
+TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  TailFramesReply reply;
+  reply.nextCursor = r.u64();
+  reply.finished = r.u8() != 0;
+  reply.watermark = r.u64();
+  const std::uint32_t count = r.u32();
+  reply.frames.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TailFrame f;
+    f.entry.offset = r.u64();
+    f.entry.sizeBytes = r.u32();
+    f.entry.records = r.u32();
+    f.entry.timeStart = r.u64();
+    f.entry.timeEnd = r.u64();
+    f.data = takeFrameData(r);
+    reply.frames.push_back(std::move(f));
+  }
+  return reply;
+}
+
+TailMetricsReply decodeTailMetricsReply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  TailMetricsReply reply;
+  reply.finished = r.u8() != 0;
+  reply.watermark = r.u64();
+  reply.sealedBins = r.u32();
+  const std::span<const std::uint8_t> rest = payload.subspan(r.pos());
+  reply.blob.assign(rest.begin(), rest.end());
+  if (!reply.blob.empty()) reply.store = MetricsStore::decode(reply.blob);
+  return reply;
+}
+
 // --- server dispatch --------------------------------------------------------
 
 std::vector<std::uint8_t> encodeErrorReply(ErrorCode code,
@@ -354,22 +406,40 @@ RequestOutcome dispatch(TraceService& service,
       return outcome;
     }
     case Opcode::kInfo: {
-      const SlogReader& reader = service.trace(r.u32());
+      const std::uint32_t traceId = r.u32();
       ByteWriter w = okHeader();
-      w.lstring(reader.path());
-      w.u64(reader.totalStart());
-      w.u64(reader.totalEnd());
-      w.u32(static_cast<std::uint32_t>(reader.frameIndex().size()));
-      w.u32(static_cast<std::uint32_t>(reader.states().size()));
-      w.u32(static_cast<std::uint32_t>(reader.threads().size()));
+      if (service.isLive(traceId)) {
+        const LiveFeed& feed = service.liveFeed(traceId);
+        const auto [start, end] = feed.timeRange();
+        w.lstring(service.traceName(traceId));
+        w.u64(start);
+        w.u64(end);
+        w.u32(static_cast<std::uint32_t>(feed.frameCount()));
+        w.u32(static_cast<std::uint32_t>(feed.states().size()));
+        w.u32(static_cast<std::uint32_t>(feed.threads().size()));
+      } else {
+        const SlogReader& reader = service.trace(traceId);
+        w.lstring(reader.path());
+        w.u64(reader.totalStart());
+        w.u64(reader.totalEnd());
+        w.u32(static_cast<std::uint32_t>(reader.frameIndex().size()));
+        w.u32(static_cast<std::uint32_t>(reader.states().size()));
+        w.u32(static_cast<std::uint32_t>(reader.threads().size()));
+      }
       outcome.response = w.take();
       return outcome;
     }
     case Opcode::kStates: {
-      const SlogReader& reader = service.trace(r.u32());
+      const std::uint32_t traceId = r.u32();
+      const std::vector<SlogStateDef> liveStates =
+          service.isLive(traceId) ? service.liveFeed(traceId).states()
+                                  : std::vector<SlogStateDef>{};
+      const std::vector<SlogStateDef>& states =
+          service.isLive(traceId) ? liveStates
+                                  : service.trace(traceId).states();
       ByteWriter w = okHeader();
-      w.u32(static_cast<std::uint32_t>(reader.states().size()));
-      for (const SlogStateDef& s : reader.states()) {
+      w.u32(static_cast<std::uint32_t>(states.size()));
+      for (const SlogStateDef& s : states) {
         w.u32(s.id);
         w.u32(s.rgb);
         w.lstring(s.name);
@@ -378,10 +448,16 @@ RequestOutcome dispatch(TraceService& service,
       return outcome;
     }
     case Opcode::kThreads: {
-      const SlogReader& reader = service.trace(r.u32());
+      const std::uint32_t traceId = r.u32();
+      const std::vector<ThreadEntry> liveThreads =
+          service.isLive(traceId) ? service.liveFeed(traceId).threads()
+                                  : std::vector<ThreadEntry>{};
+      const std::vector<ThreadEntry>& threads =
+          service.isLive(traceId) ? liveThreads
+                                  : service.trace(traceId).threads();
       ByteWriter w = okHeader();
-      w.u32(static_cast<std::uint32_t>(reader.threads().size()));
-      for (const ThreadEntry& t : reader.threads()) {
+      w.u32(static_cast<std::uint32_t>(threads.size()));
+      for (const ThreadEntry& t : threads) {
         w.i32(t.task);
         w.i32(t.pid);
         w.i32(t.systemTid);
@@ -495,6 +571,50 @@ RequestOutcome dispatch(TraceService& service,
       outcome.response = w.take();
       return outcome;
     }
+    case Opcode::kTailFrames: {
+      const std::uint32_t traceId = r.u32();
+      const std::uint64_t cursor = r.u64();
+      const std::uint32_t maxFrames = r.u32();
+      const LiveFeed::TailFrames tail =
+          service.tailFrames(traceId, cursor, maxFrames);
+      ByteWriter w = okHeader();
+      w.u64(tail.nextCursor);
+      w.u8(tail.finished ? 1 : 0);
+      w.u64(tail.watermark);
+      w.u32(static_cast<std::uint32_t>(tail.frames.size()));
+      for (const auto& [entry, data] : tail.frames) {
+        w.u64(entry.offset);
+        w.u32(entry.sizeBytes);
+        w.u32(entry.records);
+        w.u64(entry.timeStart);
+        w.u64(entry.timeEnd);
+        putFrameData(w, data->intervals, data->arrows);
+      }
+      if (w.size() > kMaxMessageBytes) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadRequest,
+            "tail reply exceeds the message cap; request fewer frames");
+        return outcome;
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kTailMetrics: {
+      const std::uint32_t traceId = r.u32();
+      const LiveFeed::TailMetrics tail = service.tailMetrics(traceId);
+      ByteWriter w = okHeader();
+      w.u8(tail.finished ? 1 : 0);
+      w.u64(tail.watermark);
+      w.u32(tail.sealedBins);
+      w.bytes(tail.blob);
+      if (w.size() > kMaxMessageBytes) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadRequest, "metrics reply exceeds the message cap");
+        return outcome;
+      }
+      outcome.response = w.take();
+      return outcome;
+    }
   }
   outcome.response = encodeErrorReply(
       ErrorCode::kBadRequest,
@@ -509,6 +629,7 @@ RequestOutcome dispatch(TraceService& service,
 ErrorCode usageCode(const std::string& what) {
   if (what.rfind("unknown trace id", 0) == 0) return ErrorCode::kBadTrace;
   if (what.rfind("metrics bins", 0) == 0) return ErrorCode::kBadRequest;
+  if (what.rfind("live trace", 0) == 0) return ErrorCode::kBadRequest;
   return ErrorCode::kBadWindow;
 }
 

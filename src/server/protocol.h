@@ -41,6 +41,11 @@ enum class Opcode : std::uint8_t {
   kStats = 9,
   kShutdown = 10,
   kGetMetrics = 11,
+  /// Follow-the-cursor tailing of sealed SLOG frames (docs/STREAMING.md);
+  /// works on live and file traces alike.
+  kTailFrames = 12,
+  /// The incrementally extended live metrics blob + watermark.
+  kTailMetrics = 13,
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -98,6 +103,11 @@ ByteWriter encodeStatsRequest();
 ByteWriter encodeShutdownRequest();
 /// bins = 0 asks for the server default (kDefaultMetricsBins).
 ByteWriter encodeMetricsRequest(std::uint32_t traceId, std::uint32_t bins);
+/// maxFrames = 0 asks for everything from `cursor` on.
+ByteWriter encodeTailFramesRequest(std::uint32_t traceId,
+                                   std::uint64_t cursor,
+                                   std::uint32_t maxFrames);
+ByteWriter encodeTailMetricsRequest(std::uint32_t traceId);
 
 // --- response decoding (client side) ---------------------------------------
 // Each checks the status byte and throws ServiceError on an error frame.
@@ -124,6 +134,30 @@ void decodeOkReply(std::span<const std::uint8_t> payload);
 /// The reply body is one encoded .utm metrics store (docs/ANALYSIS.md);
 /// the same bytes utemetrics would write to disk for this trace.
 MetricsStore decodeMetricsReply(std::span<const std::uint8_t> payload);
+
+struct TailFrame {
+  SlogFrameIndexEntry entry;
+  SlogFrameData data;
+};
+struct TailFramesReply {
+  std::uint64_t nextCursor = 0;
+  bool finished = false;
+  Tick watermark = 0;
+  std::vector<TailFrame> frames;
+};
+TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload);
+
+struct TailMetricsReply {
+  bool finished = false;
+  Tick watermark = 0;
+  /// Bins strictly below the watermark — final, never restated.
+  std::uint32_t sealedBins = 0;
+  /// The raw encoded .utm bytes (still comparable byte-for-byte against
+  /// a utemetrics file) plus the decoded store.
+  std::vector<std::uint8_t> blob;
+  MetricsStore store;
+};
+TailMetricsReply decodeTailMetricsReply(std::span<const std::uint8_t> payload);
 
 // --- server dispatch --------------------------------------------------------
 

@@ -3,12 +3,29 @@
 #include <future>
 
 #include "server/protocol.h"
+#include "support/errors.h"
 
 namespace ute {
 
+namespace {
+
+ServiceOptions withLiveDefaults(const ServerOptions& options) {
+  ServiceOptions service = options.service;
+  if (options.liveFeed != nullptr) service.allowNoTraces = true;
+  return service;
+}
+
+}  // namespace
+
 TraceServer::TraceServer(const std::vector<std::string>& slogPaths,
                          const ServerOptions& options)
-    : service_(slogPaths, options.service), listener_(options.port) {
+    : service_(slogPaths, withLiveDefaults(options)),
+      listener_(options.port) {
+  // Attach before the accept thread exists so no client can observe the
+  // trace count changing.
+  if (options.liveFeed != nullptr) {
+    service_.attachLiveFeed(options.liveName, options.liveFeed);
+  }
   acceptThread_ = std::thread([this] { acceptLoop(); });
 }
 
@@ -80,6 +97,16 @@ void TraceServer::serveConnection(Connection& conn) {
         stopRequested_.store(true);
         return;
       }
+    }
+  } catch (const FormatError& e) {
+    // A framing violation (oversized length prefix, garbled frame) gets
+    // a structured kBadRequest reply before the drop — the client sees
+    // why instead of a bare EOF.
+    try {
+      sendMessage(conn.socket,
+                  encodeErrorReply(ErrorCode::kBadRequest, e.what()));
+    } catch (const std::exception&) {
+      // The connection is already too broken to carry the explanation.
     }
   } catch (const std::exception&) {
     // Torn connection (EOF mid-message, send failure): drop the client.

@@ -27,6 +27,11 @@ namespace ute {
 struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = ephemeral, see TraceServer::port()
   ServiceOptions service;
+  /// A live trace to attach before the accept loop starts (utestream
+  /// --serve). Not owned; must outlive the server. With a feed set the
+  /// service may be constructed with zero SLOG paths.
+  LiveFeed* liveFeed = nullptr;
+  std::string liveName = "<live>";
 };
 
 class TraceServer {

@@ -80,6 +80,9 @@ bool TcpSocket::recvAll(std::span<std::uint8_t> data) {
     const ssize_t n = ::recv(fd_, data.data() + got, data.size() - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw IoError("recv timed out");
+      }
       throwErrno("recv");
     }
     if (n == 0) {
@@ -89,6 +92,15 @@ bool TcpSocket::recvAll(std::span<std::uint8_t> data) {
     got += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+void TcpSocket::setRecvTimeout(int milliseconds) {
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
+    throwErrno("setsockopt SO_RCVTIMEO");
+  }
 }
 
 void TcpSocket::shutdownBoth() {

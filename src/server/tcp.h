@@ -39,6 +39,12 @@ class TcpSocket {
   /// the first byte; throws IoError on EOF mid-buffer or socket error.
   bool recvAll(std::span<std::uint8_t> data);
 
+  /// Receive timeout (SO_RCVTIMEO): a recv blocked longer than this
+  /// fails with IoError("recv timed out") instead of hanging forever —
+  /// the ingest server's per-session liveness bound. 0 restores blocking
+  /// reads.
+  void setRecvTimeout(int milliseconds);
+
   /// Unblocks any reader/writer on this socket (e.g. from another
   /// thread during server stop).
   void shutdownBoth();

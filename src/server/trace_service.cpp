@@ -20,7 +20,7 @@ TraceService::TraceService(const std::vector<std::string>& slogPaths,
     : options_(options),
       cache_(options.cacheBytes, options.cacheShards),
       pool_(options.workers, options.queueDepth) {
-  if (slogPaths.empty()) {
+  if (slogPaths.empty() && !options.allowNoTraces) {
     throw UsageError("TraceService needs at least one SLOG file");
   }
   traces_.reserve(slogPaths.size());
@@ -33,13 +33,47 @@ TraceService::TraceService(const std::vector<std::string>& slogPaths,
 
 TraceService::~TraceService() { pool_.shutdown(); }
 
+std::uint32_t TraceService::attachLiveFeed(const std::string& name,
+                                           LiveFeed* feed) {
+  if (feed == nullptr) throw UsageError("attachLiveFeed: null feed");
+  auto trace = std::make_unique<Trace>();
+  trace->feed = feed;
+  trace->name = name;
+  traces_.push_back(std::move(trace));
+  return static_cast<std::uint32_t>(traces_.size() - 1);
+}
+
 std::uint32_t TraceService::traceCount() const {
   return static_cast<std::uint32_t>(traces_.size());
+}
+
+bool TraceService::isLive(std::uint32_t traceId) const {
+  if (traceId >= traces_.size()) {
+    throw UsageError("unknown trace id " + std::to_string(traceId));
+  }
+  return traces_[traceId]->feed != nullptr;
+}
+
+LiveFeed& TraceService::liveFeed(std::uint32_t traceId) const {
+  if (!isLive(traceId)) {
+    throw UsageError("trace " + std::to_string(traceId) + " is not live");
+  }
+  return *traces_[traceId]->feed;
+}
+
+const std::string& TraceService::traceName(std::uint32_t traceId) const {
+  if (isLive(traceId)) return traces_[traceId]->name;
+  return traces_[traceId]->reader->path();
 }
 
 const SlogReader& TraceService::trace(std::uint32_t traceId) const {
   if (traceId >= traces_.size()) {
     throw UsageError("unknown trace id " + std::to_string(traceId));
+  }
+  if (traces_[traceId]->feed != nullptr) {
+    throw UsageError("live trace " + std::to_string(traceId) +
+                     ": this query needs the finished file; follow the "
+                     "run with TailFrames/TailMetrics instead");
   }
   return *traces_[traceId]->reader;
 }
@@ -47,6 +81,11 @@ const SlogReader& TraceService::trace(std::uint32_t traceId) const {
 TraceService::Trace& TraceService::traceSlot(std::uint32_t traceId) {
   if (traceId >= traces_.size()) {
     throw UsageError("unknown trace id " + std::to_string(traceId));
+  }
+  if (traces_[traceId]->feed != nullptr) {
+    throw UsageError("live trace " + std::to_string(traceId) +
+                     ": this query needs the finished file; follow the "
+                     "run with TailFrames/TailMetrics instead");
   }
   return *traces_[traceId];
 }
@@ -149,6 +188,22 @@ std::vector<SummaryEntry> TraceService::summary(std::uint32_t traceId,
 
 TraceService::MetricsBlob TraceService::metrics(std::uint32_t traceId,
                                                 std::uint32_t bins) {
+  if (isLive(traceId)) {
+    // The live blob's shape is fixed by the feed's bin width; a bin
+    // count cannot be honored, so any explicit request is refused and
+    // the default (0) serves whatever is sealed so far.
+    if (bins != 0) {
+      throw UsageError("live trace " + std::to_string(traceId) +
+                       ": bin count is fixed while the run is live");
+    }
+    LiveFeed::TailMetrics tail = liveFeed(traceId).metrics();
+    if (tail.blob.empty()) {
+      throw UsageError("live trace " + std::to_string(traceId) +
+                       ": no metrics sealed yet");
+    }
+    return std::make_shared<const std::vector<std::uint8_t>>(
+        std::move(tail.blob));
+  }
   Trace& slot = traceSlot(traceId);
   if (bins == 0) bins = kDefaultMetricsBins;
   if (bins > kMaxMetricsBins) {
@@ -168,6 +223,40 @@ TraceService::MetricsBlob TraceService::metrics(std::uint32_t traceId,
       std::make_shared<const std::vector<std::uint8_t>>(store.encode());
   slot.metricsByBins.emplace(bins, blob);
   return blob;
+}
+
+LiveFeed::TailFrames TraceService::tailFrames(std::uint32_t traceId,
+                                              std::uint64_t cursor,
+                                              std::uint32_t maxFrames) {
+  if (isLive(traceId)) return liveFeed(traceId).framesFrom(cursor, maxFrames);
+  const SlogReader& reader = trace(traceId);
+  const auto& index = reader.frameIndex();
+  LiveFeed::TailFrames out;
+  out.finished = true;
+  out.watermark = reader.totalEnd();
+  const std::uint64_t total = index.size();
+  const std::uint64_t from = std::min<std::uint64_t>(cursor, total);
+  const std::uint64_t to =
+      maxFrames == 0 ? total : std::min<std::uint64_t>(total, from + maxFrames);
+  out.frames.reserve(static_cast<std::size_t>(to - from));
+  for (std::uint64_t i = from; i < to; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    out.frames.emplace_back(index[idx], frame(traceId, idx));
+  }
+  out.nextCursor = to;
+  return out;
+}
+
+LiveFeed::TailMetrics TraceService::tailMetrics(std::uint32_t traceId) {
+  if (isLive(traceId)) return liveFeed(traceId).metrics();
+  LiveFeed::TailMetrics out;
+  out.finished = true;
+  const SlogReader& reader = trace(traceId);
+  out.watermark = reader.totalEnd();
+  const MetricsBlob blob = metrics(traceId, 0);
+  out.blob = *blob;
+  out.sealedBins = MetricsStore::decode(out.blob).bins();
+  return out;
 }
 
 FrameAtResult TraceService::frameAt(std::uint32_t traceId, Tick t) {

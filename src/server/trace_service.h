@@ -25,6 +25,7 @@
 #include "server/frame_cache.h"
 #include "server/worker_pool.h"
 #include "slog/slog_reader.h"
+#include "stream/live_feed.h"
 #include "support/thread_annotations.h"
 
 namespace ute {
@@ -34,6 +35,9 @@ struct ServiceOptions {
   std::size_t cacheShards = 8;
   std::size_t workers = 4;
   std::size_t queueDepth = 64;
+  /// Permit construction with zero SLOG paths — for a service whose only
+  /// trace will be a live feed attached right after (utestream --serve).
+  bool allowNoTraces = false;
 };
 
 /// Bin count used when a GetMetrics request passes bins = 0.
@@ -98,9 +102,21 @@ class TraceService {
   TraceService(const TraceService&) = delete;
   TraceService& operator=(const TraceService&) = delete;
 
+  /// Registers a live (still-being-written) trace backed by a LiveFeed
+  /// (not owned; must outlive the service) and returns its trace id.
+  /// Not thread-safe: attach before the first query arrives — the TCP
+  /// server attaches in its constructor, before the accept loop starts.
+  std::uint32_t attachLiveFeed(const std::string& name, LiveFeed* feed);
+
   std::uint32_t traceCount() const;
+  bool isLive(std::uint32_t traceId) const;
+  /// The feed behind a live trace; throws UsageError for file traces.
+  LiveFeed& liveFeed(std::uint32_t traceId) const;
+  /// The SLOG path of a file trace, or the live trace's display name.
+  const std::string& traceName(std::uint32_t traceId) const;
   /// Metadata access (immutable after construction). Throws UsageError
-  /// for an unknown id.
+  /// for an unknown id — and for a live trace, which has no reader; the
+  /// "live trace" message prefix maps to a kBadRequest wire error.
   const SlogReader& trace(std::uint32_t traceId) const;
 
   /// Cached frame fetch (the unit the cache works in).
@@ -118,6 +134,19 @@ class TraceService {
   using MetricsBlob = std::shared_ptr<const std::vector<std::uint8_t>>;
   MetricsBlob metrics(std::uint32_t traceId, std::uint32_t bins = 0);
 
+  /// Follow-the-cursor frame tailing (docs/STREAMING.md). For a live
+  /// trace this pages through the feed's sealed frames; for a file trace
+  /// it pages through the frame index (finished = true, watermark =
+  /// totalEnd), so one client loop handles both. Frames are append-only,
+  /// so resuming from the last returned cursor after a disconnect yields
+  /// every frame exactly once.
+  LiveFeed::TailFrames tailFrames(std::uint32_t traceId, std::uint64_t cursor,
+                                  std::uint32_t maxFrames);
+  /// The incrementally extended metrics blob of a live trace (bins below
+  /// the watermark are final); for a file trace, the default-bins blob
+  /// with every bin sealed.
+  LiveFeed::TailMetrics tailMetrics(std::uint32_t traceId);
+
   FrameCache& cache() { return cache_; }
   const FrameCache& cache() const { return cache_; }
   WorkerPool& pool() { return pool_; }
@@ -130,7 +159,9 @@ class TraceService {
 
  private:
   struct Trace {
-    std::unique_ptr<SlogReader> reader;
+    std::unique_ptr<SlogReader> reader;  ///< null for a live trace
+    LiveFeed* feed = nullptr;            ///< not owned; null for files
+    std::string name;                    ///< live display name
     /// Lazily computed encoded metrics stores, keyed by bin count. The
     /// mutex also serializes the (heavy) first computation per trace.
     Mutex metricsMu;

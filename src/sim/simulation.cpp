@@ -38,6 +38,18 @@ Simulation::Simulation(SimulationConfig config)
 
 Simulation::~Simulation() = default;
 
+void Simulation::setEventSink(EventSink sink) {
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (!sink) {
+      nodes_[n].session->setEventSink(nullptr);
+      continue;
+    }
+    const NodeId node = static_cast<NodeId>(n);
+    nodes_[n].session->setEventSink(
+        [sink, node](const RawEvent& ev) { sink(node, ev); });
+  }
+}
+
 void Simulation::setupThreads() {
   markerRegistries_.reserve(config_.processes.size());
   for (std::size_t p = 0; p < config_.processes.size(); ++p) {

@@ -112,6 +112,13 @@ class Simulation {
   /// Installs the MPI runtime. Required when any program contains MPI ops.
   void setMpiService(MpiService* service) { mpi_ = service; }
 
+  /// Mirrors every node session's cut records to `sink` with the node id
+  /// attached (TraceSession::setEventSink) — the live streaming ingest
+  /// taps the simulator here. Install before run(); the payload span is
+  /// only valid for the duration of each call.
+  using EventSink = std::function<void(NodeId, const RawEvent&)>;
+  void setEventSink(EventSink sink);
+
   /// Runs the whole simulation to completion and closes the trace files.
   void run();
 

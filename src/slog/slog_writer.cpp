@@ -62,14 +62,6 @@ SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
 
   // Pre-register every state deterministically: the Running default
   // state, each MPI routine, and one state per unified marker string.
-  const auto registerState = [&](std::uint32_t id, const std::string& name) {
-    SlogStateDef def;
-    def.id = id;
-    def.name = name;
-    def.rgb = kPalette[states_.size() % std::size(kPalette)];
-    stateIndex_.emplace(id, states_.size());
-    states_.push_back(std::move(def));
-  };
   registerState(static_cast<std::uint32_t>(kRunningState), "Running");
   registerState(static_cast<std::uint32_t>(EventType::kIoRead), "IoRead");
   registerState(static_cast<std::uint32_t>(EventType::kIoWrite), "IoWrite");
@@ -113,6 +105,16 @@ SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
   file_.write(table);
 }
 
+void SlogWriter::registerState(std::uint32_t id, const std::string& name) {
+  if (stateIndex_.find(id) != stateIndex_.end()) return;
+  SlogStateDef def;
+  def.id = id;
+  def.name = name;
+  def.rgb = kPalette[states_.size() % std::size(kPalette)];
+  stateIndex_.emplace(id, states_.size());
+  states_.push_back(std::move(def));
+}
+
 SlogWriter::~SlogWriter() {
   try {
     close();
@@ -148,14 +150,7 @@ void SlogWriter::addRecord(const RecordView& record) {
   if (record.eventType() == kClockSyncState) return;
 
   const std::uint32_t stateId = stateIdFor(record);
-  if (stateIndex_.find(stateId) == stateIndex_.end()) {
-    SlogStateDef def;
-    def.id = stateId;
-    def.name = "state" + std::to_string(stateId);
-    def.rgb = kPalette[states_.size() % std::size(kPalette)];
-    stateIndex_.emplace(stateId, states_.size());
-    states_.push_back(std::move(def));
-  }
+  registerState(stateId, "state" + std::to_string(stateId));
 
   maybeStartFrame(record.start);
 
@@ -244,12 +239,14 @@ void SlogWriter::maybeStartFrame(Tick) {
 
 void SlogWriter::appendInterval(const SlogInterval& interval) {
   encodeInterval(scratch_, frameBytes_, interval);
+  if (sealHook_) frameData_.intervals.push_back(interval);
   ++frameRecords_;
   ++intervalsWritten_;
 }
 
 void SlogWriter::appendArrow(const SlogArrow& arrow) {
   encodeArrow(scratch_, frameBytes_, arrow);
+  if (sealHook_) frameData_.arrows.push_back(arrow);
   ++frameRecords_;
   ++arrowsWritten_;
 }
@@ -264,6 +261,11 @@ void SlogWriter::finalizeFrame() {
   entry.timeEnd = std::max(maxEnd_, frameTimeStart_);
   file_.write(frameBytes_);
   index_.push_back(entry);
+  if (sealHook_) {
+    sealHook_(entry, std::make_shared<const SlogFrameData>(
+                         std::move(frameData_)));
+    frameData_ = SlogFrameData{};
+  }
   frameBytes_.clear();
   frameRecords_ = 0;
   frameTimeStart_ = entry.timeEnd;  // frames tile the run's time

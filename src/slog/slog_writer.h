@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "interval/profile.h"
@@ -35,6 +37,29 @@ class SlogWriter {
   void addRecord(const RecordView& record);
 
   void close();
+
+  /// Fired whenever a frame seals (its bytes hit the file and its index
+  /// entry exists), with the decoded frame contents as the shared
+  /// immutable handle the read side trades in. The live-ingest feed
+  /// (src/stream) taps sealed frames here so TailFrames can serve them
+  /// without reopening the growing file. Install before the first
+  /// addRecord; frames written earlier are not replayed.
+  using FrameSealHook =
+      std::function<void(const SlogFrameIndexEntry&, SlogFramePtr)>;
+  void setFrameSealHook(FrameSealHook hook) { sealHook_ = std::move(hook); }
+
+  /// Registers a state definition (id -> name, palette color by
+  /// registration order); ignored if `id` is already registered. The
+  /// streaming ingest uses this for marker states defined after
+  /// construction; addRecord() self-registers unknown ids with a
+  /// placeholder name.
+  void registerState(std::uint32_t id, const std::string& name);
+
+  /// State and thread tables as they stand (states grow as markers and
+  /// unknown ids register) — what a live query service serves while the
+  /// file is still being written.
+  const std::vector<SlogStateDef>& states() const { return states_; }
+  const std::vector<ThreadEntry>& threads() const { return threads_; }
 
   std::uint64_t intervalsWritten() const { return intervalsWritten_; }
   std::uint64_t arrowsWritten() const { return arrowsWritten_; }
@@ -72,6 +97,10 @@ class SlogWriter {
   PreviewAccumulator preview_;
 
   std::vector<std::uint8_t> frameBytes_;
+  /// Decoded twin of frameBytes_, accumulated only when a seal hook is
+  /// installed.
+  SlogFrameData frameData_;
+  FrameSealHook sealHook_;
   ByteWriter scratch_;  ///< reused per-record encode buffer
   std::uint32_t frameRecords_ = 0;
   Tick frameTimeStart_ = 0;

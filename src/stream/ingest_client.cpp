@@ -1,0 +1,82 @@
+#include "stream/ingest_client.h"
+
+#include <utility>
+
+#include "stream/ingest_protocol.h"
+#include "support/errors.h"
+
+namespace ute {
+
+IngestClient::IngestClient(const std::string& host, std::uint16_t port,
+                           NodeId node, std::size_t maxBatchBytes)
+    : socket_(TcpSocket::connectTo(host, port)),
+      node_(node),
+      maxBatchBytes_(maxBatchBytes == 0 ? 1 : maxBatchBytes) {
+  roundTrip(encodeIngestHello(node));
+}
+
+void IngestClient::roundTrip(const ByteWriter& message) {
+  if (closed_) throw UsageError("IngestClient: send after bye()");
+  sendMessage(socket_, message.view());
+  auto reply = recvMessage(socket_);
+  if (!reply) {
+    throw IoError("ingest server closed the connection mid-session");
+  }
+  std::string detail;
+  const IngestStatus status = decodeIngestReply(*reply, &detail);
+  if (status != IngestStatus::kOk) {
+    std::string what = "ingest rejected: ";
+    what += ingestStatusName(status);
+    if (!detail.empty()) {
+      what += ": ";
+      what += detail;
+    }
+    throw IngestError(status, what);
+  }
+}
+
+void IngestClient::sendThreads(const std::vector<ThreadEntry>& threads) {
+  flush();
+  roundTrip(encodeIngestThreads(threads));
+}
+
+void IngestClient::sendMarker(std::uint32_t id, const std::string& name) {
+  flush();
+  roundTrip(encodeIngestMarker(id, name));
+}
+
+void IngestClient::sendClockPairs(std::span<const TimestampPair> pairs,
+                                  bool final) {
+  flush();
+  roundTrip(encodeIngestClockPairs(pairs, final));
+}
+
+void IngestClient::sendRecords(
+    const std::vector<std::vector<std::uint8_t>>& bodies) {
+  flush();
+  if (bodies.empty()) return;
+  roundTrip(encodeIngestRecords(bodies));
+}
+
+void IngestClient::queueRecord(std::span<const std::uint8_t> body) {
+  batch_.emplace_back(body.begin(), body.end());
+  batchBytes_ += body.size();
+  if (batchBytes_ >= maxBatchBytes_) flush();
+}
+
+void IngestClient::flush() {
+  if (batch_.empty()) return;
+  std::vector<std::vector<std::uint8_t>> batch;
+  batch.swap(batch_);
+  batchBytes_ = 0;
+  roundTrip(encodeIngestRecords(batch));
+}
+
+void IngestClient::bye() {
+  flush();
+  roundTrip(encodeIngestBye());
+  closed_ = true;
+  socket_.close();
+}
+
+}  // namespace ute

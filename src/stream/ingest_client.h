@@ -1,0 +1,67 @@
+// Producer-side ingest session: one TCP connection shipping one node's
+// converted interval records to a utestream ingest server.
+//
+// Every send is a synchronous round trip — the method returns once the
+// server acked the message, so a caller that keeps calling sendRecords()
+// is automatically paced by the server's byte budget (backpressure is
+// the ack being withheld, not an error). A nonzero status reply throws
+// IngestError.
+//
+// queueRecord()/flush() batch small records into kRecords messages so
+// the per-message round trip amortizes across a few hundred records.
+//
+// Thread-compatibility: confined to one thread (one producer per node).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "clock/sync.h"
+#include "interval/file_writer.h"
+#include "server/tcp.h"
+#include "support/bytes.h"
+#include "support/types.h"
+
+namespace ute {
+
+class IngestClient {
+ public:
+  /// Connects and completes the hello round trip for `node`.
+  IngestClient(const std::string& host, std::uint16_t port, NodeId node,
+               std::size_t maxBatchBytes = 256 << 10);
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  NodeId node() const { return node_; }
+
+  void sendThreads(const std::vector<ThreadEntry>& threads);
+  void sendMarker(std::uint32_t id, const std::string& name);
+  void sendClockPairs(std::span<const TimestampPair> pairs, bool final);
+  /// Ships one kRecords batch immediately (flushes queued records first).
+  void sendRecords(const std::vector<std::vector<std::uint8_t>>& bodies);
+
+  /// Appends one record body to the pending batch; ships the batch when
+  /// it reaches maxBatchBytes.
+  void queueRecord(std::span<const std::uint8_t> body);
+  /// Ships the pending batch, if any.
+  void flush();
+
+  /// Flushes, sends kBye, waits for the ack, and closes the connection
+  /// (a destructor without bye() is an abort on the server side).
+  void bye();
+
+ private:
+  void roundTrip(const ByteWriter& message);
+
+  TcpSocket socket_;
+  NodeId node_ = 0;
+  std::size_t maxBatchBytes_;
+  std::vector<std::vector<std::uint8_t>> batch_;
+  std::size_t batchBytes_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ute

@@ -1,0 +1,389 @@
+#include "stream/ingest_server.h"
+
+#include <exception>
+#include <tuple>
+#include <utility>
+
+#include "support/errors.h"
+
+namespace ute {
+
+// --- ByteBudget -------------------------------------------------------------
+
+bool ByteBudget::acquire(std::size_t n) {
+  if (limit_ == 0) {  // unlimited
+    MutexLock lock(mu_);
+    return !closed_;
+  }
+  MutexLock lock(mu_);
+  // An oversize batch (n > limit_) is admitted alone once the budget is
+  // empty — blocking it forever would wedge the producer.
+  while (!closed_ && used_ > 0 && used_ + n > limit_) cv_.wait(mu_);
+  if (closed_) return false;
+  used_ += n;
+  return true;
+}
+
+void ByteBudget::release(std::size_t n) {
+  if (limit_ == 0) return;
+  MutexLock lock(mu_);
+  used_ -= n > used_ ? used_ : n;
+  cv_.notifyAll();
+}
+
+void ByteBudget::close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  cv_.notifyAll();
+}
+
+// --- IngestServer -----------------------------------------------------------
+
+IngestServer::IngestServer(const Profile& profile, IngestServerOptions options,
+                           LiveFeed* feed)
+    : profile_(profile),
+      options_(std::move(options)),
+      feed_(feed),
+      listener_(options_.port),
+      channel_(options_.channelCapacity == 0 ? 64 : options_.channelCapacity) {
+  if (options_.expectedNodes.empty()) {
+    throw UsageError("ingest server needs at least one expected node");
+  }
+  if (options_.outPath.empty()) {
+    throw UsageError("ingest server needs an output path");
+  }
+  merger_ = std::make_unique<StreamMerger>(profile_, options_.merge);
+  for (std::size_t i = 0; i < options_.expectedNodes.size(); ++i) {
+    merger_->addInput();
+    budgets_.push_back(
+        std::make_unique<ByteBudget>(options_.sessionBudgetBytes));
+  }
+  {
+    MutexLock lock(mu_);
+    claimed_.assign(options_.expectedNodes.size(), false);
+  }
+  mergeThread_ = std::thread(&IngestServer::mergeLoop, this);
+  acceptThread_ = std::thread(&IngestServer::acceptLoop, this);
+}
+
+IngestServer::~IngestServer() { stop(); }
+
+void IngestServer::stop() {
+  {
+    MutexLock lock(mu_);
+    stopped_ = true;
+    // Wake sessions blocked in recvMessage (their loops then exit and
+    // enqueue aborts — or find the channel closed below).
+    for (TcpSocket* s : liveSockets_) s->shutdownBoth();
+  }
+  listener_.close();
+  channel_.close();
+  for (auto& budget : budgets_) budget->close();
+  {
+    MutexLock lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  // The accept thread has exited, so no new session threads appear; the
+  // joins happen outside the lock because session teardown needs mu_.
+  std::vector<std::thread> sessions;
+  {
+    MutexLock lock(mu_);
+    sessions.swap(sessionThreads_);
+  }
+  for (auto& t : sessions) t.join();
+  if (mergeThread_.joinable()) mergeThread_.join();
+}
+
+StreamMergeResult IngestServer::wait() {
+  MutexLock lock(mu_);
+  while (!done_) doneCv_.wait(mu_);
+  if (!error_.empty()) throw FormatError(error_);
+  return result_;
+}
+
+void IngestServer::markDone(StreamMergeResult result, std::string error) {
+  MutexLock lock(mu_);
+  result_ = std::move(result);
+  error_ = std::move(error);
+  done_ = true;
+  doneCv_.notifyAll();
+}
+
+// --- accept + session threads -----------------------------------------------
+
+void IngestServer::acceptLoop() {
+  while (auto socket = listener_.accept()) {
+    MutexLock lock(mu_);
+    if (stopped_) break;
+    sessionThreads_.emplace_back(&IngestServer::serveSession, this,
+                                 std::move(*socket));
+  }
+}
+
+std::size_t IngestServer::claimNode(NodeId node) {
+  MutexLock lock(mu_);
+  if (stopped_ || done_) {
+    throw IngestError(IngestStatus::kShuttingDown, "run is over");
+  }
+  for (std::size_t i = 0; i < options_.expectedNodes.size(); ++i) {
+    if (options_.expectedNodes[i] != node) continue;
+    if (claimed_[i]) {
+      throw IngestError(IngestStatus::kBadRequest,
+                        "node " + std::to_string(node) +
+                            " already has (or had) a session");
+    }
+    claimed_[i] = true;
+    return i;
+  }
+  throw IngestError(
+      IngestStatus::kUnknownNode,
+      "node " + std::to_string(node) + " is not part of this run");
+}
+
+void IngestServer::serveSession(TcpSocket socket) {
+  if (options_.sessionTimeoutMs > 0) {
+    socket.setRecvTimeout(options_.sessionTimeoutMs);
+  }
+  {
+    MutexLock lock(mu_);
+    liveSockets_.push_back(&socket);
+  }
+  std::optional<std::size_t> input;
+  bool sawThreads = false;
+  bool sawBye = false;
+  try {
+    while (!sawBye) {
+      auto msg = recvMessage(socket);
+      if (!msg) break;  // clean EOF without kBye: disconnect -> abort
+      std::vector<std::uint8_t> reply;
+      bool fatal = false;
+      try {
+        const IngestOp op = peekIngestOp(*msg);
+        if (!input) {
+          if (op != IngestOp::kHello) {
+            throw IngestError(IngestStatus::kBadRequest,
+                              "first message must be the ingest hello");
+          }
+          input = claimNode(decodeIngestHello(*msg).node);
+        } else {
+          switch (op) {
+            case IngestOp::kHello:
+              throw IngestError(IngestStatus::kBadRequest, "duplicate hello");
+            case IngestOp::kThreads: {
+              if (sawThreads) {
+                throw IngestError(IngestStatus::kBadRequest,
+                                  "duplicate thread table");
+              }
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kThreads;
+              ev.input = *input;
+              ev.threads = decodeIngestThreads(*msg);
+              if (!channel_.send(std::move(ev))) {
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              sawThreads = true;
+              break;
+            }
+            case IngestOp::kMarker: {
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kMarker;
+              ev.input = *input;
+              std::tie(ev.markerId, ev.markerName) = decodeIngestMarker(*msg);
+              if (!channel_.send(std::move(ev))) {
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              break;
+            }
+            case IngestOp::kClockPairs: {
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kClockPairs;
+              ev.input = *input;
+              ev.clockPairs = decodeIngestClockPairs(*msg);
+              if (!channel_.send(std::move(ev))) {
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              break;
+            }
+            case IngestOp::kRecords: {
+              if (!sawThreads) {
+                throw IngestError(IngestStatus::kBadRequest,
+                                  "records before the thread table");
+              }
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kRecords;
+              ev.input = *input;
+              ev.records = decodeIngestRecords(*msg);
+              for (const auto& body : ev.records) ev.bytes += body.size();
+              // The ack below happens only after both gates pass, which
+              // is what makes the reply an explicit backpressure signal.
+              if (!budgets_[*input]->acquire(ev.bytes)) {
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              const std::size_t bytes = ev.bytes;
+              if (!channel_.send(std::move(ev))) {
+                budgets_[*input]->release(bytes);
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              break;
+            }
+            case IngestOp::kBye: {
+              SessionEvent ev;
+              ev.kind = SessionEvent::Kind::kClose;
+              ev.input = *input;
+              if (!channel_.send(std::move(ev))) {
+                throw IngestError(IngestStatus::kShuttingDown,
+                                  "ingest is shutting down");
+              }
+              sawBye = true;
+              break;
+            }
+            default:
+              throw IngestError(IngestStatus::kBadRequest,
+                                "unknown ingest op");
+          }
+        }
+        reply = encodeIngestReply(IngestStatus::kOk);
+      } catch (const IngestError& e) {
+        // Structured error reply before close — the client sees why, not
+        // a bare EOF. The session is over either way.
+        reply = encodeIngestReply(e.status(), e.what());
+        fatal = true;
+      }
+      sendMessage(socket, reply);
+      if (fatal) break;
+    }
+  } catch (const std::exception&) {
+    // Recv timeout, torn frame, or send failure: a disconnect.
+  }
+  if (input && !sawBye) {
+    SessionEvent ev;
+    ev.kind = SessionEvent::Kind::kAbort;
+    ev.input = *input;
+    channel_.send(std::move(ev));  // closed channel = merge already over
+  }
+  MutexLock lock(mu_);
+  for (auto it = liveSockets_.begin(); it != liveSockets_.end(); ++it) {
+    if (*it == &socket) {
+      liveSockets_.erase(it);
+      break;
+    }
+  }
+}
+
+// --- the merge thread -------------------------------------------------------
+
+void IngestServer::openOutputs() {
+  StreamMerger::RecordSink sink;
+  if (!options_.slogPath.empty()) {
+    sink = [this](const RecordView& record) { slog_->addRecord(record); };
+  }
+  merger_->openOutput(options_.outPath, std::move(sink));
+  if (feed_) feed_->setThreads(merger_->threads());
+  if (options_.slogPath.empty()) return;
+  slog_ = std::make_unique<SlogWriter>(options_.slogPath, options_.slog,
+                                       profile_, merger_->threads(),
+                                       merger_->markers());
+  if (feed_) {
+    feed_->setStates(slog_->states());
+    slog_->setFrameSealHook(
+        [this](const SlogFrameIndexEntry& entry, SlogFramePtr frame) {
+          feed_->onFrameSealed(entry, std::move(frame));
+          // Marker states can register mid-run; keep the snapshot fresh.
+          feed_->setStates(slog_->states());
+        });
+  }
+}
+
+void IngestServer::releaseBudgets(std::vector<std::size_t>& charge) {
+  for (std::size_t i = 0; i < charge.size(); ++i) {
+    const std::size_t buffered = merger_->bufferedBytes(i);
+    if (charge[i] > buffered) {
+      budgets_[i]->release(charge[i] - buffered);
+      charge[i] = buffered;
+    }
+  }
+}
+
+void IngestServer::mergeLoop() {
+  const std::size_t inputs = options_.expectedNodes.size();
+  std::vector<std::size_t> charge(inputs, 0);
+  std::size_t open = inputs;
+  std::size_t tables = 0;
+  try {
+    while (auto ev = channel_.receive()) {
+      const std::size_t i = ev->input;
+      switch (ev->kind) {
+        case SessionEvent::Kind::kThreads:
+          merger_->setThreads(i, ev->threads);
+          ++tables;
+          break;
+        case SessionEvent::Kind::kMarker:
+          merger_->addMarker(ev->markerId, ev->markerName);
+          if (slog_) {
+            slog_->registerState(kMarkerStateBase + ev->markerId,
+                                 ev->markerName);
+          }
+          break;
+        case SessionEvent::Kind::kClockPairs:
+          merger_->setClockPairs(i, ev->clockPairs.pairs,
+                                 ev->clockPairs.final);
+          break;
+        case SessionEvent::Kind::kRecords:
+          for (const auto& body : ev->records) merger_->addRecord(i, body);
+          charge[i] += ev->bytes;
+          break;
+        case SessionEvent::Kind::kClose:
+          merger_->closeInput(i);
+          --open;
+          break;
+        case SessionEvent::Kind::kAbort:
+          merger_->abortInput(i);
+          --open;
+          break;
+      }
+      if (!merger_->opened() && tables == inputs) openOutputs();
+      if (merger_->opened()) {
+        merger_->advance();
+        releaseBudgets(charge);
+        if (feed_) feed_->setWatermark(merger_->watermark());
+      }
+      if (open == 0) break;
+    }
+    if (open > 0) {
+      // The channel closed under us (stop()): whatever is still open is
+      // an abort, so the output closes cleanly.
+      for (std::size_t i = 0; i < inputs; ++i) {
+        if (merger_->inputOpen(i)) merger_->abortInput(i);
+      }
+    }
+    if (!merger_->opened()) {
+      if (tables == inputs) {
+        openOutputs();
+      } else {
+        throw FormatError(
+            "ingest ended before every node sent its thread table");
+      }
+    }
+    StreamMergeResult result = merger_->finish();
+    if (slog_) slog_->close();
+    if (feed_) {
+      const auto [start, end] = feed_->timeRange();
+      feed_->finish(start, end);
+    }
+    markDone(std::move(result), "");
+  } catch (const std::exception& e) {
+    markDone(StreamMergeResult{}, e.what());
+  }
+  // Late or blocked sessions must not hang on a finished merge.
+  channel_.close();
+  for (auto& budget : budgets_) budget->close();
+}
+
+}  // namespace ute

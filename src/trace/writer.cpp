@@ -67,6 +67,20 @@ void TraceSession::cut(EventType type, std::uint8_t flags, CpuId cpu,
   }
   lastLocalTs_ = localTs;
 
+  // The live-ingest mirror fires before the wrap/buffer bookkeeping:
+  // the sink sees full 64-bit time, so wrap records (skipped below via
+  // the type test) would be redundant on that path.
+  if (sink_ && type != EventType::kTimestampWrap) {
+    RawEvent ev;
+    ev.type = type;
+    ev.flags = flags;
+    ev.cpu = cpu;
+    ev.ltid = ltid;
+    ev.localTs = localTs;
+    ev.payload = payload;
+    sink_(ev);
+  }
+
   // The on-disk timestamp is one 32-bit word; emit a wrap record whenever
   // the high word advances so readers can rebuild 64-bit time.
   const auto highWord = static_cast<std::uint32_t>(localTs >> 32);

@@ -16,13 +16,16 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/bytes.h"
 #include "support/file_io.h"
 #include "support/types.h"
 #include "trace/events.h"
+#include "trace/reader.h"
 
 namespace ute {
 
@@ -76,6 +79,15 @@ class TraceSession {
     cut(type, flags, cpu, ltid, localTs, payload.view());
   }
 
+  /// Mirrors every record that passes the enablement test to `sink` as
+  /// a decoded RawEvent, in cut order — the live streaming ingest hook
+  /// (src/stream). TimestampWrap bookkeeping records are not mirrored
+  /// (the sink's localTs is already full 64-bit time, exactly like
+  /// TraceFileReader's reconstruction). The payload span is only valid
+  /// for the duration of the call.
+  using EventSink = std::function<void(const RawEvent&)>;
+  void setEventSink(EventSink sink) { sink_ = std::move(sink); }
+
   /// Delayed-start / section tracing control (Section 2.1).
   void traceOn() { tracingEnabled_ = true; }
   void traceOff() { tracingEnabled_ = false; }
@@ -104,6 +116,7 @@ class TraceSession {
   bool closed_ = false;
   std::uint32_t lastHighWord_ = 0;
   Tick lastLocalTs_ = 0;
+  EventSink sink_;
   TraceSessionStats stats_;
 };
 

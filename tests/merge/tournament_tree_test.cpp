@@ -54,6 +54,21 @@ TEST(LoserTree, EmptyRejected) {
   EXPECT_THROW(LoserTree<int>({}, 0), UsageError);
 }
 
+TEST(LoserTree, RefusesUpdateOnNonWinnerLeaf) {
+  // The replay path only competes against the stored losers — exactly
+  // the winner's candidate set. Updating any other leaf would silently
+  // drop the reigning winner (it is stored at no interior node), so the
+  // tree enforces the winner-only contract. Callers that need to move a
+  // non-winner's key (the streaming merge, when new records land on
+  // arbitrary inputs) must rebuild instead.
+  LoserTree<int> tree({1, 2, 3, 4}, 1 << 30);
+  ASSERT_EQ(tree.min(), 0u);
+  EXPECT_THROW(tree.update(3, 10), UsageError);
+  EXPECT_EQ(tree.min(), 0u);  // winner survives the refused update
+  tree.update(0, 5);          // winner update is the supported path
+  EXPECT_EQ(tree.min(), 1u);
+}
+
 class LoserTreeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(LoserTreeFuzzTest, MatchesStdSortOnRandomStreams) {

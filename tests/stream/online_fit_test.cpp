@@ -1,0 +1,149 @@
+// OnlineClockFit (docs/STREAMING.md): the windowed incremental re-fit a
+// live ingest session uses before it has seen a node's complete clock
+// record list. The property under test: for drifting clocks with
+// bounded jitter, the converged online ratio agrees with the batch
+// RMS-slope fit over the full pair list within a tight tolerance, and
+// the setFinalPairs() path reproduces the batch fit exactly.
+#include "stream/online_fit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "clock/clock_model.h"
+#include "support/rng.h"
+
+namespace ute {
+namespace {
+
+/// Periodic (global, local) readings of a clock drifting by `driftPpm`
+/// with up to `jitterNs` of one-sided sampling jitter on the local read.
+std::vector<TimestampPair> drift(double driftPpm, Tick offsetNs, int n,
+                                 std::uint64_t seed, Tick jitterNs = 0) {
+  LocalClockModel::Params params;
+  params.driftPpm = driftPpm;
+  params.offsetNs = offsetNs;
+  const LocalClockModel clock(params);
+  Rng rng(seed);
+  std::vector<TimestampPair> pairs;
+  for (int i = 0; i < n; ++i) {
+    const Tick t = static_cast<Tick>(i) * 10 * kMs;
+    TimestampPair p;
+    p.global = t;
+    p.local = clock.read(t) +
+              (jitterNs > 0 ? static_cast<Tick>(rng.below(jitterNs)) : 0);
+    pairs.push_back(p);
+  }
+  return pairs;
+}
+
+TEST(OnlineFit, ConvergedWindowedFitMatchesBatchFitProperty) {
+  // Jitter-free sweep under the default (tight) convergence tolerance:
+  // the windowed online fit must converge and land within 1e-6 relative
+  // of the batch RMS fit, with mapped timestamps sub-microsecond.
+  for (const double driftPpm : {-250.0, -40.0, 0.0, 15.0, 90.0, 400.0}) {
+    for (const std::uint64_t seed : {1u, 7u, 99u}) {
+      const auto pairs = drift(driftPpm, 350 * kUs, 300, seed);
+      OnlineClockFit online;
+      for (const TimestampPair& p : pairs) online.addPair(p);
+      ASSERT_TRUE(online.converged())
+          << "drift " << driftPpm << " seed " << seed;
+      const ClockMap batch = batchClockFit(pairs, SyncMethod::kRmsSegments,
+                                           /*filterOutliers=*/true, 5e-5);
+      EXPECT_NEAR(online.ratio(), batch.ratio(),
+                  1e-6 * std::abs(batch.ratio()))
+          << "drift " << driftPpm << " seed " << seed;
+      // And the mapped timestamps agree to sub-microsecond over the run.
+      for (const TimestampPair& p : pairs) {
+        const double a = static_cast<double>(online.map().toGlobal(p.local));
+        const double b = static_cast<double>(batch.toGlobal(p.local));
+        EXPECT_NEAR(a, b, 1000.0) << "drift " << driftPpm;
+      }
+    }
+  }
+}
+
+TEST(OnlineFit, JitteredPairsConvergeUnderMatchedTolerance) {
+  // With 200 ns of sampling jitter on 10 ms-spaced pairs, each windowed
+  // re-fit moves the ratio by ~jitter/windowSpan ≈ 3e-7 — forever above
+  // the default 1e-7 convergence tolerance. A deployment that knows its
+  // jitter budget picks the tolerance to match; the converged fit still
+  // tracks the batch fit to the same order as the jitter itself.
+  OnlineFitOptions options;
+  options.convergenceTolerance = 2e-6;
+  for (const double driftPpm : {-250.0, 0.0, 400.0}) {
+    for (const std::uint64_t seed : {1u, 7u, 99u}) {
+      const auto pairs =
+          drift(driftPpm, 350 * kUs, 300, seed, /*jitterNs=*/200);
+      OnlineClockFit online(options);
+      for (const TimestampPair& p : pairs) online.addPair(p);
+      ASSERT_TRUE(online.converged())
+          << "drift " << driftPpm << " seed " << seed;
+      const ClockMap batch = batchClockFit(pairs, SyncMethod::kRmsSegments,
+                                           /*filterOutliers=*/true, 5e-5);
+      EXPECT_NEAR(online.ratio(), batch.ratio(),
+                  2e-6 * std::abs(batch.ratio()))
+          << "drift " << driftPpm << " seed " << seed;
+      // Mapped disagreement is bounded by ratio error times the span.
+      for (const TimestampPair& p : pairs) {
+        const double a = static_cast<double>(online.map().toGlobal(p.local));
+        const double b = static_cast<double>(batch.toGlobal(p.local));
+        EXPECT_NEAR(a, b, 10'000.0) << "drift " << driftPpm;
+      }
+    }
+  }
+}
+
+TEST(OnlineFit, SetFinalPairsReproducesBatchFitExactly) {
+  const auto pairs = drift(120.0, 500 * kUs, 50, 3, /*jitterNs=*/500);
+  OnlineClockFit online;
+  // Feed a few online pairs first; setFinalPairs must discard them.
+  for (int i = 0; i < 10; ++i) online.addPair(pairs[i]);
+  online.setFinalPairs(pairs);
+  EXPECT_TRUE(online.frozen());
+  const ClockMap batch = batchClockFit(pairs, SyncMethod::kRmsSegments,
+                                       /*filterOutliers=*/true, 5e-5);
+  EXPECT_EQ(online.ratio(), batch.ratio());
+  for (const TimestampPair& p : pairs) {
+    EXPECT_EQ(online.map().toGlobal(p.local), batch.toGlobal(p.local));
+  }
+}
+
+TEST(OnlineFit, FewerThanTwoPairsIsIdentity) {
+  OnlineClockFit online;
+  EXPECT_EQ(online.ratio(), 1.0);
+  TimestampPair p;
+  p.global = 1000;
+  p.local = 2000;
+  online.addPair(p);
+  EXPECT_EQ(online.ratio(), 1.0);
+  EXPECT_FALSE(online.converged());  // below minPairs
+}
+
+TEST(OnlineFit, FrozenFitIgnoresFurtherPairs) {
+  const auto pairs = drift(80.0, 0, 40, 5);
+  OnlineClockFit online;
+  for (const TimestampPair& p : pairs) online.addPair(p);
+  online.freeze();
+  const double frozen = online.ratio();
+  // A wildly different clock after the freeze must not move the fit.
+  for (const TimestampPair& p : drift(-4000.0, 9 * kMs, 40, 6)) {
+    online.addPair(p);
+  }
+  EXPECT_EQ(online.ratio(), frozen);
+  EXPECT_TRUE(online.converged());  // frozen implies converged
+}
+
+TEST(OnlineFit, NoConvergenceVerdictBeforeMinPairs) {
+  OnlineFitOptions options;
+  options.minPairs = 16;
+  OnlineClockFit online(options);
+  const auto pairs = drift(10.0, 0, 15, 8);
+  for (const TimestampPair& p : pairs) online.addPair(p);
+  EXPECT_FALSE(online.converged());
+  EXPECT_EQ(online.pairCount(), 15u);
+}
+
+}  // namespace
+}  // namespace ute

@@ -395,6 +395,85 @@ TEST_F(CliTest, PipelineToolMatchesStagedToolsAndJobsAreDeterministic) {
   }
 }
 
+TEST_F(CliTest, StreamedRunIsByteIdenticalToBatchPipeline) {
+  // The streaming ingest acceptance gate (docs/STREAMING.md): a 4-node
+  // golden trace pushed through utestream's TCP ingest produces the same
+  // SLOG, merged interval file and .utm metrics — byte for byte — as the
+  // batch utepipeline + utemetrics chain.
+  auto [rc, out] = run(tool("utetrace") + " --workload sppm --timesteps 4 "
+                       "--dir " + *dir_ + " --name golden");
+  ASSERT_EQ(rc, 0) << out;
+  for (int n = 0; n < 4; ++n) {
+    ASSERT_TRUE(fs::exists(*dir_ + "/golden." + std::to_string(n) + ".utr"));
+  }
+  const std::string raws = *dir_ + "/golden.0.utr " + *dir_ +
+                           "/golden.1.utr " + *dir_ + "/golden.2.utr " +
+                           *dir_ + "/golden.3.utr";
+
+  std::tie(rc, out) = run(tool("utepipeline") + " --out " + *dir_ +
+                          "/gold --profile " + *dir_ + "/profile.ute " +
+                          raws);
+  ASSERT_EQ(rc, 0) << out;
+  std::tie(rc, out) = run(tool("utemetrics") + " --slog " + *dir_ +
+                          "/gold.slog --out " + *dir_ + "/gold.utm");
+  ASSERT_EQ(rc, 0) << out;
+
+  std::tie(rc, out) = run(tool("utestream") + " --out " + *dir_ +
+                          "/live --profile " + *dir_ + "/profile.ute " +
+                          raws);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("merged"), std::string::npos);
+
+  for (const char* pair : {"slog", "merged.uti", "utm"}) {
+    const auto cmp = run("cmp " + *dir_ + "/gold." + pair + " " + *dir_ +
+                         "/live." + pair);
+    EXPECT_EQ(cmp.first, 0) << "streamed ." << pair
+                            << " differs from batch: " << cmp.second;
+  }
+}
+
+TEST_F(CliTest, UtetailFollowsAFileIntoAListeningUtestream) {
+  // utetail --once against the already-complete two-node fixture, into a
+  // `utestream --listen` ingest: the decoupled producer path.
+  const std::string portFile = *dir_ + "/ingest.port";
+  const std::string logFile = *dir_ + "/utestream.log";
+  ASSERT_EQ(std::system((tool("utestream") + " --out " + *dir_ +
+                         "/tailed --listen --nodes 0,1 --profile " + *dir_ +
+                         "/profile.ute --ingest-port-file " + portFile +
+                         " > " + logFile + " 2>&1 &")
+                            .c_str()),
+            0);
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(portFile);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "utestream never wrote its ingest port";
+
+  for (int n = 0; n < 2; ++n) {
+    const auto [rc, out] =
+        run(tool("utetail") + " " + *dir_ + "/run." + std::to_string(n) +
+            ".utr --connect 127.0.0.1:" + port + " --once");
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("streamed"), std::string::npos);
+  }
+
+  // The listener finishes once both nodes said bye.
+  std::string log;
+  for (int i = 0; i < 200; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream in(logFile);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    log = ss.str();
+    if (log.find("wrote") != std::string::npos) break;
+  }
+  EXPECT_NE(log.find("merged"), std::string::npos) << log;
+  EXPECT_TRUE(fs::exists(*dir_ + "/tailed.slog"));
+  EXPECT_TRUE(fs::exists(*dir_ + "/tailed.utm"));
+}
+
 TEST_F(CliTest, ToolsFailCleanlyOnBadInput) {
   auto [rc, out] = run(tool("uteconvert") + " /no/such/file.utr");
   EXPECT_NE(rc, 0);

@@ -5,15 +5,18 @@ Checks the cross-cutting conventions that neither the compiler nor
 clang-tidy can express (see docs/STATIC_ANALYSIS.md):
 
   raw-io        fopen/open/mmap/munmap are confined to src/support — every
-                other layer reads files through FileReader / ByteSource so
-                bounds checking, pooling and error context live in one place.
+                other layer (including the streaming ingest in src/stream)
+                reads files through FileReader / ByteSource so bounds
+                checking, pooling and error context live in one place.
   io-context    every `throw IoError(...)` in file-I/O code and every
                 `throw CorruptFileError(...)` carries ioContext(path[, off])
                 so failures name the file and byte that caused them.
   raw-mutex     no std::mutex / std::condition_variable / std::lock_guard /
                 std::unique_lock / std::scoped_lock outside
                 src/support/thread_annotations.h — raw primitives are
-                invisible to Clang's thread-safety analysis.
+                invisible to Clang's thread-safety analysis. Enforced
+                across src/ (the ingest server and live feed included),
+                tools/, and bench/.
   ts-escape     every UTE_NO_THREAD_SAFETY_ANALYSIS carries a justification
                 comment on the preceding line(s).
   bench-determinism
@@ -142,7 +145,7 @@ class Linter:
         r"|#include\s+<condition_variable>")
 
     def check_raw_mutex(self) -> None:
-        for subdir in ("src", "tools"):
+        for subdir in ("src", "tools", "bench"):
             for path in self.files(subdir):
                 if path.name == "thread_annotations.h":
                     continue
@@ -156,7 +159,7 @@ class Linter:
 
     # ---- ts-escape ------------------------------------------------------
     def check_ts_escape(self) -> None:
-        for subdir in ("src", "tools"):
+        for subdir in ("src", "tools", "bench"):
             for path in self.files(subdir):
                 if path.name == "thread_annotations.h":
                     continue
