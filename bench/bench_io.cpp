@@ -56,7 +56,8 @@ namespace {
 
 using namespace ute;
 
-std::string gSlog;
+std::string gSlog;      // columnar v2 (the default encoding)
+std::string gSlogV1;    // the same trace written row-major v1
 std::uint64_t gSlogBytes = 0;
 
 double mbPerSec(std::uint64_t bytes, double seconds) {
@@ -71,6 +72,28 @@ std::uint64_t readAllFrames(const SlogReader& reader) {
     intervals += reader.readFrame(f)->intervals.size();
   }
   return intervals;
+}
+
+/// Full decode counting every record (intervals + arrows) — the unit the
+/// encoding sweep's records/s figure is in.
+std::uint64_t decodeAllRecords(const SlogReader& reader) {
+  std::uint64_t records = 0;
+  for (std::size_t f = 0; f < reader.frameIndex().size(); ++f) {
+    const SlogFramePtr frame = reader.readFrame(f);
+    records += frame->intervals.size() + frame->arrows.size();
+  }
+  return records;
+}
+
+/// Sum of the index's encoded frame payload sizes (header, thread table,
+/// index, state table and preview excluded — the part the encoding
+/// actually changes).
+std::uint64_t totalFrameBytes(const SlogReader& reader) {
+  std::uint64_t bytes = 0;
+  for (const SlogFrameIndexEntry& e : reader.frameIndex()) {
+    bytes += e.sizeBytes;
+  }
+  return bytes;
 }
 
 /// XOR-folds the whole file through the given scan strategy. The source
@@ -158,6 +181,68 @@ void printSweep() {
     const ByteSource probe(gSlog);
     gSlogBytes = probe.size();
   }
+
+  // The same simulated trace written row-major (v1) — the encoding sweep
+  // compares bytes/record and decode speed against the columnar default.
+  PipelineOptions v1Options = options;
+  v1Options.name = "io_v1";
+  v1Options.slog.formatVersion = 1;
+  gSlogV1 = runPipeline(testProgram(workload), v1Options).slogFile;
+
+  std::printf("=== I/O: frame encoding, row v1 vs columnar v2 ===\n");
+  std::printf("%10s %14s %10s %12s %16s\n", "encoding", "frame bytes",
+              "records", "bytes/rec", "decode rec/s");
+  struct EncodingPoint {
+    const char* encoding;
+    std::uint64_t frameBytes = 0;
+    std::uint64_t records = 0;
+    double decodeSeconds = 0;
+  };
+  std::vector<EncodingPoint> encodings;
+  std::uint64_t checksum = 0;
+  for (const auto& [name, path] :
+       {std::pair<const char*, const std::string*>{"row-v1", &gSlogV1},
+        {"columnar-v2", &gSlog}}) {
+    const SlogReader reader(*path);
+    EncodingPoint p;
+    p.encoding = name;
+    p.frameBytes = totalFrameBytes(reader);
+    p.records = decodeAllRecords(reader);  // warm: page cache + checksum
+    // Best of five full decodes, so the records/s figure is the decode
+    // loop, not a scheduler hiccup.
+    p.decodeSeconds = 1e9;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = benchutil::now();
+      const std::uint64_t got = decodeAllRecords(reader);
+      p.decodeSeconds = std::min(p.decodeSeconds, benchutil::secondsSince(t0));
+      if (got != p.records) {
+        std::fprintf(stderr, "decode repeated differently!\n");
+        std::exit(1);
+      }
+    }
+    if (encodings.empty()) {
+      checksum = p.records;
+    } else if (p.records != checksum) {
+      std::fprintf(stderr, "v1 and v2 decoded different record counts!\n");
+      std::exit(1);
+    }
+    std::printf("%10s %14s %10s %12.2f %16s\n", p.encoding,
+                withCommas(p.frameBytes).c_str(),
+                withCommas(p.records).c_str(),
+                static_cast<double>(p.frameBytes) /
+                    static_cast<double>(p.records),
+                withCommas(static_cast<std::uint64_t>(
+                               static_cast<double>(p.records) /
+                               p.decodeSeconds))
+                    .c_str());
+    encodings.push_back(p);
+  }
+  const double v2Ratio =
+      static_cast<double>(encodings[1].frameBytes) /
+      static_cast<double>(encodings[0].frameBytes);
+  std::printf("v2/v1 bytes per record: %.3fx %s\n\n", v2Ratio,
+              v2Ratio <= 0.6 ? "(<= 0.6x, as required)"
+                             : "(V2 LARGER THAN THE 0.6x BOUND)");
 
   std::printf("=== I/O: frame reads, mmap vs stdio fallback ===\n");
   std::printf("(%s byte SLOG)\n", withCommas(gSlogBytes).c_str());
@@ -258,8 +343,32 @@ void printSweep() {
   }
   std::fprintf(json,
                "{\n  \"workload\": \"test program, 4 nodes\",\n"
-               "  \"slog_bytes\": %llu,\n  \"frame_reads\": [\n",
+               "  \"caveat\": \"1-CPU container: decode rates are "
+               "single-core figures\",\n"
+               "  \"slog_bytes\": %llu,\n  \"encoding_sweep\": [\n",
                static_cast<unsigned long long>(gSlogBytes));
+  for (std::size_t i = 0; i < encodings.size(); ++i) {
+    const EncodingPoint& p = encodings[i];
+    std::fprintf(json,
+                 "    {\"encoding\": \"%s\", \"frame_bytes\": %llu, "
+                 "\"records\": %llu, \"bytes_per_record\": %.3f, "
+                 "\"decode_records_per_second\": %.1f}%s\n",
+                 p.encoding, static_cast<unsigned long long>(p.frameBytes),
+                 static_cast<unsigned long long>(p.records),
+                 static_cast<double>(p.frameBytes) /
+                     static_cast<double>(p.records),
+                 static_cast<double>(p.records) / p.decodeSeconds,
+                 i + 1 < encodings.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n  \"v2_over_v1_bytes_per_record\": %.4f,\n"
+               "  \"v2_within_0_6x_of_v1\": %s,\n"
+               "  \"vectorization_note\": \"columnar decode and the metrics "
+               "kernels are width-agnostic per-field loops (src/slog/"
+               "kernels.h, slog_codec.cpp transpose passes) written so the "
+               "compiler autovectorizes them; no intrinsics\",\n"
+               "  \"frame_reads\": [\n",
+               v2Ratio, v2Ratio <= 0.6 ? "true" : "false");
   for (std::size_t i = 0; i < frameReads.size(); ++i) {
     const FrameReadPoint& p = frameReads[i];
     std::fprintf(json,
@@ -288,6 +397,19 @@ void printSweep() {
   std::fclose(json);
   std::printf("wrote BENCH_io.json\n\n");
 }
+
+void BM_DecodeByEncoding(benchmark::State& state) {
+  // Arg 0 = row v1, Arg 1 = columnar v2 — the same trace either way.
+  const SlogReader reader(state.range(0) == 0 ? gSlogV1 : gSlog);
+  decodeAllRecords(reader);  // page cache warm-up
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    records += decodeAllRecords(reader);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_DecodeByEncoding)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FrameReadWarm(benchmark::State& state) {
   const SlogReader reader(

@@ -21,7 +21,8 @@ namespace {
 
 using namespace ute;
 
-std::string gSlog;
+std::string gSlog;    // columnar v2 (the default encoding)
+std::string gSlogV1;  // the same trace written row-major v1
 std::uint64_t gRecords = 0;
 
 struct SweepPoint {
@@ -43,6 +44,58 @@ void printSweep() {
   const PipelineResult run = runPipeline(testProgram(workload), options);
   gSlog = run.slogFile;
   gRecords = run.merge.recordsOut;
+
+  PipelineOptions v1Options = options;
+  v1Options.name = "metrics_v1";
+  v1Options.slog.formatVersion = 1;
+  gSlogV1 = runPipeline(testProgram(workload), v1Options).slogFile;
+
+  // Encoding sweep: the metrics scan over the same trace stored row v1
+  // vs columnar v2 — the .utm bytes must be identical either way (the
+  // encoding may change speed, never results).
+  std::printf("=== Metrics engine: encoding sweep (240 bins, 1 job) ===\n");
+  std::printf("%12s %10s %14s %10s\n", "encoding", "seconds", "records/s",
+              "identical");
+  struct EncodingPoint {
+    const char* encoding;
+    double seconds = 0;
+    bool identical = true;
+  };
+  std::vector<EncodingPoint> encodingPoints;
+  std::vector<std::uint8_t> utmReference;
+  for (const auto& [name, path] :
+       {std::pair<const char*, const std::string*>{"row-v1", &gSlogV1},
+        {"columnar-v2", &gSlog}}) {
+    SlogReader encReader(*path);
+    MetricsOptions metricsOptions;
+    metricsOptions.bins = 240;
+    computeMetrics(encReader, metricsOptions);  // warm the page cache
+    EncodingPoint p;
+    p.encoding = name;
+    p.seconds = 1e9;
+    std::vector<std::uint8_t> utm;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = benchutil::now();
+      const MetricsStore store = computeMetrics(encReader, metricsOptions);
+      p.seconds = std::min(p.seconds, benchutil::secondsSince(t0));
+      utm = store.encode();
+    }
+    if (utmReference.empty()) {
+      utmReference = utm;
+    } else {
+      p.identical = utm == utmReference;
+    }
+    std::printf("%12s %10.4f %14s %10s\n", p.encoding, p.seconds,
+                withCommas(p.seconds == 0
+                               ? 0
+                               : static_cast<std::uint64_t>(
+                                     static_cast<double>(gRecords) /
+                                     p.seconds))
+                    .c_str(),
+                p.identical ? "yes" : "NO");
+    encodingPoints.push_back(p);
+  }
+  std::printf("\n");
 
   // At least 4 workers even on small machines, so the parallel path and
   // its byte-identity check always run.
@@ -97,8 +150,23 @@ void printSweep() {
   }
   std::fprintf(json,
                "{\n  \"workload\": \"test program, 4 nodes\",\n"
-               "  \"records\": %llu,\n  \"points\": [\n",
+               "  \"caveat\": \"1-CPU container: records/s figures are "
+               "single-core\",\n"
+               "  \"records\": %llu,\n  \"encoding_points\": [\n",
                static_cast<unsigned long long>(gRecords));
+  for (std::size_t i = 0; i < encodingPoints.size(); ++i) {
+    const EncodingPoint& p = encodingPoints[i];
+    std::fprintf(json,
+                 "    {\"encoding\": \"%s\", \"bins\": 240, \"jobs\": 1, "
+                 "\"seconds\": %.6f, \"records_per_second\": %.1f, "
+                 "\"utm_identical_across_encodings\": %s}%s\n",
+                 p.encoding, p.seconds,
+                 p.seconds == 0 ? 0.0
+                                : static_cast<double>(gRecords) / p.seconds,
+                 p.identical ? "true" : "false",
+                 i + 1 < encodingPoints.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"points\": [\n");
   for (std::size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
     std::fprintf(

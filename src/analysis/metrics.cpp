@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "interval/field.h"
+#include "slog/kernels.h"
 #include "support/errors.h"
 #include "support/file_io.h"
 #include "support/thread_pool.h"
@@ -100,9 +101,7 @@ Tick MetricsStore::binEnd(std::uint32_t b) const {
 }
 
 std::uint32_t MetricsStore::binOf(Tick t) const {
-  if (t <= origin_) return 0;
-  return static_cast<std::uint32_t>(
-      std::min<std::uint64_t>((t - origin_) / binWidth_, bins_ - 1));
+  return kernels::binOf(t, origin_, binWidth_, bins_);
 }
 
 int MetricsStore::taskIndexOf(NodeId node, LogicalThreadId thread) const {
@@ -173,14 +172,49 @@ void MetricsStore::addFrame(const SlogFrameData& frame) {
     }
   }
 
+  // Two-pass interval accumulation over staged lanes (the columnar-frame
+  // fast path): pass one filters (pseudo, zero-length, unclassified,
+  // unattributed) and resolves (node, thread) -> task with a one-entry
+  // memo — merged records cluster by thread, so most lookups are the
+  // previous key — into dense same-typed columns; pass two accumulates
+  // from the lanes, taking a single add for the common interval that
+  // lies wholly inside one bin and falling back to spread() only when it
+  // genuinely straddles bins. Cell sums are the exact same integers in
+  // the same cells as the record-at-a-time path, so `.utm` output stays
+  // byte-identical.
+  laneClass_.clear();
+  laneTask_.clear();
+  laneStart_.clear();
+  laneDura_.clear();
+  std::uint64_t memoKey = 0;
+  int memoTask = -1;
+  bool haveMemo = false;
   for (const SlogInterval& r : frame.intervals) {
-    if (r.pseudo) continue;
+    if (r.pseudo || r.dura == 0) continue;
     StateClass c;
     if (!classifyState(r.stateId, c)) continue;
-    const int task = taskIndexOf(r.node, r.thread);
-    if (task < 0) continue;
-    spread(timeNs_[static_cast<std::size_t>(c)],
-           static_cast<std::uint32_t>(task), r.start, r.dura);
+    const std::uint64_t key = threadKey(r.node, r.thread);
+    if (!haveMemo || key != memoKey) {
+      memoTask = taskIndexOf(r.node, r.thread);
+      memoKey = key;
+      haveMemo = true;
+    }
+    if (memoTask < 0) continue;
+    laneClass_.push_back(static_cast<std::uint8_t>(c));
+    laneTask_.push_back(static_cast<std::uint32_t>(memoTask));
+    laneStart_.push_back(r.start);
+    laneDura_.push_back(r.dura);
+  }
+  for (std::size_t i = 0; i < laneTask_.size(); ++i) {
+    const Tick lo = std::max<Tick>(laneStart_[i], origin_);
+    const Tick end = std::max<Tick>(laneStart_[i] + laneDura_[i], lo);
+    const std::uint32_t b = kernels::binOf(lo, origin_, binWidth_, bins_);
+    std::vector<std::uint64_t>& grid = timeNs_[laneClass_[i]];
+    if (b + 1 >= bins_ || end <= binStart(b + 1)) {
+      grid[cell(b, laneTask_[i])] += end - lo;
+    } else {
+      spread(grid, laneTask_[i], laneStart_[i], laneDura_[i]);
+    }
   }
 
   for (const SlogArrow& a : frame.arrows) {

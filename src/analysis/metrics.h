@@ -174,6 +174,14 @@ class MetricsStore {
   std::vector<std::uint64_t> recvCount_;
   std::vector<std::uint64_t> recvBytes_;
   std::vector<std::uint64_t> lateSenderNs_;
+
+  /// addFrame() staging lanes (capacity reused across frames): the
+  /// filter/classify pass fills these dense columns, the accumulation
+  /// pass runs over them kernel-style (src/slog/kernels.h).
+  std::vector<std::uint8_t> laneClass_;
+  std::vector<std::uint32_t> laneTask_;
+  std::vector<std::uint64_t> laneStart_;
+  std::vector<std::uint64_t> laneDura_;
 };
 
 /// An empty store shaped for `reader`'s run (time range + thread table).

@@ -23,15 +23,27 @@ TraceClient::TraceClient(const std::string& host, std::uint16_t port)
     }
   } catch (const ServiceError& e) {
     if (e.code() != ErrorCode::kBadVersion) throw;
-    // Deterministic mismatch — retrying cannot help; annotate instead.
-    std::string message = e.what();
-    const std::string prefix = std::string(errorCodeName(e.code())) + ": ";
-    if (message.rfind(prefix, 0) == 0) message = message.substr(prefix.size());
-    throw ServiceError(e.code(),
-                       message + " (this client speaks version " +
-                           std::to_string(kProtocolVersion) + ")");
+    // A pre-v2 server rejects the v2 hello outright; fall back to the
+    // exact v1 handshake (row-encoded frames) before giving up.
+    try {
+      reply = decodeHelloReply(roundTrip(encodeLegacyHelloRequest().view()));
+      reply.frameEncoding = FrameEncoding::kRow;
+    } catch (const ServiceError& legacyErr) {
+      // Deterministic mismatch — retrying cannot help; annotate instead.
+      std::string message = legacyErr.what();
+      const std::string prefix =
+          std::string(errorCodeName(legacyErr.code())) + ": ";
+      if (message.rfind(prefix, 0) == 0) {
+        message = message.substr(prefix.size());
+      }
+      throw ServiceError(legacyErr.code(),
+                         message + " (this client speaks versions " +
+                             std::to_string(kMinProtocolVersion) + ".." +
+                             std::to_string(kProtocolVersion) + ")");
+    }
   }
   traceCount_ = reply.traceCount;
+  frameEncoding_ = reply.frameEncoding;
 }
 
 std::vector<std::uint8_t> TraceClient::roundTrip(
@@ -65,12 +77,13 @@ SlogPreview TraceClient::preview(std::uint32_t traceId) {
 WindowResult TraceClient::window(std::uint32_t traceId,
                                  const WindowQuery& query) {
   return decodeWindowReply(
-      roundTrip(encodeWindowRequest(traceId, query).view()));
+      roundTrip(encodeWindowRequest(traceId, query).view()),
+      frameEncoding_);
 }
 
 FrameReply TraceClient::frameAt(std::uint32_t traceId, Tick t) {
   return decodeFrameAtReply(
-      roundTrip(encodeFrameAtRequest(traceId, t).view()));
+      roundTrip(encodeFrameAtRequest(traceId, t).view()), frameEncoding_);
 }
 
 std::vector<SummaryEntry> TraceClient::summary(std::uint32_t traceId,
@@ -89,7 +102,8 @@ TailFramesReply TraceClient::tailFrames(std::uint32_t traceId,
                                         std::uint64_t cursor,
                                         std::uint32_t maxFrames) {
   return decodeTailFramesReply(
-      roundTrip(encodeTailFramesRequest(traceId, cursor, maxFrames).view()));
+      roundTrip(encodeTailFramesRequest(traceId, cursor, maxFrames).view()),
+      frameEncoding_);
 }
 
 TailMetricsReply TraceClient::tailMetrics(std::uint32_t traceId) {

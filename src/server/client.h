@@ -24,6 +24,9 @@ class TraceClient {
   TraceClient(const std::string& host, std::uint16_t port);
 
   std::uint32_t traceCount() const { return traceCount_; }
+  /// The frame encoding negotiated in hello (columnar against a v2
+  /// server, row against a v1 server).
+  FrameEncoding frameEncoding() const { return frameEncoding_; }
 
   TraceInfo info(std::uint32_t traceId);
   std::vector<SlogStateDef> states(std::uint32_t traceId);
@@ -54,6 +57,7 @@ class TraceClient {
  private:
   TcpSocket socket_;
   std::uint32_t traceCount_ = 0;
+  FrameEncoding frameEncoding_ = FrameEncoding::kRow;
 };
 
 }  // namespace ute

@@ -70,17 +70,33 @@ SlogArrow takeArrow(ByteReader& r) {
 }
 
 /// Span-based so callers serialize straight from a shared frame or a
-/// WindowResult without assembling a temporary SlogFrameData.
+/// WindowResult without assembling a temporary SlogFrameData. A row
+/// connection gets the exact v1 layout; a columnar connection gets a
+/// u32 blob length + the v2 columnar frame payload.
 void putFrameData(ByteWriter& w, std::span<const SlogInterval> intervals,
-                  std::span<const SlogArrow> arrows) {
+                  std::span<const SlogArrow> arrows,
+                  FrameEncoding enc = FrameEncoding::kRow) {
+  if (enc == FrameEncoding::kColumnar) {
+    std::vector<std::uint8_t> blob;
+    encodeColumnarFrame(intervals, arrows, blob);
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.bytes(blob);
+    return;
+  }
   w.u32(static_cast<std::uint32_t>(intervals.size()));
   for (const SlogInterval& r : intervals) putInterval(w, r);
   w.u32(static_cast<std::uint32_t>(arrows.size()));
   for (const SlogArrow& a : arrows) putArrow(w, a);
 }
 
-SlogFrameData takeFrameData(ByteReader& r) {
+SlogFrameData takeFrameData(ByteReader& r,
+                            FrameEncoding enc = FrameEncoding::kRow) {
   SlogFrameData data;
+  if (enc == FrameEncoding::kColumnar) {
+    const std::uint32_t blobLen = r.u32();
+    decodeColumnarFrame(r.bytes(blobLen), data, " (wire frame)");
+    return data;
+  }
   const std::uint32_t nIntervals = r.u32();
   data.intervals.reserve(nIntervals);
   for (std::uint32_t i = 0; i < nIntervals; ++i) {
@@ -115,11 +131,20 @@ ByteWriter okHeader() {
 
 // --- request encoding -------------------------------------------------------
 
-ByteWriter encodeHelloRequest() {
+ByteWriter encodeHelloRequest(std::uint8_t accept) {
   ByteWriter w;
   putOpcode(w, Opcode::kHello);
   w.u32(kQueryMagic);
   w.u16(kProtocolVersion);
+  w.u8(accept);
+  return w;
+}
+
+ByteWriter encodeLegacyHelloRequest() {
+  ByteWriter w;
+  putOpcode(w, Opcode::kHello);
+  w.u32(kQueryMagic);
+  w.u16(kMinProtocolVersion);
   return w;
 }
 
@@ -208,6 +233,11 @@ HelloReply decodeHelloReply(std::span<const std::uint8_t> payload) {
   HelloReply reply;
   reply.version = r.u16();
   reply.traceCount = r.u32();
+  // A v1 server's reply ends here; a v2 reply appends the chosen
+  // frame encoding.
+  if (reply.version >= 2 && !r.atEnd()) {
+    reply.frameEncoding = static_cast<FrameEncoding>(r.u8());
+  }
   return reply;
 }
 
@@ -274,18 +304,20 @@ SlogPreview decodePreviewReply(std::span<const std::uint8_t> payload) {
   return preview;
 }
 
-WindowResult decodeWindowReply(std::span<const std::uint8_t> payload) {
+WindowResult decodeWindowReply(std::span<const std::uint8_t> payload,
+                               FrameEncoding enc) {
   ByteReader r = openReply(payload);
   WindowResult result;
   result.t0 = r.u64();
   result.t1 = r.u64();
-  SlogFrameData data = takeFrameData(r);
+  SlogFrameData data = takeFrameData(r, enc);
   result.intervals = std::move(data.intervals);
   result.arrows = std::move(data.arrows);
   return result;
 }
 
-FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload) {
+FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload,
+                              FrameEncoding enc) {
   ByteReader r = openReply(payload);
   FrameReply reply;
   reply.frameIdx = r.u32();
@@ -294,7 +326,7 @@ FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload) {
   reply.entry.records = r.u32();
   reply.entry.timeStart = r.u64();
   reply.entry.timeEnd = r.u64();
-  reply.data = takeFrameData(r);
+  reply.data = takeFrameData(r, enc);
   return reply;
 }
 
@@ -336,7 +368,8 @@ MetricsStore decodeMetricsReply(std::span<const std::uint8_t> payload) {
   return MetricsStore::decode(payload.subspan(r.pos()));
 }
 
-TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload) {
+TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload,
+                                      FrameEncoding enc) {
   ByteReader r = openReply(payload);
   TailFramesReply reply;
   reply.nextCursor = r.u64();
@@ -351,7 +384,7 @@ TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload) {
     f.entry.records = r.u32();
     f.entry.timeStart = r.u64();
     f.entry.timeEnd = r.u64();
-    f.data = takeFrameData(r);
+    f.data = takeFrameData(r, enc);
     reply.frames.push_back(std::move(f));
   }
   return reply;
@@ -383,7 +416,8 @@ std::vector<std::uint8_t> encodeErrorReply(ErrorCode code,
 namespace {
 
 RequestOutcome dispatch(TraceService& service,
-                        std::span<const std::uint8_t> payload) {
+                        std::span<const std::uint8_t> payload,
+                        ConnectionContext& ctx) {
   ByteReader r(payload);
   const auto op = static_cast<Opcode>(r.u8());
   RequestOutcome outcome;
@@ -392,16 +426,45 @@ RequestOutcome dispatch(TraceService& service,
     case Opcode::kHello: {
       const std::uint32_t magic = r.u32();
       const std::uint16_t version = r.u16();
-      if (magic != kQueryMagic || version != kProtocolVersion) {
+      if (magic != kQueryMagic || version < kMinProtocolVersion ||
+          version > kProtocolVersion) {
         outcome.response = encodeErrorReply(
             ErrorCode::kBadVersion,
-            "server speaks protocol version " +
+            "server speaks protocol versions " +
+                std::to_string(kMinProtocolVersion) + ".." +
                 std::to_string(kProtocolVersion));
         return outcome;
       }
+      if (version < 2) {
+        // A v1 client: reply with the exact v1 bytes and keep this
+        // connection's frames row-encoded.
+        ctx.frameEncoding = FrameEncoding::kRow;
+        ByteWriter w = okHeader();
+        w.u16(version);
+        w.u32(service.traceCount());
+        outcome.response = w.take();
+        return outcome;
+      }
+      // v2: the client advertises the encodings it accepts; the server
+      // picks the best one it also supports (columnar when offered).
+      const std::uint8_t accept =
+          r.atEnd() ? std::uint8_t{0b01} : r.u8();
+      const std::uint8_t usable = accept & kSupportedFrameEncodings;
+      if (usable == 0) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadVersion,
+            "no mutually supported frame encoding");
+        return outcome;
+      }
+      ctx.frameEncoding = (usable &
+                           (1u << static_cast<unsigned>(
+                                FrameEncoding::kColumnar)))
+                              ? FrameEncoding::kColumnar
+                              : FrameEncoding::kRow;
       ByteWriter w = okHeader();
       w.u16(kProtocolVersion);
       w.u32(service.traceCount());
+      w.u8(static_cast<std::uint8_t>(ctx.frameEncoding));
       outcome.response = w.take();
       return outcome;
     }
@@ -502,7 +565,7 @@ RequestOutcome dispatch(TraceService& service,
       ByteWriter w = okHeader();
       w.u64(result.t0);
       w.u64(result.t1);
-      putFrameData(w, result.intervals, result.arrows);
+      putFrameData(w, result.intervals, result.arrows, ctx.frameEncoding);
       outcome.response = w.take();
       return outcome;
     }
@@ -517,7 +580,8 @@ RequestOutcome dispatch(TraceService& service,
       w.u32(result.entry.records);
       w.u64(result.entry.timeStart);
       w.u64(result.entry.timeEnd);
-      putFrameData(w, result.frame->intervals, result.frame->arrows);
+      putFrameData(w, result.frame->intervals, result.frame->arrows,
+                   ctx.frameEncoding);
       outcome.response = w.take();
       return outcome;
     }
@@ -588,7 +652,7 @@ RequestOutcome dispatch(TraceService& service,
         w.u32(entry.records);
         w.u64(entry.timeStart);
         w.u64(entry.timeEnd);
-        putFrameData(w, data->intervals, data->arrows);
+        putFrameData(w, data->intervals, data->arrows, ctx.frameEncoding);
       }
       if (w.size() > kMaxMessageBytes) {
         outcome.response = encodeErrorReply(
@@ -636,7 +700,8 @@ ErrorCode usageCode(const std::string& what) {
 }  // namespace
 
 RequestOutcome processRequest(TraceService& service,
-                              std::span<const std::uint8_t> payload) {
+                              std::span<const std::uint8_t> payload,
+                              ConnectionContext& ctx) {
   RequestOutcome outcome;
   if (payload.empty()) {
     outcome.response =
@@ -644,7 +709,7 @@ RequestOutcome processRequest(TraceService& service,
     return outcome;
   }
   try {
-    return dispatch(service, payload);
+    return dispatch(service, payload, ctx);
   } catch (const UsageError& e) {
     outcome.response = encodeErrorReply(usageCode(e.what()), e.what());
   } catch (const CorruptFileError& e) {
@@ -657,6 +722,12 @@ RequestOutcome processRequest(TraceService& service,
     outcome.response = encodeErrorReply(ErrorCode::kInternal, e.what());
   }
   return outcome;
+}
+
+RequestOutcome processRequest(TraceService& service,
+                              std::span<const std::uint8_t> payload) {
+  ConnectionContext ctx;  // row frames, discarded after the call
+  return processRequest(service, payload, ctx);
 }
 
 }  // namespace ute

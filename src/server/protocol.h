@@ -20,14 +20,28 @@
 #include <vector>
 
 #include "server/trace_service.h"
+#include "slog/slog_codec.h"
 #include "support/bytes.h"
 
 namespace ute {
 
 inline constexpr std::uint32_t kQueryMagic = 0x51455455;  // "UTEQ"
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 hello negotiates the frame encoding: the client appends a u8
+/// bitmask of FrameEncoding values it accepts, the server picks one and
+/// appends its u8 choice to the hello reply. v1 clients (no mask) keep
+/// getting row-encoded frames and byte-identical v1 replies.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinProtocolVersion = 1;
+/// Bit i set = FrameEncoding(i) accepted. This build handles both.
+inline constexpr std::uint8_t kSupportedFrameEncodings = 0b11;
 /// Sanity cap on one message; anything longer is a protocol violation.
 inline constexpr std::uint32_t kMaxMessageBytes = 64u << 20;
+
+/// Per-connection negotiated state, established by the hello exchange
+/// and applied to every later frame-carrying message on the connection.
+struct ConnectionContext {
+  FrameEncoding frameEncoding = FrameEncoding::kRow;
+};
 
 enum class Opcode : std::uint8_t {
   kHello = 1,
@@ -75,6 +89,8 @@ class ServiceError : public std::runtime_error {
 struct HelloReply {
   std::uint16_t version = 0;
   std::uint32_t traceCount = 0;
+  /// The server's frame-encoding choice (v2 replies; v1 implies row).
+  FrameEncoding frameEncoding = FrameEncoding::kRow;
 };
 
 struct TraceInfo {
@@ -93,7 +109,12 @@ struct ServiceStats {
 
 // --- request encoding (client side) ---------------------------------------
 
-ByteWriter encodeHelloRequest();
+/// v2 hello advertising `accept`, a bitmask of FrameEncoding values.
+ByteWriter encodeHelloRequest(
+    std::uint8_t accept = kSupportedFrameEncodings);
+/// The exact v1 hello bytes — what a pre-v2 client sends. Used as the
+/// client's fallback against old servers and by the compat tests.
+ByteWriter encodeLegacyHelloRequest();
 ByteWriter encodeTraceRequest(Opcode op, std::uint32_t traceId);
 ByteWriter encodeWindowRequest(std::uint32_t traceId,
                                const WindowQuery& query);
@@ -112,6 +133,8 @@ ByteWriter encodeTailMetricsRequest(std::uint32_t traceId);
 // --- response decoding (client side) ---------------------------------------
 // Each checks the status byte and throws ServiceError on an error frame.
 
+/// Frame-carrying replies decode with the connection's negotiated
+/// encoding; everything else is encoding-independent.
 HelloReply decodeHelloReply(std::span<const std::uint8_t> payload);
 TraceInfo decodeInfoReply(std::span<const std::uint8_t> payload);
 std::vector<SlogStateDef> decodeStatesReply(
@@ -119,14 +142,16 @@ std::vector<SlogStateDef> decodeStatesReply(
 std::vector<ThreadEntry> decodeThreadsReply(
     std::span<const std::uint8_t> payload);
 SlogPreview decodePreviewReply(std::span<const std::uint8_t> payload);
-WindowResult decodeWindowReply(std::span<const std::uint8_t> payload);
+WindowResult decodeWindowReply(std::span<const std::uint8_t> payload,
+                               FrameEncoding enc = FrameEncoding::kRow);
 /// frameIdx + index entry + frame contents.
 struct FrameReply {
   std::uint32_t frameIdx = 0;
   SlogFrameIndexEntry entry;
   SlogFrameData data;
 };
-FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload);
+FrameReply decodeFrameAtReply(std::span<const std::uint8_t> payload,
+                              FrameEncoding enc = FrameEncoding::kRow);
 std::vector<SummaryEntry> decodeSummaryReply(
     std::span<const std::uint8_t> payload);
 ServiceStats decodeStatsReply(std::span<const std::uint8_t> payload);
@@ -145,7 +170,9 @@ struct TailFramesReply {
   Tick watermark = 0;
   std::vector<TailFrame> frames;
 };
-TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload);
+TailFramesReply decodeTailFramesReply(std::span<const std::uint8_t> payload,
+                                      FrameEncoding enc =
+                                          FrameEncoding::kRow);
 
 struct TailMetricsReply {
   bool finished = false;
@@ -168,6 +195,13 @@ struct RequestOutcome {
 
 /// Executes one request payload against `service` and produces the
 /// response payload. Never throws: every failure becomes an error frame.
+/// A kHello request updates `ctx` with the negotiated frame encoding;
+/// frame-carrying replies are encoded per `ctx`.
+RequestOutcome processRequest(TraceService& service,
+                              std::span<const std::uint8_t> payload,
+                              ConnectionContext& ctx);
+/// Context-free overload: frames are always row-encoded (what a v1
+/// connection sees, and what in-process callers get by default).
 RequestOutcome processRequest(TraceService& service,
                               std::span<const std::uint8_t> payload);
 

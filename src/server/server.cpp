@@ -70,6 +70,10 @@ void TraceServer::acceptLoop() {
 }
 
 void TraceServer::serveConnection(Connection& conn) {
+  // Negotiated hello state for this connection (frame encoding). The
+  // protocol is strictly request/response, so only one request at a
+  // time ever touches it — no locking needed.
+  ConnectionContext ctx;
   try {
     for (;;) {
       const auto request = recvMessage(conn.socket);
@@ -78,8 +82,9 @@ void TraceServer::serveConnection(Connection& conn) {
       std::vector<std::uint8_t> response;
 
       // The query runs on the worker pool; this thread only does I/O.
-      std::packaged_task<RequestOutcome()> task(
-          [this, &request] { return processRequest(service_, *request); });
+      std::packaged_task<RequestOutcome()> task([this, &request, &ctx] {
+        return processRequest(service_, *request, ctx);
+      });
       std::future<RequestOutcome> future = task.get_future();
       if (service_.trySubmit([&task] { task(); })) {
         RequestOutcome outcome = future.get();

@@ -1,0 +1,45 @@
+// Width-agnostic columnar inner-loop kernels.
+//
+// The v2 columnar frame layout (slog_codec.h) exists so the hot loops —
+// frame decode, `.utm` metric accumulation, preview-histogram binning —
+// run over contiguous same-typed lanes instead of strided structs. The
+// helpers here are deliberately plain C++: each is one tight loop with
+// no cross-iteration dependence beyond a declared reduction, which is
+// the shape clang and gcc autovectorize at -O2 for whatever SIMD width
+// the target has (SSE/AVX/NEON/SVE) without a single intrinsic. Keep
+// them branch-free inside the loop body; bench_io's decode sweep records
+// the measured effect (see the vectorization note in BENCH_io.json).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ute::kernels {
+
+/// OR-reduction over a u64 lane — validate a whole column's value range
+/// with one vectorizable pass instead of a branch per element.
+inline std::uint64_t laneOr(const std::uint64_t* lane, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= lane[i];
+  return acc;
+}
+
+/// Sum-reduction over a u64 lane (wrapping; callers own overflow).
+inline std::uint64_t laneSum(const std::uint64_t* lane, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += lane[i];
+  return acc;
+}
+
+/// Clamped histogram bin: (t - origin) / width into [0, bins). Shared by
+/// metric accumulation and preview binning so both agree on edge cases
+/// (t at or before the origin lands in bin 0, the last bin absorbs
+/// everything to the right of its start).
+inline std::uint32_t binOf(std::uint64_t t, std::uint64_t origin,
+                           std::uint64_t width, std::uint32_t bins) {
+  if (t <= origin) return 0;
+  const std::uint64_t b = (t - origin) / width;
+  return b >= bins ? bins - 1 : static_cast<std::uint32_t>(b);
+}
+
+}  // namespace ute::kernels

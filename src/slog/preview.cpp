@@ -35,14 +35,26 @@ void PreviewAccumulator::add(std::uint32_t stateId, Tick start, Tick dura) {
   if (start < origin_) start = origin_;  // clamp (should not happen)
   ensureCovers(start + dura);
 
-  auto [it, inserted] = perState_.try_emplace(stateId);
-  if (inserted) it->second.assign(bins_, 0.0);
-  std::vector<double>& row = it->second;
+  if (memoRow_ == nullptr || stateId != memoState_) {
+    auto [it, inserted] = perState_.try_emplace(stateId);
+    if (inserted) it->second.assign(bins_, 0.0);
+    memoState_ = stateId;
+    memoRow_ = &it->second;
+  }
+  std::vector<double>& row = *memoRow_;
 
   if (dura == 0) return;
+  const Tick end = start + dura;
+  const std::uint64_t bin0 = (start - origin_) / binWidth_;
+  // Single-bin fast path — the common case, and bit-identical to the
+  // loop below collapsing to one chunk (f64 adds must not be reordered:
+  // preview bytes are compared verbatim across pipelines).
+  if (bin0 < bins_ && end <= origin_ + (bin0 + 1) * binWidth_) {
+    row[bin0] += static_cast<double>(dura);
+    return;
+  }
   // Spread [start, start+dura) over the bins it overlaps.
   Tick t = start;
-  const Tick end = start + dura;
   while (t < end) {
     const std::uint64_t bin = (t - origin_) / binWidth_;
     const Tick binEnd = origin_ + (bin + 1) * binWidth_;

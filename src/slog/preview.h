@@ -37,6 +37,10 @@ class PreviewAccumulator {
   bool haveOrigin_ = false;
   Tick binWidth_;
   std::map<std::uint32_t, std::vector<double>> perState_;
+  /// One-entry row memo: merged records cluster by state, and std::map
+  /// nodes are stable, so most add() calls skip the map lookup entirely.
+  std::uint32_t memoState_ = 0;
+  std::vector<double>* memoRow_ = nullptr;
 };
 
 /// Re-bins a preview to `targetBins` equal bins over its full range

@@ -21,7 +21,12 @@
 namespace ute {
 
 inline constexpr std::uint32_t kSlogMagic = 0x53455455;  // "UTES"
-inline constexpr std::uint32_t kSlogVersion = 1;
+/// Current (default) file format version. v2 frames are columnar
+/// compressed (slog_codec.h); v1 frames are row-major fixed width.
+inline constexpr std::uint32_t kSlogVersion = 2;
+/// Oldest version this build still reads and writes. v1 files remain
+/// readable forever; `--slog-v1` keeps producing them.
+inline constexpr std::uint32_t kSlogMinVersion = 1;
 
 /// Visualization state ids: MPI states reuse their EventType value;
 /// user-marker states get kMarkerStateBase + unified marker id (each
@@ -72,11 +77,20 @@ using SlogFramePtr = std::shared_ptr<const SlogFrameData>;
 
 struct SlogFrameIndexEntry {
   std::uint64_t offset = 0;
-  std::uint32_t sizeBytes = 0;
+  std::uint32_t sizeBytes = 0;  ///< encoded payload size; NOT records × width
   std::uint32_t records = 0;
   Tick timeStart = 0;  ///< frames tile the run's time without gaps
   Tick timeEnd = 0;
+  /// Frame payload encoding tag (FrameEncoding): 0 = row (v1), 1 =
+  /// columnar (v2). Stored per frame in v2 index entries; v1 files have
+  /// 32-byte entries with no tag and every frame is row-encoded.
+  std::uint32_t encoding = 0;
 };
+
+/// On-disk frame index entry sizes. A v2 entry is the v1 entry plus a
+/// trailing u32 encoding tag, so the v1 prefix layout never moves.
+inline constexpr std::uint32_t kSlogIndexEntryBytesV1 = 32;
+inline constexpr std::uint32_t kSlogIndexEntryBytesV2 = 36;
 
 /// The preview histogram: for each state, time spent per bin (ns),
 /// durations allocated proportionally across the bins they overlap.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "slog/slog_codec.h"
 #include "support/errors.h"
 
 namespace ute {
@@ -35,8 +36,10 @@ SlogReader::SlogReader(const std::string& path, ByteSource::Mode mode)
   const FrameBuf headerBytes = source_.fetch(0, kSlogHeaderBytes);
   ByteReader r = headerBytes.reader();
   if (r.u32() != kSlogMagic) throw FormatError("not a SLOG file: " + path);
-  if (r.u32() != kSlogVersion) {
-    throw FormatError("unsupported SLOG version in " + path);
+  formatVersion_ = r.u32();
+  if (formatVersion_ < kSlogMinVersion || formatVersion_ > kSlogVersion) {
+    throw FormatError("unsupported SLOG version " +
+                      std::to_string(formatVersion_) + " in " + path);
   }
   const std::uint32_t stateCount = r.u32();
   const std::uint32_t threadCount = r.u32();
@@ -51,8 +54,11 @@ SlogReader::SlogReader(const std::string& path, ByteSource::Mode mode)
   requireWithin(kSlogHeaderBytes,
                 std::uint64_t{threadCount} * kThreadEntryBytes, fileSize,
                 path, "thread table");
-  requireWithin(indexOffset, std::uint64_t{frameCount} * 32, fileSize, path,
-                "frame index");
+  const std::uint32_t entryBytes = formatVersion_ >= 2
+                                       ? kSlogIndexEntryBytesV2
+                                       : kSlogIndexEntryBytesV1;
+  requireWithin(indexOffset, std::uint64_t{frameCount} * entryBytes, fileSize,
+                path, "frame index");
   if (stateOffset > previewOffset) {
     throw CorruptFileError(
         "corrupt SLOG file: state table offset follows preview offset" +
@@ -77,7 +83,8 @@ SlogReader::SlogReader(const std::string& path, ByteSource::Mode mode)
     threads_.push_back(t);
   }
 
-  const FrameBuf indexBytes = source_.fetch(indexOffset, frameCount * 32);
+  const FrameBuf indexBytes =
+      source_.fetch(indexOffset, frameCount * entryBytes);
   ByteReader ir = indexBytes.reader();
   index_.reserve(frameCount);
   for (std::uint32_t i = 0; i < frameCount; ++i) {
@@ -87,9 +94,13 @@ SlogReader::SlogReader(const std::string& path, ByteSource::Mode mode)
     e.records = ir.u32();
     e.timeStart = ir.u64();
     e.timeEnd = ir.u64();
+    // v1 entries carry no tag: every v1 frame is row-encoded.
+    e.encoding = formatVersion_ >= 2 ? ir.u32() : 0;
     requireWithin(e.offset, e.sizeBytes, fileSize, path,
                   ("frame " + std::to_string(i) + " extent").c_str());
-    if (e.offset < kSlogHeaderBytes || e.timeEnd < e.timeStart) {
+    if (e.offset < kSlogHeaderBytes || e.timeEnd < e.timeStart ||
+        e.encoding >
+            static_cast<std::uint32_t>(FrameEncoding::kColumnar)) {
       throw CorruptFileError("corrupt SLOG file: frame index entry " +
                              std::to_string(i) + " is inconsistent" +
                              ioContext(path, e.offset));
@@ -149,8 +160,19 @@ SlogFramePtr SlogReader::readFrame(std::size_t frameIdx) const {
   // re-checks against the mapping bounds, so a file truncated after open
   // still fails typed instead of faulting.
   const FrameBuf bytes = source_.fetch(entry.offset, entry.sizeBytes);
-  ByteReader r = bytes.reader();
   auto data = std::make_shared<SlogFrameData>();
+  if (entry.encoding ==
+      static_cast<std::uint32_t>(FrameEncoding::kColumnar)) {
+    decodeColumnarFrame(bytes.bytes(), *data,
+                        ioContext(path(), entry.offset));
+    if (data->intervals.size() + data->arrows.size() != entry.records) {
+      throw CorruptFileError(
+          "corrupt SLOG file: frame record count mismatch" +
+          ioContext(path(), entry.offset));
+    }
+    return data;
+  }
+  ByteReader r = bytes.reader();
   for (std::uint32_t i = 0; i < entry.records; ++i) {
     const std::uint8_t kind = r.u8();
     if (kind == 0) {

@@ -36,6 +36,8 @@ class SlogReader {
 
   Tick totalStart() const { return totalStart_; }
   Tick totalEnd() const { return totalEnd_; }
+  /// SLOG format version of the open file (1 = row frames, 2 = columnar).
+  std::uint32_t formatVersion() const { return formatVersion_; }
   const std::vector<SlogStateDef>& states() const { return states_; }
   const std::vector<ThreadEntry>& threads() const { return threads_; }
   const std::vector<SlogFrameIndexEntry>& frameIndex() const { return index_; }
@@ -56,6 +58,7 @@ class SlogReader {
 
  private:
   ByteSource source_;
+  std::uint32_t formatVersion_ = kSlogVersion;
   Tick totalStart_ = 0;
   Tick totalEnd_ = 0;
   std::vector<SlogStateDef> states_;

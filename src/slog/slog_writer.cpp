@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "interval/standard_profile.h"
+#include "slog/slog_codec.h"
 #include "support/errors.h"
 
 namespace ute {
@@ -17,39 +18,6 @@ constexpr std::uint32_t kPalette[] = {
     0xda8bc3, 0x8c8c8c, 0xccb974, 0x64b5cd, 0x2f4b7c, 0xffa600,
 };
 
-// The two encoders share one scratch ByteWriter per call site (cleared,
-// capacity retained) so the per-record hot path allocates nothing.
-void encodeInterval(ByteWriter& w, std::vector<std::uint8_t>& out,
-                    const SlogInterval& r) {
-  w.clear();
-  w.u8(0);  // kind: interval
-  w.u32(r.stateId);
-  w.u8(r.bebits);
-  w.u8(r.pseudo ? 1 : 0);
-  w.u64(r.start);
-  w.u64(r.dura);
-  w.i32(r.node);
-  w.i32(r.cpu);
-  w.i32(r.thread);
-  const auto view = w.view();
-  out.insert(out.end(), view.begin(), view.end());
-}
-
-void encodeArrow(ByteWriter& w, std::vector<std::uint8_t>& out,
-                 const SlogArrow& a) {
-  w.clear();
-  w.u8(1);  // kind: arrow
-  w.i32(a.srcNode);
-  w.i32(a.srcThread);
-  w.u64(a.sendTime);
-  w.i32(a.dstNode);
-  w.i32(a.dstThread);
-  w.u64(a.recvTime);
-  w.u32(a.bytes);
-  const auto view = w.view();
-  out.insert(out.end(), view.begin(), view.end());
-}
-
 }  // namespace
 
 SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
@@ -59,6 +27,11 @@ SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
     : path_(path), options_(options), profile_(profile), file_(path),
       threads_(std::move(threads)), preview_(options.previewBins) {
   if (options_.recordsPerFrame == 0) options_.recordsPerFrame = 4096;
+  if (options_.formatVersion < kSlogMinVersion ||
+      options_.formatVersion > kSlogVersion) {
+    throw UsageError("unsupported SLOG format version " +
+                     std::to_string(options_.formatVersion));
+  }
 
   // Pre-register every state deterministically: the Running default
   // state, each MPI routine, and one state per unified marker string.
@@ -78,7 +51,7 @@ SlogWriter::SlogWriter(const std::string& path, const SlogOptions& options,
   // Header placeholder + thread table; patched in close().
   ByteWriter header;
   header.u32(kSlogMagic);
-  header.u32(kSlogVersion);
+  header.u32(options_.formatVersion);
   header.u32(0);  // state count (patched)
   header.u32(static_cast<std::uint32_t>(threads_.size()));
   header.u32(0);  // frame count (patched)
@@ -238,34 +211,47 @@ void SlogWriter::maybeStartFrame(Tick) {
 }
 
 void SlogWriter::appendInterval(const SlogInterval& interval) {
-  encodeInterval(scratch_, frameBytes_, interval);
-  if (sealHook_) frameData_.intervals.push_back(interval);
+  const bool columnar = options_.formatVersion >= 2;
+  if (columnar || sealHook_) frameData_.intervals.push_back(interval);
+  if (!columnar) encodeRowInterval(frameBytes_, interval);
   ++frameRecords_;
   ++intervalsWritten_;
 }
 
 void SlogWriter::appendArrow(const SlogArrow& arrow) {
-  encodeArrow(scratch_, frameBytes_, arrow);
-  if (sealHook_) frameData_.arrows.push_back(arrow);
+  const bool columnar = options_.formatVersion >= 2;
+  if (columnar || sealHook_) frameData_.arrows.push_back(arrow);
+  if (!columnar) encodeRowArrow(frameBytes_, arrow);
   ++frameRecords_;
   ++arrowsWritten_;
 }
 
 void SlogWriter::finalizeFrame() {
   if (frameRecords_ == 0) return;
+  const bool columnar = options_.formatVersion >= 2;
+  if (columnar) {
+    // The whole frame is in hand, so the columnar payload is encoded in
+    // one pass at seal time (column grouping needs every record).
+    frameBytes_.clear();
+    encodeColumnarFrame(frameData_.intervals, frameData_.arrows,
+                        frameBytes_);
+  }
   SlogFrameIndexEntry entry;
   entry.offset = file_.tell();
   entry.sizeBytes = static_cast<std::uint32_t>(frameBytes_.size());
   entry.records = frameRecords_;
   entry.timeStart = frameTimeStart_;
   entry.timeEnd = std::max(maxEnd_, frameTimeStart_);
+  entry.encoding = static_cast<std::uint32_t>(
+      columnar ? FrameEncoding::kColumnar : FrameEncoding::kRow);
   file_.write(frameBytes_);
   index_.push_back(entry);
   if (sealHook_) {
     sealHook_(entry, std::make_shared<const SlogFrameData>(
                          std::move(frameData_)));
-    frameData_ = SlogFrameData{};
   }
+  frameData_.intervals.clear();
+  frameData_.arrows.clear();
   frameBytes_.clear();
   frameRecords_ = 0;
   frameTimeStart_ = entry.timeEnd;  // frames tile the run's time
@@ -283,6 +269,8 @@ void SlogWriter::close() {
     indexBytes.u32(e.records);
     indexBytes.u64(e.timeStart);
     indexBytes.u64(e.timeEnd);
+    // v2 entries append the per-frame encoding tag after the v1 prefix.
+    if (options_.formatVersion >= 2) indexBytes.u32(e.encoding);
   }
   file_.write(indexBytes);
 

@@ -24,6 +24,10 @@ namespace ute {
 struct SlogOptions {
   std::uint32_t recordsPerFrame = 4096;
   std::uint32_t previewBins = 240;
+  /// SLOG file format version to write: kSlogVersion (2, columnar
+  /// compressed frames) by default, or kSlogMinVersion (1, row-major)
+  /// for compatibility output (`--slog-v1`).
+  std::uint32_t formatVersion = kSlogVersion;
 };
 
 class SlogWriter {
@@ -97,11 +101,11 @@ class SlogWriter {
   PreviewAccumulator preview_;
 
   std::vector<std::uint8_t> frameBytes_;
-  /// Decoded twin of frameBytes_, accumulated only when a seal hook is
-  /// installed.
+  /// Decoded frame contents. v2 encodes the whole frame column-major at
+  /// seal time, so it always accumulates records here; v1 encodes rows
+  /// incrementally into frameBytes_ and fills this only for a seal hook.
   SlogFrameData frameData_;
   FrameSealHook sealHook_;
-  ByteWriter scratch_;  ///< reused per-record encode buffer
   std::uint32_t frameRecords_ = 0;
   Tick frameTimeStart_ = 0;
   Tick maxEnd_ = 0;

@@ -84,6 +84,97 @@ TEST_F(ProtocolTest, HelloVersionMismatchRejected) {
   }
 }
 
+TEST_F(ProtocolTest, HelloNegotiatesColumnarFrames) {
+  ConnectionContext ctx;
+  const RequestOutcome outcome =
+      processRequest(*service_, encodeHelloRequest().view(), ctx);
+  const HelloReply reply = decodeHelloReply(outcome.response);
+  EXPECT_EQ(reply.version, kProtocolVersion);
+  EXPECT_EQ(reply.traceCount, 1u);
+  // Both sides handle columnar, so the server must prefer it — and must
+  // record the choice on the connection for later frame replies.
+  EXPECT_EQ(reply.frameEncoding, FrameEncoding::kColumnar);
+  EXPECT_EQ(ctx.frameEncoding, FrameEncoding::kColumnar);
+}
+
+TEST_F(ProtocolTest, HelloRowOnlyClientKeepsRowFrames) {
+  ConnectionContext ctx;
+  const std::uint8_t rowOnly =
+      1u << static_cast<std::uint8_t>(FrameEncoding::kRow);
+  const RequestOutcome outcome =
+      processRequest(*service_, encodeHelloRequest(rowOnly).view(), ctx);
+  const HelloReply reply = decodeHelloReply(outcome.response);
+  EXPECT_EQ(reply.version, kProtocolVersion);
+  EXPECT_EQ(reply.frameEncoding, FrameEncoding::kRow);
+  EXPECT_EQ(ctx.frameEncoding, FrameEncoding::kRow);
+}
+
+TEST_F(ProtocolTest, LegacyHelloGetsExactV1Reply) {
+  ConnectionContext ctx;
+  const RequestOutcome outcome =
+      processRequest(*service_, encodeLegacyHelloRequest().view(), ctx);
+  // The v1 reply layout is frozen: u8 ok, u16 version, u32 traceCount —
+  // exactly 7 bytes, no encoding byte a v1 decoder would choke on.
+  ASSERT_EQ(outcome.response.size(), 7u);
+  const HelloReply reply = decodeHelloReply(outcome.response);
+  EXPECT_EQ(reply.version, 1u);
+  EXPECT_EQ(reply.traceCount, 1u);
+  EXPECT_EQ(reply.frameEncoding, FrameEncoding::kRow);
+  EXPECT_EQ(ctx.frameEncoding, FrameEncoding::kRow);
+}
+
+TEST_F(ProtocolTest, HelloWithNoMutualEncodingRejected) {
+  ConnectionContext ctx;
+  const RequestOutcome outcome =
+      processRequest(*service_, encodeHelloRequest(0b100).view(), ctx);
+  try {
+    decodeHelloReply(outcome.response);
+    FAIL() << "a hello with no mutually supported encoding must be refused";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadVersion);
+  }
+}
+
+TEST_F(ProtocolTest, NegotiatedEncodingsDecodeToIdenticalWindows) {
+  ConnectionContext row;
+  processRequest(
+      *service_,
+      encodeHelloRequest(1u << static_cast<std::uint8_t>(FrameEncoding::kRow))
+          .view(),
+      row);
+  ConnectionContext columnar;
+  processRequest(*service_, encodeHelloRequest().view(), columnar);
+  ASSERT_EQ(row.frameEncoding, FrameEncoding::kRow);
+  ASSERT_EQ(columnar.frameEncoding, FrameEncoding::kColumnar);
+
+  WindowQuery query;
+  query.t0 = 0;
+  query.t1 = 50 * kMs;
+  const ByteWriter request = encodeWindowRequest(0, query);
+  const std::vector<std::uint8_t> rowBytes =
+      processRequest(*service_, request.view(), row).response;
+  const std::vector<std::uint8_t> colBytes =
+      processRequest(*service_, request.view(), columnar).response;
+  // The wire bytes differ (that's the point of the negotiation)…
+  EXPECT_NE(rowBytes, colBytes);
+  // …but the decoded results must be exactly the same query answer.
+  const WindowResult a = decodeWindowReply(rowBytes, FrameEncoding::kRow);
+  const WindowResult b =
+      decodeWindowReply(colBytes, FrameEncoding::kColumnar);
+  EXPECT_EQ(a.t0, b.t0);
+  EXPECT_EQ(a.t1, b.t1);
+  ASSERT_FALSE(a.intervals.empty());
+  ASSERT_EQ(a.intervals.size(), b.intervals.size());
+  for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+    EXPECT_EQ(a.intervals[i].stateId, b.intervals[i].stateId) << i;
+    EXPECT_EQ(a.intervals[i].start, b.intervals[i].start) << i;
+    EXPECT_EQ(a.intervals[i].dura, b.intervals[i].dura) << i;
+    EXPECT_EQ(a.intervals[i].node, b.intervals[i].node) << i;
+    EXPECT_EQ(a.intervals[i].thread, b.intervals[i].thread) << i;
+  }
+  ASSERT_EQ(a.arrows.size(), b.arrows.size());
+}
+
 TEST_F(ProtocolTest, InfoStatesThreadsRoundTrip) {
   const SlogReader& reader = service_->trace(0);
   const TraceInfo info =

@@ -15,6 +15,7 @@
 #include "interval/standard_profile.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "server/tcp.h"
 #include "slog/slog_writer.h"
 
 #include <unistd.h>
@@ -96,12 +97,17 @@ TEST(ServerRoundTrip, FourConcurrentClientsGetByteIdenticalAnswers) {
     clients.emplace_back([&, c] {
       try {
         TraceClient client("127.0.0.1", server.port());
+        // The local replay threads its own ConnectionContext: the mix
+        // opens with a hello, so the replay negotiates exactly what the
+        // server connection negotiated (columnar frames) and the raw
+        // reply bytes stay comparable.
+        ConnectionContext ctx;
         for (int pass = 0; pass < 3; ++pass) {
           for (const ByteWriter& request : requestMix(c + pass, totalEnd)) {
             const std::vector<std::uint8_t> wire =
                 client.roundTrip(request.view());
             const std::vector<std::uint8_t> direct =
-                processRequest(local, request.view()).response;
+                processRequest(local, request.view(), ctx).response;
             if (wire != direct) ++mismatches;
           }
         }
@@ -113,6 +119,67 @@ TEST(ServerRoundTrip, FourConcurrentClientsGetByteIdenticalAnswers) {
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(failures.load(), 0);
+  server.stop();
+}
+
+TEST(ServerRoundTrip, V1OnlyClientStillGetsCorrectRowAnswers) {
+  // A pre-v2 client — speaking the frozen v1 hello, never advertising an
+  // encoding mask — must keep working against a server whose files are
+  // all v2 columnar: version-1 hello reply, row-encoded frame payloads,
+  // and query answers identical to a local row-context replay.
+  const std::string path = writeSlog("roundtrip_v1_client.slog");
+  TraceServer server({path});
+  ASSERT_NE(server.port(), 0);
+  TraceService local({path});
+  ASSERT_EQ(local.trace(0).formatVersion(), 2u);  // server holds v2 files
+
+  TcpSocket socket = TcpSocket::connectTo("127.0.0.1", server.port());
+  const auto roundTrip = [&socket](const ByteWriter& request) {
+    sendMessage(socket, request.view());
+    const auto reply = recvMessage(socket);
+    EXPECT_TRUE(reply.has_value());
+    return reply.value_or(std::vector<std::uint8_t>{});
+  };
+
+  // The exact v1 handshake: 7-byte reply, version 1, no encoding byte.
+  const std::vector<std::uint8_t> helloBytes =
+      roundTrip(encodeLegacyHelloRequest());
+  ASSERT_EQ(helloBytes.size(), 7u);
+  const HelloReply hello = decodeHelloReply(helloBytes);
+  EXPECT_EQ(hello.version, 1u);
+  EXPECT_EQ(hello.traceCount, 1u);
+  EXPECT_EQ(hello.frameEncoding, FrameEncoding::kRow);
+
+  // Frame-carrying replies stay row-encoded and decode (with the v1
+  // row decoder) to the same answers as a local row-context replay.
+  ConnectionContext rowCtx;  // defaults to kRow — what a v1 peer gets
+  WindowQuery q;
+  q.t0 = 10 * kMs;
+  q.t1 = 120 * kMs;
+  const ByteWriter windowRequest = encodeWindowRequest(0, q);
+  const std::vector<std::uint8_t> wireWindow = roundTrip(windowRequest);
+  EXPECT_EQ(wireWindow,
+            processRequest(local, windowRequest.view(), rowCtx).response);
+  const WindowResult window =
+      decodeWindowReply(wireWindow, FrameEncoding::kRow);
+  const WindowResult direct = local.window(0, q);
+  ASSERT_FALSE(direct.intervals.empty());
+  ASSERT_EQ(window.intervals.size(), direct.intervals.size());
+  for (std::size_t i = 0; i < window.intervals.size(); ++i) {
+    EXPECT_EQ(window.intervals[i].start, direct.intervals[i].start) << i;
+    EXPECT_EQ(window.intervals[i].dura, direct.intervals[i].dura) << i;
+    EXPECT_EQ(window.intervals[i].stateId, direct.intervals[i].stateId)
+        << i;
+  }
+
+  const ByteWriter frameRequest = encodeFrameAtRequest(0, 50 * kMs);
+  const std::vector<std::uint8_t> wireFrame = roundTrip(frameRequest);
+  EXPECT_EQ(wireFrame,
+            processRequest(local, frameRequest.view(), rowCtx).response);
+  const FrameReply frame = decodeFrameAtReply(wireFrame, FrameEncoding::kRow);
+  EXPECT_GT(frame.data.intervals.size(), 0u);
+
+  socket.close();
   server.stop();
 }
 

@@ -174,6 +174,58 @@ TEST(SlogCorruption, StateTableAfterPreviewRejected) {
   }
 }
 
+// The default writer output is v2 (columnar frames, 36-byte index
+// entries), so every sweep above already fuzzes the v2 read path. The
+// cases below poke the v2-only structures directly.
+
+TEST(SlogCorruption, V2EncodingTagValidatedAtOpen) {
+  const std::string path = writeValidSlog("corrupt_enc.slog");
+  std::vector<std::uint8_t> bytes = slurp(path);
+  const std::uint64_t indexOffset = u64At(bytes, kIndexOffsetPos);
+  // First index entry: the encoding tag u32 sits after the 32-byte v1
+  // prefix. Any value beyond kColumnar is an unknown encoding.
+  putU32At(bytes, static_cast<std::size_t>(indexOffset) + 32, 7);
+  const std::string bad = tempPath("corrupt_enc_bad.slog");
+  writeWholeFile(bad, bytes);
+  for (const ByteSource::Mode mode : kModes) {
+    EXPECT_THROW(SlogReader reader(bad, mode), CorruptFileError);
+  }
+}
+
+TEST(SlogCorruption, V2FramePayloadBitFlipsNeverCrash) {
+  const std::string path = writeValidSlog("corrupt_flip.slog");
+  const std::vector<std::uint8_t> original = slurp(path);
+  // First index entry gives the first frame's payload range.
+  const std::uint64_t indexOffset = u64At(original, kIndexOffsetPos);
+  const std::size_t payloadStart = static_cast<std::size_t>(
+      u64At(original, static_cast<std::size_t>(indexOffset)));
+  std::uint32_t payloadSize = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    payloadSize |= std::uint32_t{
+        original[static_cast<std::size_t>(indexOffset) + 8 + i]} << (8 * i);
+  }
+  ASSERT_GT(payloadSize, 0u);
+  const std::string bad = tempPath("corrupt_flip_bad.slog");
+  // Every byte of the first frame's columnar payload, one flipped bit
+  // each (cycling through bit positions keeps the sweep linear): either
+  // a typed error or a decoded frame, never a crash or OOB read.
+  std::size_t threw = 0;
+  for (std::size_t i = 0; i < payloadSize; ++i) {
+    std::vector<std::uint8_t> bytes = original;
+    bytes[payloadStart + i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    writeWholeFile(bad, bytes);
+    try {
+      SlogReader reader(bad);
+      reader.readFrame(0);
+    } catch (const FormatError&) {
+      ++threw;
+    }
+  }
+  // The counts and block headers at the front must be validated, so at
+  // least some flips are rejected outright.
+  EXPECT_GT(threw, 0u);
+}
+
 TEST(SlogCorruption, RecordCountLieThrowsInsteadOfGarbage) {
   const std::string path = writeValidSlog("corrupt_records.slog");
   std::vector<std::uint8_t> bytes = slurp(path);

@@ -395,6 +395,93 @@ TEST_F(CliTest, PipelineToolMatchesStagedToolsAndJobsAreDeterministic) {
   }
 }
 
+TEST_F(CliTest, CrossEncodingQueriesAreByteIdentical) {
+  // The v2 acceptance gate: the frame encoding may change bytes on disk,
+  // never results. The same inputs merged to a row v1 SLOG and a
+  // columnar v2 SLOG must yield byte-identical utemetrics output and
+  // byte-identical utequery answers.
+  run(tool("uteconvert") + " --out " + *dir_ + "/x " + *dir_ +
+      "/run.0.utr " + *dir_ + "/run.1.utr");
+  const std::string inputs = *dir_ + "/x.0.uti " + *dir_ + "/x.1.uti";
+  auto [rc, out] =
+      run(tool("utemerge") + " --out " + *dir_ + "/xv1.merged.uti --slog " +
+          *dir_ + "/xv1.slog --slog-v1 --profile " + *dir_ +
+          "/profile.ute " + inputs);
+  ASSERT_EQ(rc, 0) << out;
+  std::tie(rc, out) =
+      run(tool("utemerge") + " --out " + *dir_ + "/xv2.merged.uti --slog " +
+          *dir_ + "/xv2.slog --profile " + *dir_ + "/profile.ute " + inputs);
+  ASSERT_EQ(rc, 0) << out;
+
+  // utedump --frame-stats names the encodings; v2 must be the smaller
+  // file (columnar compression on real merged records).
+  std::tie(rc, out) = run(tool("utedump") + " --slog " + *dir_ +
+                          "/xv1.slog --frame-stats");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("row"), std::string::npos);
+  EXPECT_NE(out.find("bytes/record"), std::string::npos);
+  std::tie(rc, out) = run(tool("utedump") + " --slog " + *dir_ +
+                          "/xv2.slog --frame-stats");
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("columnar"), std::string::npos);
+  EXPECT_LT(fs::file_size(*dir_ + "/xv2.slog"),
+            fs::file_size(*dir_ + "/xv1.slog"));
+
+  // utemetrics: .utm byte-identity across encodings, enforced by cmp.
+  run(tool("utemetrics") + " --slog " + *dir_ + "/xv1.slog --bins 60 "
+      "--out " + *dir_ + "/xv1.utm");
+  run(tool("utemetrics") + " --slog " + *dir_ + "/xv2.slog --bins 60 "
+      "--out " + *dir_ + "/xv2.utm");
+  EXPECT_EQ(
+      run("cmp " + *dir_ + "/xv1.utm " + *dir_ + "/xv2.utm").first, 0)
+      << ".utm differs between v1 and v2 SLOG inputs";
+
+  // uteview reads both encodings to the same pixels.
+  const auto previewV1 = run(tool("uteview") + " --slog " + *dir_ +
+                             "/xv1.slog --preview");
+  const auto previewV2 = run(tool("uteview") + " --slog " + *dir_ +
+                             "/xv2.slog --preview");
+  ASSERT_EQ(previewV1.first, 0) << previewV1.second;
+  EXPECT_EQ(previewV1.second, previewV2.second);
+  const auto frameV1 = run(tool("uteview") + " --slog " + *dir_ +
+                           "/xv1.slog --frame-at 0.005");
+  const auto frameV2 = run(tool("uteview") + " --slog " + *dir_ +
+                           "/xv2.slog --frame-at 0.005");
+  ASSERT_EQ(frameV1.first, 0) << frameV1.second;
+  EXPECT_EQ(frameV1.second, frameV2.second);
+
+  // utequery against a server holding each file: identical answers,
+  // enforced by cmp on the captured outputs.
+  for (const char* ver : {"xv1", "xv2"}) {
+    const std::string portFile = *dir_ + "/" + ver + ".port";
+    ASSERT_EQ(std::system((tool("uteserve") + " " + *dir_ + "/" + ver +
+                           ".slog --workers 2 --port-file " + portFile +
+                           " > /dev/null 2>&1 &")
+                              .c_str()),
+              0);
+    std::string port;
+    for (int i = 0; i < 200 && port.empty(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::ifstream in(portFile);
+      std::getline(in, port);
+    }
+    ASSERT_FALSE(port.empty()) << "server never wrote its port file";
+    const std::string query = tool("utequery") + " --port " + port + " ";
+    const std::string answers = *dir_ + "/" + ver + ".answers.txt";
+    ASSERT_EQ(std::system(("( " + query + "states && " + query +
+                           "summary 0 1 && " + query + "window 0 0.01 && " +
+                           query + "metrics --bins 60 ) > " + answers +
+                           " 2>&1")
+                              .c_str()),
+              0);
+    run(query + "shutdown");
+  }
+  const auto cmp = run("cmp " + *dir_ + "/xv1.answers.txt " + *dir_ +
+                       "/xv2.answers.txt");
+  EXPECT_EQ(cmp.first, 0)
+      << "utequery answers differ between v1 and v2 files: " << cmp.second;
+}
+
 TEST_F(CliTest, StreamedRunIsByteIdenticalToBatchPipeline) {
   // The streaming ingest acceptance gate (docs/STREAMING.md): a 4-node
   // golden trace pushed through utestream's TCP ingest produces the same

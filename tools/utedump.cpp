@@ -6,12 +6,13 @@
 //   utedump --raw FILE.utr [--limit N]
 //   utedump --profile profile.ute
 //   utedump --interval FILE.uti [--limit N] [--profile profile.ute]
-//   utedump --slog FILE.slog
+//   utedump --slog FILE.slog [--frame-stats]
 #include <cstdio>
 #include <exception>
 
 #include "interval/file_reader.h"
 #include "interval/standard_profile.h"
+#include "slog/slog_codec.h"
 #include "slog/slog_reader.h"
 #include "support/cli.h"
 #include "support/text.h"
@@ -111,11 +112,12 @@ void dumpInterval(const std::string& path, const Profile& profile,
 
 void dumpSlog(const std::string& path) {
   SlogReader slog(path);
-  std::printf("slog %s: [%.6f, %.6f] s, %zu states, %zu threads, %zu frames\n",
-              path.c_str(), static_cast<double>(slog.totalStart()) / 1e9,
-              static_cast<double>(slog.totalEnd()) / 1e9,
-              slog.states().size(), slog.threads().size(),
-              slog.frameIndex().size());
+  std::printf(
+      "slog %s: v%u, [%.6f, %.6f] s, %zu states, %zu threads, %zu frames\n",
+      path.c_str(), slog.formatVersion(),
+      static_cast<double>(slog.totalStart()) / 1e9,
+      static_cast<double>(slog.totalEnd()) / 1e9, slog.states().size(),
+      slog.threads().size(), slog.frameIndex().size());
   for (const SlogStateDef& s : slog.states()) {
     std::printf("  state %u rgb=#%06x %s\n", s.id, s.rgb, s.name.c_str());
   }
@@ -126,6 +128,35 @@ void dumpSlog(const std::string& path) {
                 static_cast<double>(e.timeStart) / 1e9,
                 static_cast<double>(e.timeEnd) / 1e9);
   }
+}
+
+/// --frame-stats: the encoded-size view of a SLOG file — per-frame
+/// payload bytes, record count, bytes/record, and encoding, with file
+/// totals. The quickest way to eyeball v1 vs v2 on a real trace.
+void dumpFrameStats(const std::string& path) {
+  SlogReader slog(path);
+  std::printf("slog %s: v%u, %zu frames\n", path.c_str(),
+              slog.formatVersion(), slog.frameIndex().size());
+  std::printf("  %-7s %-10s %-8s %-12s %s\n", "frame", "bytes", "records",
+              "bytes/rec", "encoding");
+  std::uint64_t totalBytes = 0;
+  std::uint64_t totalRecords = 0;
+  for (std::size_t i = 0; i < slog.frameIndex().size(); ++i) {
+    const SlogFrameIndexEntry& e = slog.frameIndex()[i];
+    totalBytes += e.sizeBytes;
+    totalRecords += e.records;
+    std::printf("  %-7zu %-10u %-8u %-12.2f %s\n", i, e.sizeBytes, e.records,
+                e.records == 0 ? 0.0
+                               : static_cast<double>(e.sizeBytes) /
+                                     static_cast<double>(e.records),
+                frameEncodingName(static_cast<FrameEncoding>(e.encoding)));
+  }
+  std::printf("  total: %s frame bytes, %s records, %.2f bytes/record\n",
+              withCommas(totalBytes).c_str(),
+              withCommas(totalRecords).c_str(),
+              totalRecords == 0 ? 0.0
+                                : static_cast<double>(totalBytes) /
+                                      static_cast<double>(totalRecords));
 }
 
 }  // namespace
@@ -147,7 +178,11 @@ int main(int argc, char** argv) {
       }
       dumpInterval(*interval, profile, limit);
     } else if (const auto slogPath = cli.value("slog")) {
-      dumpSlog(*slogPath);
+      if (cli.hasFlag("frame-stats")) {
+        dumpFrameStats(*slogPath);
+      } else {
+        dumpSlog(*slogPath);
+      }
     } else if (const auto profilePath = cli.value("profile")) {
       dumpProfile(*profilePath);
     } else {

@@ -24,6 +24,13 @@ clang-tidy can express (see docs/STATIC_ANALYSIS.md):
                 (system_clock, time(), localtime, gmtime) or nondeterministic
                 randomness (random_device, rand) in bench/ sources —
                 measurements use steady_clock, workloads use seeded ute::Rng.
+  codec-containment
+                the SLOG v2 varint/zigzag codec lives only in src/slog —
+                no calls to putVarint/getVarint/zigzagEncode/zigzagDecode
+                and no hand-rolled LEB128 continuation loops (`& 0x7f` with
+                `|= 0x80` / `>>= 7`) anywhere else in src/, tools/ or
+                bench/. One codec, one set of overflow/truncation checks
+                (docs/FORMAT.md section 4a).
 
 Run locally:   python3 tools/utelint.py [--root REPO]
 Run via ctest: ctest -R utelint   (registered in tests/CMakeLists.txt)
@@ -190,12 +197,45 @@ class Linter:
                     "be reproducible (steady_clock for timing, seeded "
                     "ute::Rng for workloads)")
 
+    # ---- codec-containment ----------------------------------------------
+    CODEC_IDENT = re.compile(
+        r"\b(putVarint|getVarint|zigzagEncode|zigzagDecode)\s*\(")
+    # A hand-rolled LEB128 loop needs both the 7-bit mask and either the
+    # continuation bit or the 7-bit shift nearby; requiring the pair keeps
+    # unrelated 0x7f uses (masks, addresses) out of the rule.
+    LEB128 = re.compile(r"&\s*0x7f\b", re.IGNORECASE)
+    LEB128_PARTNER = re.compile(r"\|\s*0x80\b|\|=\s*0x80\b|>>=\s*7\b",
+                                re.IGNORECASE)
+
+    def check_codec_containment(self) -> None:
+        for subdir in ("src", "tools", "bench"):
+            for path in self.files(subdir):
+                if "src/slog" in path.as_posix():
+                    continue
+                code = strip_comments_and_strings(path.read_text())
+                for m in self.CODEC_IDENT.finditer(code):
+                    self.report(
+                        path, line_of(code, m.start()), "codec-containment",
+                        f"{m.group(1)}() outside src/slog — the varint/"
+                        "zigzag codec has exactly one implementation "
+                        "(src/slog/slog_codec.h)")
+                for m in self.LEB128.finditer(code):
+                    lo = max(0, m.start() - 200)
+                    if self.LEB128_PARTNER.search(code, lo, m.end() + 200):
+                        self.report(
+                            path, line_of(code, m.start()),
+                            "codec-containment",
+                            "hand-rolled LEB128 loop outside src/slog — "
+                            "use putVarint/getVarint from "
+                            "src/slog/slog_codec.h")
+
     def run(self) -> int:
         self.check_raw_io()
         self.check_io_context()
         self.check_raw_mutex()
         self.check_ts_escape()
         self.check_bench_determinism()
+        self.check_codec_containment()
         for v in self.violations:
             print(v)
         count = len(self.violations)

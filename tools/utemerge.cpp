@@ -7,6 +7,8 @@
 //            [--threads mpi,user,system]   (categories to merge, §2.3.3)
 //            [--jobs N]   (parallel clock fits + prefetching inputs;
 //                          output byte-identical to --jobs 1)
+//            [--slog-v1 | --slog-v2]   (SLOG frame encoding; default v2
+//                                       compressed columnar, docs/FORMAT.md)
 //            NODE0.uti NODE1.uti ...
 #include <chrono>
 #include <cstdio>
@@ -92,7 +94,10 @@ int main(int argc, char** argv) {
           markers.emplace(id, name);
         }
       }
-      SlogWriter slog(slogPath, SlogOptions{}, profile, threads, markers);
+      SlogOptions slogOptions;
+      if (cli.hasFlag("slog-v1")) slogOptions.formatVersion = 1;
+      if (cli.hasFlag("slog-v2")) slogOptions.formatVersion = kSlogVersion;
+      SlogWriter slog(slogPath, slogOptions, profile, threads, markers);
       result = merger.mergeTo(
           out, [&slog](const RecordView& r) { slog.addRecord(r); });
       slog.close();

@@ -5,7 +5,8 @@
 // Usage:
 //   utepipeline --out PREFIX [--jobs N] [--no-slog]
 //               [--profile profile.ute] [--method rms|last|piecewise]
-//               [--frame-bytes N] RAW.0.utr RAW.1.utr ...
+//               [--frame-bytes N] [--slog-v1 | --slog-v2]
+//               RAW.0.utr RAW.1.utr ...
 //
 // Produces PREFIX.<node>.uti, PREFIX.merged.uti and (unless --no-slog)
 // PREFIX.slog. --jobs N runs per-node conversions on N workers and the
@@ -97,7 +98,10 @@ int main(int argc, char** argv) {
           markers.emplace(id, name);
         }
       }
-      SlogWriter slog(slogPath, SlogOptions{}, profile, threads, markers);
+      SlogOptions slogOptions;
+      if (cli.hasFlag("slog-v1")) slogOptions.formatVersion = 1;
+      if (cli.hasFlag("slog-v2")) slogOptions.formatVersion = kSlogVersion;
+      SlogWriter slog(slogPath, slogOptions, profile, threads, markers);
       result = merger.mergeTo(
           mergedPath, [&slog](const RecordView& r) { slog.addRecord(r); });
       slog.close();

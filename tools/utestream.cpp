@@ -154,7 +154,8 @@ int main(int argc, char** argv) {
           "         [--ingest-port-file P] [--budget-kb N] "
           "[--session-timeout-ms N]\n"
           "         [--method rms|last|piecewise] [--frame-bytes N] [--bins "
-          "N]\n");
+          "N]\n"
+          "         [--slog-v1 | --slog-v2]   (frame encoding; default v2)\n");
       return 2;
     }
 
@@ -171,6 +172,8 @@ int main(int argc, char** argv) {
         cli.valueOr("ingest-port", std::uint64_t{0}));
     ingest.outPath = *out + ".merged.uti";
     ingest.slogPath = *out + ".slog";
+    if (cli.hasFlag("slog-v1")) ingest.slog.formatVersion = 1;
+    if (cli.hasFlag("slog-v2")) ingest.slog.formatVersion = kSlogVersion;
     ingest.merge.targetFrameBytes = static_cast<std::size_t>(
         cli.valueOr("frame-bytes", std::uint64_t{32} << 10));
     const std::string method = cli.valueOr("method", std::string("rms"));
