@@ -1,0 +1,217 @@
+#include "fed/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ute {
+
+namespace {
+
+/// Σ over bins and tasks of the task wall time (bin span × threads of
+/// the task) — the same denominator commFraction(bin) uses per bin.
+double totalWallNs(const MetricsStore& store) {
+  double wall = 0;
+  for (std::uint32_t b = 0; b < store.bins(); ++b) {
+    const Tick lo = std::min(store.binStart(b), store.binEnd(b));
+    const double span = static_cast<double>(store.binEnd(b) - lo);
+    for (std::uint32_t k = 0; k < store.taskCount(); ++k) {
+      wall += span * static_cast<double>(store.threadsPerTask()[k]);
+    }
+  }
+  return wall;
+}
+
+double totalClassNs(const MetricsStore& store, StateClass c) {
+  double total = 0;
+  for (std::uint32_t b = 0; b < store.bins(); ++b) {
+    for (std::uint32_t k = 0; k < store.taskCount(); ++k) {
+      total += static_cast<double>(store.timeNs(c, b, k));
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+double runCommFraction(const MetricsStore& store) {
+  const double wall = totalWallNs(store);
+  if (wall <= 0) return 0.0;
+  return std::min(1.0, totalClassNs(store, StateClass::kMpi) / wall);
+}
+
+double runLoadImbalance(const MetricsStore& store) {
+  if (store.taskCount() == 0) return 0.0;
+  double maxBusy = 0;
+  double totalBusy = 0;
+  for (std::uint32_t k = 0; k < store.taskCount(); ++k) {
+    double busy = 0;
+    for (std::uint32_t b = 0; b < store.bins(); ++b) {
+      busy += static_cast<double>(store.timeNs(StateClass::kBusy, b, k));
+    }
+    maxBusy = std::max(maxBusy, busy);
+    totalBusy += busy;
+  }
+  if (maxBusy <= 0) return 0.0;
+  const double avg = totalBusy / static_cast<double>(store.taskCount());
+  return (maxBusy - avg) / maxBusy;
+}
+
+double runLateSenderFraction(const MetricsStore& store) {
+  const double wall = totalWallNs(store);
+  if (wall <= 0) return 0.0;
+  double late = 0;
+  for (std::uint32_t b = 0; b < store.bins(); ++b) {
+    for (std::uint32_t k = 0; k < store.taskCount(); ++k) {
+      late += static_cast<double>(store.lateSenderNs(b, k));
+    }
+  }
+  return std::min(1.0, late / wall);
+}
+
+Distribution summarize(std::vector<double> values) {
+  Distribution d;
+  if (values.empty()) return d;
+  std::sort(values.begin(), values.end());
+  d.min = values.front();
+  d.max = values.back();
+  double sum = 0;
+  for (double v : values) sum += v;
+  d.mean = sum / static_cast<double>(values.size());
+  // Nearest-rank percentile: the smallest value with at least p% of the
+  // sample at or below it.
+  const auto rank = [&values](double p) {
+    const std::size_t n = values.size();
+    std::size_t r = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(n)));
+    if (r == 0) r = 1;
+    return values[std::min(r, n) - 1];
+  };
+  d.p50 = rank(0.50);
+  d.p99 = rank(0.99);
+  return d;
+}
+
+AggregateReply aggregateStores(const std::vector<AggregateInput>& inputs) {
+  AggregateReply reply;
+  std::vector<double> comm, imbalance, late;
+  reply.runs.reserve(inputs.size());
+  for (const AggregateInput& input : inputs) {
+    AggregateRun run;
+    run.globalId = input.globalId;
+    run.backend = input.backend;
+    run.name = input.name;
+    run.commFraction = runCommFraction(*input.store);
+    run.loadImbalance = runLoadImbalance(*input.store);
+    run.lateSenderFraction = runLateSenderFraction(*input.store);
+    comm.push_back(run.commFraction);
+    imbalance.push_back(run.loadImbalance);
+    late.push_back(run.lateSenderFraction);
+    reply.runs.push_back(std::move(run));
+  }
+  reply.commFraction = summarize(std::move(comm));
+  reply.loadImbalance = summarize(std::move(imbalance));
+  reply.lateSenderFraction = summarize(std::move(late));
+  return reply;
+}
+
+namespace {
+
+/// One run's series resampled onto `bins` equal slices of its own
+/// [origin, end of last bin) — relative time, so two runs of different
+/// length and epoch compare bin-for-bin. Source cells are split across
+/// target bins proportionally to overlap (double arithmetic; comparison
+/// is a diagnostic, not an exact-integer contract like .utm itself).
+struct Rebinned {
+  std::uint32_t bins = 0;
+  std::uint32_t tasks = 0;
+  std::vector<double> mpi;   ///< per target bin, summed over tasks
+  std::vector<double> wall;  ///< per target bin, summed over tasks
+  std::vector<double> busy;  ///< bin-major, bins × tasks
+
+  double comm(std::uint32_t b) const {
+    if (wall[b] <= 0) return 0.0;
+    return std::min(1.0, mpi[b] / wall[b]);
+  }
+  double imbalance(std::uint32_t b) const {
+    if (tasks == 0) return 0.0;
+    double maxBusy = 0, total = 0;
+    for (std::uint32_t k = 0; k < tasks; ++k) {
+      const double v = busy[static_cast<std::size_t>(b) * tasks + k];
+      maxBusy = std::max(maxBusy, v);
+      total += v;
+    }
+    if (maxBusy <= 0) return 0.0;
+    return (maxBusy - total / static_cast<double>(tasks)) / maxBusy;
+  }
+};
+
+Rebinned rebin(const MetricsStore& store, std::uint32_t bins) {
+  Rebinned out;
+  out.bins = bins;
+  out.tasks = store.taskCount();
+  out.mpi.assign(bins, 0.0);
+  out.wall.assign(bins, 0.0);
+  out.busy.assign(static_cast<std::size_t>(bins) * out.tasks, 0.0);
+  if (store.bins() == 0) return out;
+  const Tick origin = store.origin();
+  const Tick runEnd = store.binEnd(store.bins() - 1);
+  const double runSpan = static_cast<double>(runEnd - origin);
+  if (runSpan <= 0) return out;
+  const double targetWidth = runSpan / static_cast<double>(bins);
+  for (std::uint32_t sb = 0; sb < store.bins(); ++sb) {
+    const double s0 = static_cast<double>(store.binStart(sb) - origin);
+    const double s1 = static_cast<double>(store.binEnd(sb) - origin);
+    if (s1 <= s0) continue;
+    double srcMpi = 0, srcWall = 0;
+    for (std::uint32_t k = 0; k < out.tasks; ++k) {
+      srcMpi += static_cast<double>(store.timeNs(StateClass::kMpi, sb, k));
+      srcWall += (s1 - s0) * static_cast<double>(store.threadsPerTask()[k]);
+    }
+    const auto firstTarget =
+        static_cast<std::uint32_t>(std::min<double>(s0 / targetWidth,
+                                                    bins - 1));
+    for (std::uint32_t tb = firstTarget; tb < bins; ++tb) {
+      const double t0 = static_cast<double>(tb) * targetWidth;
+      const double t1 = (tb + 1 == bins) ? runSpan : t0 + targetWidth;
+      const double overlap = std::min(s1, t1) - std::max(s0, t0);
+      if (overlap <= 0) {
+        if (t0 >= s1) break;
+        continue;
+      }
+      const double frac = overlap / (s1 - s0);
+      out.mpi[tb] += frac * srcMpi;
+      out.wall[tb] += frac * srcWall;
+      for (std::uint32_t k = 0; k < out.tasks; ++k) {
+        out.busy[static_cast<std::size_t>(tb) * out.tasks + k] +=
+            frac *
+            static_cast<double>(store.timeNs(StateClass::kBusy, sb, k));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CompareReply compareStores(const MetricsStore& a, const MetricsStore& b,
+                           std::uint32_t bins) {
+  CompareReply reply;
+  reply.bins = bins;
+  const Rebinned ra = rebin(a, bins);
+  const Rebinned rb = rebin(b, bins);
+  reply.commDelta.reserve(bins);
+  reply.imbalanceDelta.reserve(bins);
+  for (std::uint32_t t = 0; t < bins; ++t) {
+    const double commDelta = rb.comm(t) - ra.comm(t);
+    const double imbalanceDelta = rb.imbalance(t) - ra.imbalance(t);
+    reply.commDelta.push_back(commDelta);
+    reply.imbalanceDelta.push_back(imbalanceDelta);
+    reply.maxAbsCommDelta =
+        std::max(reply.maxAbsCommDelta, std::abs(commDelta));
+    reply.maxAbsImbalanceDelta =
+        std::max(reply.maxAbsImbalanceDelta, std::abs(imbalanceDelta));
+  }
+  return reply;
+}
+
+}  // namespace ute

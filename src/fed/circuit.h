@@ -1,0 +1,95 @@
+// Per-backend circuit breaker (src/fed).
+//
+// A dead backend must cost the router one failed connect per cooldown
+// window, not one per client request. The breaker is the standard
+// three-state machine: Closed passes everything; `failureThreshold`
+// consecutive failures open it; an open circuit rejects until the
+// cooldown elapses, then admits exactly one probe (HalfOpen). A probe
+// success closes the circuit and resets the cooldown; a probe failure
+// re-opens it with the cooldown doubled (bounded by cooldownMaxMs), so a
+// backend that stays down is poked ever more rarely.
+//
+// Time is injected (steady_clock::time_point) so tests drive the machine
+// deterministically. Not internally synchronized: the registry guards
+// each breaker with its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+
+namespace ute {
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    int failureThreshold = 3;
+    int cooldownBaseMs = 200;
+    int cooldownMaxMs = 5000;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  State state() const { return state_; }
+
+  /// May a request go to this backend right now? An open circuit whose
+  /// cooldown has elapsed transitions to HalfOpen and admits this one
+  /// call as the probe; further calls are rejected until the probe
+  /// reports back through recordSuccess()/recordFailure().
+  bool allow(Clock::time_point now) {
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now >= reopenAt_) {
+          state_ = State::kHalfOpen;
+          return true;
+        }
+        return false;
+      case State::kHalfOpen:
+        return false;  // one probe in flight
+    }
+    return false;
+  }
+
+  void recordSuccess() {
+    state_ = State::kClosed;
+    failures_ = 0;
+    cooldownMs_ = options_.cooldownBaseMs;
+  }
+
+  void recordFailure(Clock::time_point now) {
+    ++failures_;
+    if (state_ == State::kHalfOpen) {
+      // The probe failed: back off harder.
+      cooldownMs_ = std::min(cooldownMs_ * 2, options_.cooldownMaxMs);
+      trip(now);
+    } else if (failures_ >= options_.failureThreshold) {
+      trip(now);
+    }
+  }
+
+  /// Forgets the cooldown (probeNow() uses this so tests and admin
+  /// sweeps can force an immediate reconnection attempt).
+  void resetCooldown() {
+    if (state_ == State::kOpen) reopenAt_ = Clock::time_point::min();
+  }
+
+ private:
+  void trip(Clock::time_point now) {
+    state_ = State::kOpen;
+    reopenAt_ = now + std::chrono::milliseconds(cooldownMs_);
+  }
+
+  Options options_;
+  State state_ = State::kClosed;
+  int failures_ = 0;
+  int cooldownMs_ = options_.cooldownBaseMs;
+  Clock::time_point reopenAt_ = Clock::time_point::min();
+};
+
+}  // namespace ute

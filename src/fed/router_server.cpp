@@ -1,0 +1,74 @@
+#include "fed/router_server.h"
+
+#include "server/protocol.h"
+#include "support/errors.h"
+
+namespace ute {
+
+RouterServer::RouterServer(RouterService& service, std::uint16_t port)
+    : service_(service), listener_(port) {
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+RouterServer::~RouterServer() { stop(); }
+
+void RouterServer::stop() {
+  stopping_.store(true);
+  listener_.close();
+  if (acceptThread_.joinable()) acceptThread_.join();
+  {
+    MutexLock lock(connectionsMu_);
+    for (auto& conn : connections_) conn->socket.shutdownBoth();
+  }
+  std::list<std::unique_ptr<Connection>> drained;
+  {
+    MutexLock lock(connectionsMu_);
+    drained.swap(connections_);
+  }
+  for (auto& conn : drained) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void RouterServer::acceptLoop() {
+  for (;;) {
+    std::optional<TcpSocket> client = listener_.accept();
+    if (!client) return;  // listener closed
+    if (stopping_.load()) return;
+    auto conn = std::make_unique<Connection>();
+    conn->socket = std::move(*client);
+    Connection* raw = conn.get();
+    {
+      MutexLock lock(connectionsMu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { serveConnection(*raw); });
+  }
+}
+
+void RouterServer::serveConnection(Connection& conn) {
+  ConnectionContext ctx;
+  try {
+    for (;;) {
+      const auto request = recvMessage(conn.socket);
+      if (!request) return;  // client hung up
+      RequestOutcome outcome = service_.handle(*request, ctx);
+      sendMessage(conn.socket, outcome.response);
+      if (outcome.shutdown) {
+        stopRequested_.store(true);
+        return;
+      }
+    }
+  } catch (const FormatError& e) {
+    try {
+      sendMessage(conn.socket,
+                  encodeErrorReply(ErrorCode::kBadRequest, e.what()));
+    } catch (const std::exception&) {
+      // The connection is already too broken to carry the explanation.
+    }
+  } catch (const std::exception&) {
+    // Torn connection: drop the client.
+  }
+}
+
+}  // namespace ute

@@ -1,0 +1,62 @@
+// RouterServer: the TCP front end of RouterService (src/fed).
+//
+// The same accept-loop shape as TraceServer (src/server/server.h): one
+// accept thread, one lightweight thread per connection decoding
+// length-prefixed requests. Unlike the backend there is no worker pool —
+// router requests are I/O-bound relays, and each connection thread
+// blocks on its own backend round trip, so concurrency comes from the
+// per-connection threads themselves. A client can stop the router with
+// kShutdown exactly like a backend.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <thread>
+
+#include "fed/router_service.h"
+#include "server/tcp.h"
+#include "support/thread_annotations.h"
+
+namespace ute {
+
+class RouterServer {
+ public:
+  /// Starts listening and accepting immediately. `service` must outlive
+  /// the server.
+  RouterServer(RouterService& service, std::uint16_t port);
+  ~RouterServer();
+
+  RouterServer(const RouterServer&) = delete;
+  RouterServer& operator=(const RouterServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// True once a client issued kShutdown (the owner should call stop()).
+  bool stopRequested() const { return stopRequested_.load(); }
+
+  /// Closes the listener, unblocks live connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop() UTE_EXCLUDES(connectionsMu_);
+
+ private:
+  struct Connection {
+    TcpSocket socket;
+    std::thread thread;
+  };
+
+  void acceptLoop() UTE_EXCLUDES(connectionsMu_);
+  void serveConnection(Connection& conn);
+
+  RouterService& service_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopRequested_{false};
+  std::thread acceptThread_;
+  Mutex connectionsMu_;
+  std::list<std::unique_ptr<Connection>> connections_
+      UTE_GUARDED_BY(connectionsMu_);
+};
+
+}  // namespace ute

@@ -1,0 +1,401 @@
+#include "fed/router_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "fed/aggregate.h"
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+ByteWriter okHeader() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ErrorCode::kOk));
+  return w;
+}
+
+bool isSingleTraceOp(Opcode op) {
+  switch (op) {
+    case Opcode::kInfo:
+    case Opcode::kStates:
+    case Opcode::kThreads:
+    case Opcode::kPreview:
+    case Opcode::kWindow:
+    case Opcode::kFrameAt:
+    case Opcode::kSummary:
+    case Opcode::kGetMetrics:
+    case Opcode::kTailFrames:
+    case Opcode::kTailMetrics:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Replies safe to keep in the hot-set tier: deterministic for a fixed
+/// backend generation. Tail ops advance with the feed and stay out.
+bool isCacheableOp(Opcode op) {
+  switch (op) {
+    case Opcode::kInfo:
+    case Opcode::kStates:
+    case Opcode::kThreads:
+    case Opcode::kPreview:
+    case Opcode::kWindow:
+    case Opcode::kFrameAt:
+    case Opcode::kSummary:
+    case Opcode::kGetMetrics:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t cacheKey(std::uint64_t generation, FrameEncoding encoding,
+                       std::span<const std::uint8_t> payload) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mixByte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  for (int i = 0; i < 8; ++i) {
+    mixByte(static_cast<std::uint8_t>((generation >> (i * 8)) & 0xff));
+  }
+  mixByte(static_cast<std::uint8_t>(encoding));
+  for (std::uint8_t b : payload) mixByte(b);
+  return h;
+}
+
+ErrorCode routerUsageCode(const std::string& what) {
+  if (what.rfind("unknown trace id", 0) == 0) return ErrorCode::kBadTrace;
+  if (what.rfind("no traces match", 0) == 0) return ErrorCode::kBadTrace;
+  return ErrorCode::kBadRequest;
+}
+
+}  // namespace
+
+RouterService::RouterService(const RouterOptions& options)
+    : options_(options),
+      registry_(options.registry),
+      cache_(std::max<std::size_t>(options.cacheBytes, 1),
+             std::max<std::size_t>(options.cacheShards, 1)) {
+  for (const BackendSpec& spec : options.backends) registry_.add(spec);
+  // Enumerate the fleet before serving: the first client's hello sees
+  // the real trace count, not a race with the health thread.
+  registry_.probe(true);
+  if (options_.healthIntervalMs > 0) {
+    healthThread_ = std::thread([this] { healthLoop(); });
+  }
+}
+
+RouterService::~RouterService() { stop(); }
+
+void RouterService::stop() {
+  stopping_.store(true);
+  if (healthThread_.joinable()) healthThread_.join();
+}
+
+void RouterService::healthLoop() {
+  for (;;) {
+    // Chunked sleep: ute::CondVar has no timed wait, and stop() must not
+    // block on a full health interval.
+    int waitedMs = 0;
+    while (waitedMs < options_.healthIntervalMs && !stopping_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      waitedMs += 20;
+    }
+    if (stopping_.load()) return;
+    registry_.probe(false);
+  }
+}
+
+RequestOutcome RouterService::handle(std::span<const std::uint8_t> payload,
+                                     ConnectionContext& ctx) {
+  RequestOutcome outcome;
+  if (payload.empty()) {
+    outcome.response =
+        encodeErrorReply(ErrorCode::kBadRequest, "empty request");
+    return outcome;
+  }
+  try {
+    return dispatch(payload, ctx);
+  } catch (const ServiceError& e) {
+    outcome.response = encodeErrorReply(e.code(), e.what());
+  } catch (const UsageError& e) {
+    outcome.response = encodeErrorReply(routerUsageCode(e.what()), e.what());
+  } catch (const FormatError& e) {
+    outcome.response = encodeErrorReply(ErrorCode::kBadRequest, e.what());
+  } catch (const IoError& e) {
+    // Every candidate backend failed: explicit backpressure, retry later.
+    outcome.response = encodeErrorReply(ErrorCode::kOverloaded, e.what());
+  } catch (const std::exception& e) {
+    outcome.response = encodeErrorReply(ErrorCode::kInternal, e.what());
+  }
+  return outcome;
+}
+
+RequestOutcome RouterService::dispatch(std::span<const std::uint8_t> payload,
+                                       ConnectionContext& ctx) {
+  ByteReader r(payload);
+  const auto op = static_cast<Opcode>(r.u8());
+  RequestOutcome outcome;
+
+  if (isSingleTraceOp(op)) {
+    outcome.response = proxy(payload, ctx);
+    return outcome;
+  }
+
+  switch (op) {
+    case Opcode::kHello: {
+      const std::uint32_t magic = r.u32();
+      const std::uint16_t version = r.u16();
+      if (magic != kQueryMagic || version < kMinProtocolVersion ||
+          version > kProtocolVersion) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadVersion,
+            "router speaks protocol versions " +
+                std::to_string(kMinProtocolVersion) + ".." +
+                std::to_string(kProtocolVersion));
+        return outcome;
+      }
+      const auto traceCount =
+          static_cast<std::uint32_t>(registry_.listTraces().size());
+      if (version < 2) {
+        ctx.frameEncoding = FrameEncoding::kRow;
+        ByteWriter w = okHeader();
+        w.u16(version);
+        w.u32(traceCount);
+        outcome.response = w.take();
+        return outcome;
+      }
+      const std::uint8_t accept = r.atEnd() ? std::uint8_t{0b01} : r.u8();
+      const std::uint8_t usable = accept & kSupportedFrameEncodings;
+      if (usable == 0) {
+        outcome.response = encodeErrorReply(
+            ErrorCode::kBadVersion, "no mutually supported frame encoding");
+        return outcome;
+      }
+      ctx.frameEncoding =
+          (usable &
+           (1u << static_cast<unsigned>(FrameEncoding::kColumnar)))
+              ? FrameEncoding::kColumnar
+              : FrameEncoding::kRow;
+      ByteWriter w = okHeader();
+      w.u16(kProtocolVersion);
+      w.u32(traceCount);
+      w.u8(static_cast<std::uint8_t>(ctx.frameEncoding));
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kListTraces: {
+      outcome.response = encodeListTracesReply(registry_.listTraces()).take();
+      return outcome;
+    }
+    case Opcode::kAggregateMetrics: {
+      outcome.response = handleAggregate(r, ctx);
+      return outcome;
+    }
+    case Opcode::kCompareTraces: {
+      outcome.response = handleCompare(r, ctx);
+      return outcome;
+    }
+    case Opcode::kAddBackend: {
+      const std::string name = r.lstring();
+      const std::string hostPort = r.lstring();
+      registry_.add(parseBackendSpec(name, hostPort));
+      // Enumerate the newcomer right away so its traces are visible to
+      // the client that added it.
+      registry_.probe(true);
+      outcome.response = okHeader().take();
+      return outcome;
+    }
+    case Opcode::kRemoveBackend: {
+      registry_.remove(r.lstring());
+      outcome.response = okHeader().take();
+      return outcome;
+    }
+    case Opcode::kStats: {
+      // The router's own stats: the hot-set cache plus a zero pool (the
+      // router has no worker pool; connection threads do the I/O).
+      const CacheStats cache = cache_.stats();
+      ByteWriter w = okHeader();
+      w.u64(cache.hits);
+      w.u64(cache.misses);
+      w.u64(cache.evictions);
+      w.u64(cache.bytes);
+      w.u64(cache.entries);
+      w.u64(0);
+      w.u64(0);
+      w.u64(0);
+      outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kShutdown: {
+      outcome.response = okHeader().take();
+      outcome.shutdown = true;
+      return outcome;
+    }
+    default:
+      break;
+  }
+  outcome.response = encodeErrorReply(
+      ErrorCode::kBadRequest,
+      "unknown opcode " + std::to_string(static_cast<unsigned>(payload[0])));
+  return outcome;
+}
+
+std::vector<std::uint8_t> RouterService::proxy(
+    std::span<const std::uint8_t> payload, ConnectionContext& ctx) {
+  if (payload.size() < 5) {
+    throw FormatError("truncated single-trace request");
+  }
+  const auto op = static_cast<Opcode>(payload[0]);
+  const std::uint32_t globalId =
+      static_cast<std::uint32_t>(payload[1]) |
+      (static_cast<std::uint32_t>(payload[2]) << 8) |
+      (static_cast<std::uint32_t>(payload[3]) << 16) |
+      (static_cast<std::uint32_t>(payload[4]) << 24);
+  const std::vector<BackendRegistry::Route> routes =
+      registry_.routesFor(globalId);
+  if (routes.empty()) {
+    throw UsageError("unknown trace id " + std::to_string(globalId));
+  }
+  const bool cacheable = options_.cacheBytes > 0 && isCacheableOp(op) &&
+                         !routes.front().live;
+  const std::uint64_t key =
+      cacheKey(routes.front().generation, ctx.frameEncoding, payload);
+  if (cacheable) {
+    if (const auto hit = cache_.lookup(key)) return *hit;
+  }
+  const int attempts = std::max(0, options_.proxyRetries) + 1;
+  std::string lastError = "no candidate backend";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const long long delay = static_cast<long long>(
+                                  options_.proxyBackoffBaseMs)
+                              << std::min(attempt - 1, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<long long>(delay, options_.proxyBackoffMaxMs)));
+    }
+    // The last pass resets circuit cooldowns: a backend that just came
+    // back is reconnected now instead of erroring until its cooldown
+    // expires.
+    const bool force = attempt == attempts - 1;
+    try {
+      std::vector<std::uint8_t> response =
+          tryRoutes(routes, payload, ctx.frameEncoding, force);
+      if (cacheable) {
+        cache_.insert(
+            key,
+            std::make_shared<const std::vector<std::uint8_t>>(response),
+            response.size() + 64);
+      }
+      return response;
+    } catch (const IoError& e) {
+      lastError = e.what();
+    }
+  }
+  throw IoError("trace " + std::to_string(globalId) +
+                " unavailable: " + lastError);
+}
+
+std::vector<std::uint8_t> RouterService::tryRoutes(
+    const std::vector<BackendRegistry::Route>& routes,
+    std::span<const std::uint8_t> payload, FrameEncoding encoding,
+    bool force) {
+  std::string lastError = "all circuits open";
+  for (const BackendRegistry::Route& route : routes) {
+    BackendRegistry::Lease lease;
+    try {
+      lease = registry_.borrow(route.backend, encoding, force);
+    } catch (const std::exception& e) {
+      lastError = e.what();
+      continue;
+    }
+    // Rewrite the global trace id to the backend's local id; everything
+    // else is relayed untouched, response bytes verbatim.
+    std::vector<std::uint8_t> patched(payload.begin(), payload.end());
+    patched[1] = static_cast<std::uint8_t>(route.localId & 0xff);
+    patched[2] = static_cast<std::uint8_t>((route.localId >> 8) & 0xff);
+    patched[3] = static_cast<std::uint8_t>((route.localId >> 16) & 0xff);
+    patched[4] = static_cast<std::uint8_t>((route.localId >> 24) & 0xff);
+    try {
+      std::vector<std::uint8_t> response = lease.client->roundTrip(patched);
+      registry_.giveBack(std::move(lease), true);
+      return response;
+    } catch (const std::exception& e) {
+      lastError = e.what();
+      registry_.giveBack(std::move(lease), false);
+    }
+  }
+  throw IoError(lastError);
+}
+
+MetricsStore RouterService::fetchMetrics(std::uint32_t globalId,
+                                         std::uint32_t bins,
+                                         ConnectionContext& ctx) {
+  const ByteWriter request = encodeMetricsRequest(globalId, bins);
+  // decodeMetricsReply throws ServiceError on a relayed error frame,
+  // which handle() converts back to the same code for our client.
+  return decodeMetricsReply(proxy(request.view(), ctx));
+}
+
+std::vector<std::uint8_t> RouterService::handleAggregate(
+    ByteReader& r, ConnectionContext& ctx) {
+  const std::string pattern = r.lstring();
+  std::uint32_t bins = r.u32();
+  if (bins == 0) bins = options_.defaultFanoutBins;
+  if (bins > kMaxMetricsBins) {
+    throw UsageError("metrics bins capped at " +
+                     std::to_string(kMaxMetricsBins));
+  }
+  std::vector<FedTraceEntry> matching;
+  for (FedTraceEntry& entry : registry_.listTraces()) {
+    if (entry.live) continue;  // metrics need the finished file
+    const std::string qualified = entry.backend + "/" + entry.name;
+    if (pattern.empty() || qualified.find(pattern) != std::string::npos) {
+      matching.push_back(std::move(entry));
+    }
+  }
+  if (matching.empty()) {
+    throw UsageError("no traces match pattern '" + pattern + "'");
+  }
+  // Scatter: one GetMetrics per matching trace through the normal proxy
+  // path (pooled connections, circuit breakers, cache). Gather into the
+  // pure reducers so the oracle test can replay the reduction exactly.
+  std::vector<MetricsStore> stores;
+  stores.reserve(matching.size());
+  for (const FedTraceEntry& entry : matching) {
+    stores.push_back(fetchMetrics(entry.globalId, bins, ctx));
+  }
+  std::vector<AggregateInput> inputs;
+  inputs.reserve(matching.size());
+  for (std::size_t i = 0; i < matching.size(); ++i) {
+    AggregateInput input;
+    input.globalId = matching[i].globalId;
+    input.backend = matching[i].backend;
+    input.name = matching[i].name;
+    input.store = &stores[i];
+    inputs.push_back(std::move(input));
+  }
+  return encodeAggregateReply(aggregateStores(inputs)).take();
+}
+
+std::vector<std::uint8_t> RouterService::handleCompare(
+    ByteReader& r, ConnectionContext& ctx) {
+  const std::uint32_t idA = r.u32();
+  const std::uint32_t idB = r.u32();
+  std::uint32_t bins = r.u32();
+  if (bins == 0) bins = options_.defaultFanoutBins;
+  if (bins > kMaxMetricsBins) {
+    throw UsageError("metrics bins capped at " +
+                     std::to_string(kMaxMetricsBins));
+  }
+  const MetricsStore a = fetchMetrics(idA, bins, ctx);
+  const MetricsStore b = fetchMetrics(idB, bins, ctx);
+  return encodeCompareReply(compareStores(a, b, bins)).take();
+}
+
+}  // namespace ute

@@ -1,26 +1,58 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "support/errors.h"
 
 namespace ute {
 
+int backoffDelayMs(const ClientOptions& options, int attempt) {
+  const int shift = std::min(attempt, 20);  // avoid UB on huge attempt
+  const long long delay =
+      static_cast<long long>(options.backoffBaseMs) << shift;
+  return static_cast<int>(
+      std::min<long long>(delay, options.backoffMaxMs));
+}
+
 TraceClient::TraceClient(const std::string& host, std::uint16_t port)
-    : socket_(TcpSocket::connectTo(host, port)) {
-  const ByteWriter hello = encodeHelloRequest();
+    : TraceClient(host, port, ClientOptions{}) {}
+
+TraceClient::TraceClient(const std::string& host, std::uint16_t port,
+                         const ClientOptions& options)
+    : host_(host), port_(port), options_(options) {
+  // Bounded exponential-backoff retry around connect + hello. Transport
+  // failures (refused, timed out, dropped mid-handshake — e.g. the
+  // server was restarting) retry; ServiceError is a deterministic
+  // protocol answer and propagates immediately.
+  std::string lastError;
+  const int attempts = std::max(0, options_.retries) + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoffDelayMs(options_, attempt - 1)));
+    }
+    try {
+      connectAndHello();
+      return;
+    } catch (const IoError& e) {
+      lastError = e.what();
+    }
+  }
+  throw IoError("connect failed after " + std::to_string(attempts) +
+                " attempt(s): " + lastError + netContext(host_, port_));
+}
+
+void TraceClient::connectAndHello() {
+  socket_ = TcpSocket::connectTo(host_, port_, options_.connectTimeoutMs);
+  if (options_.recvTimeoutMs > 0) {
+    socket_.setRecvTimeout(options_.recvTimeoutMs);
+  }
   HelloReply reply;
   try {
-    reply = decodeHelloReply(roundTrip(hello.view()));
-  } catch (const IoError& e) {
-    // The server may have dropped us between accept and the handshake
-    // (e.g. it was restarting). One reconnect attempt, with the original
-    // failure noted if it fails again.
-    try {
-      socket_ = TcpSocket::connectTo(host, port);
-      reply = decodeHelloReply(roundTrip(hello.view()));
-    } catch (const std::exception& retryErr) {
-      throw IoError(std::string("handshake failed twice: ") + e.what() +
-                    "; retry: " + retryErr.what());
-    }
+    reply = decodeHelloReply(
+        roundTrip(encodeHelloRequest(options_.acceptEncodings).view()));
   } catch (const ServiceError& e) {
     if (e.code() != ErrorCode::kBadVersion) throw;
     // A pre-v2 server rejects the v2 hello outright; fall back to the
@@ -117,6 +149,31 @@ ServiceStats TraceClient::stats() {
 
 void TraceClient::shutdownServer() {
   decodeOkReply(roundTrip(encodeShutdownRequest().view()));
+}
+
+std::vector<FedTraceEntry> TraceClient::listTraces() {
+  return decodeListTracesReply(roundTrip(encodeListTracesRequest().view()));
+}
+
+AggregateReply TraceClient::aggregateMetrics(const std::string& pattern,
+                                             std::uint32_t bins) {
+  return decodeAggregateReply(
+      roundTrip(encodeAggregateMetricsRequest(pattern, bins).view()));
+}
+
+CompareReply TraceClient::compareTraces(std::uint32_t idA, std::uint32_t idB,
+                                        std::uint32_t bins) {
+  return decodeCompareReply(
+      roundTrip(encodeCompareTracesRequest(idA, idB, bins).view()));
+}
+
+void TraceClient::addBackend(const std::string& name,
+                             const std::string& hostPort) {
+  decodeOkReply(roundTrip(encodeAddBackendRequest(name, hostPort).view()));
+}
+
+void TraceClient::removeBackend(const std::string& name) {
+  decodeOkReply(roundTrip(encodeRemoveBackendRequest(name).view()));
 }
 
 }  // namespace ute

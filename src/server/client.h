@@ -17,11 +17,40 @@
 
 namespace ute {
 
+/// Connection policy shared by every consumer of the protocol client —
+/// the CLI tools, the federation router's backend connections, and
+/// tests. All timeouts are milliseconds; 0 disables the bound.
+struct ClientOptions {
+  /// Bound on the TCP connect itself (0 = kernel default, minutes).
+  int connectTimeoutMs = 5000;
+  /// Bound on any single response read (SO_RCVTIMEO; 0 = unbounded).
+  /// Leave 0 for tail ops, which block server-side until data arrives.
+  int recvTimeoutMs = 0;
+  /// Extra connect+hello attempts after the first failure. Transport
+  /// errors (IoError) retry; protocol errors (ServiceError) never do.
+  int retries = 2;
+  /// Exponential backoff between attempts: base << attempt, capped.
+  int backoffBaseMs = 50;
+  int backoffMaxMs = 1000;
+  /// FrameEncoding bitmask advertised in hello. The federation router
+  /// narrows this to exactly the client-side encoding so relayed reply
+  /// bytes match a direct connection bit-for-bit.
+  std::uint8_t acceptEncodings = kSupportedFrameEncodings;
+};
+
+/// Backoff delay before retry number `attempt` (0-based), bounded by
+/// `backoffMaxMs`. Exposed so the router's proxy loop and the client
+/// share one schedule.
+int backoffDelayMs(const ClientOptions& options, int attempt);
+
 class TraceClient {
  public:
   /// Connects and completes the hello handshake (throws ServiceError on
-  /// a version mismatch, IoError if the server is unreachable).
+  /// a version mismatch, IoError if the server stays unreachable across
+  /// the configured retries).
   TraceClient(const std::string& host, std::uint16_t port);
+  TraceClient(const std::string& host, std::uint16_t port,
+              const ClientOptions& options);
 
   std::uint32_t traceCount() const { return traceCount_; }
   /// The frame encoding negotiated in hello (columnar against a v2
@@ -49,12 +78,29 @@ class TraceClient {
   /// Asks the server to stop accepting and shut down.
   void shutdownServer();
 
+  // Federation ops — only a uterouter answers these; a plain backend
+  // returns kBadRequest (surfaced here as ServiceError).
+  std::vector<FedTraceEntry> listTraces();
+  AggregateReply aggregateMetrics(const std::string& pattern,
+                                  std::uint32_t bins = 0);
+  CompareReply compareTraces(std::uint32_t idA, std::uint32_t idB,
+                             std::uint32_t bins = 0);
+  void addBackend(const std::string& name, const std::string& hostPort);
+  void removeBackend(const std::string& name);
+
   /// Sends a raw request payload and returns the raw response payload —
   /// the byte-identity hook the integration tests compare against a
   /// local processRequest() on the same SLOG file.
   std::vector<std::uint8_t> roundTrip(std::span<const std::uint8_t> payload);
 
  private:
+  /// One connect + hello. Throws IoError / ServiceError; on kBadVersion
+  /// falls back to the exact v1 handshake before giving up.
+  void connectAndHello();
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
   TcpSocket socket_;
   std::uint32_t traceCount_ = 0;
   FrameEncoding frameEncoding_ = FrameEncoding::kRow;

@@ -4,41 +4,29 @@
 // hot time window maps to the same handful of frames every time; decoding
 // a frame (seek + read + record parse) once and sharing the result across
 // all clients is where the service's warm-path speedup comes from. The
-// cache is sharded — each shard owns its own mutex, LRU list, byte
-// budget and counters — so concurrent readers touching different frames
-// do not serialize on one lock. Values are shared_ptr<const ...>: an
-// entry can be evicted while clients still hold (and keep using) it.
+// sharding / byte-budget / eviction machinery is the generic
+// ShardedCache (src/support/sharded_cache.h) — the same implementation
+// the federation router's hot-set reply tier uses; this class only adds
+// the frame-specific budget accounting.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <memory>
-#include <unordered_map>
-#include <vector>
 
 #include "slog/slog_format.h"
-#include "support/thread_annotations.h"
+#include "support/sharded_cache.h"
 
 namespace ute {
 
 class FrameCache {
  public:
   using FramePtr = SlogFramePtr;
-
-  /// Aggregated over all shards. hits+misses counts lookups; evictions
-  /// counts entries dropped to stay within the byte budget.
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t bytes = 0;
-    std::uint64_t entries = 0;
-  };
+  using Stats = CacheStats;
 
   /// `byteBudget` is split evenly across `shards` (each shard evicts
   /// independently once its slice is full).
-  FrameCache(std::size_t byteBudget, std::size_t shards);
+  FrameCache(std::size_t byteBudget, std::size_t shards)
+      : cache_(byteBudget, shards) {}
 
   /// Returns the cached frame for `key`, or obtains it via `loader` on a
   /// miss. The loader returns the shared immutable handle directly (no
@@ -47,48 +35,33 @@ class FrameCache {
   /// threads miss on the same key at once, both load and the first insert
   /// wins — every caller then holds the same single frame buffer.
   FramePtr getOrLoad(std::uint64_t key,
-                     const std::function<FramePtr()>& loader);
+                     const std::function<FramePtr()>& loader) {
+    return cache_.getOrLoad(key, [&loader] {
+      ShardedCache<SlogFrameData>::Loaded loaded;
+      loaded.value = loader();
+      loaded.bytes = frameBytes(*loaded.value);
+      return loaded;
+    });
+  }
 
   /// Hit-or-nullptr probe (counts toward hits/misses).
-  FramePtr lookup(std::uint64_t key);
+  FramePtr lookup(std::uint64_t key) { return cache_.lookup(key); }
 
-  Stats stats() const;
-  void clear();
+  Stats stats() const { return cache_.stats(); }
+  void clear() { cache_.clear(); }
 
-  std::size_t byteBudget() const { return byteBudget_; }
-  std::size_t shardCount() const { return shardCount_; }
+  std::size_t byteBudget() const { return cache_.byteBudget(); }
+  std::size_t shardCount() const { return cache_.shardCount(); }
 
   /// Budget accounting charge for one decoded frame.
-  static std::size_t frameBytes(const SlogFrameData& frame);
+  static std::size_t frameBytes(const SlogFrameData& frame) {
+    return sizeof(SlogFrameData) +
+           frame.intervals.size() * sizeof(SlogInterval) +
+           frame.arrows.size() * sizeof(SlogArrow);
+  }
 
  private:
-  struct Entry {
-    std::uint64_t key = 0;
-    FramePtr frame;
-    std::size_t bytes = 0;
-  };
-  /// Front of `lru` is most recently used. Each shard is its own
-  /// capability: two threads touching different shards never share a
-  /// lock, and the analysis checks every field access against the
-  /// owning shard's mutex.
-  struct Shard {
-    mutable Mutex mu;
-    std::list<Entry> lru UTE_GUARDED_BY(mu);
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> byKey
-        UTE_GUARDED_BY(mu);
-    std::size_t bytes UTE_GUARDED_BY(mu) = 0;
-    std::uint64_t hits UTE_GUARDED_BY(mu) = 0;
-    std::uint64_t misses UTE_GUARDED_BY(mu) = 0;
-    std::uint64_t evictions UTE_GUARDED_BY(mu) = 0;
-  };
-
-  Shard& shardFor(std::uint64_t key);
-  void evictOver(Shard& shard) UTE_REQUIRES(shard.mu);
-
-  std::size_t byteBudget_;
-  std::size_t shardCount_;
-  std::size_t shardBudget_;
-  std::unique_ptr<Shard[]> shards_;
+  ShardedCache<SlogFrameData> cache_;
 };
 
 }  // namespace ute

@@ -226,6 +226,47 @@ ByteWriter encodeTailMetricsRequest(std::uint32_t traceId) {
   return w;
 }
 
+ByteWriter encodeListTracesRequest() {
+  ByteWriter w;
+  putOpcode(w, Opcode::kListTraces);
+  return w;
+}
+
+ByteWriter encodeAggregateMetricsRequest(const std::string& pattern,
+                                         std::uint32_t bins) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kAggregateMetrics);
+  w.lstring(pattern);
+  w.u32(bins);
+  return w;
+}
+
+ByteWriter encodeCompareTracesRequest(std::uint32_t idA, std::uint32_t idB,
+                                      std::uint32_t bins) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kCompareTraces);
+  w.u32(idA);
+  w.u32(idB);
+  w.u32(bins);
+  return w;
+}
+
+ByteWriter encodeAddBackendRequest(const std::string& name,
+                                   const std::string& hostPort) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kAddBackend);
+  w.lstring(name);
+  w.lstring(hostPort);
+  return w;
+}
+
+ByteWriter encodeRemoveBackendRequest(const std::string& name) {
+  ByteWriter w;
+  putOpcode(w, Opcode::kRemoveBackend);
+  w.lstring(name);
+  return w;
+}
+
 // --- response decoding ------------------------------------------------------
 
 HelloReply decodeHelloReply(std::span<const std::uint8_t> payload) {
@@ -400,6 +441,130 @@ TailMetricsReply decodeTailMetricsReply(
   const std::span<const std::uint8_t> rest = payload.subspan(r.pos());
   reply.blob.assign(rest.begin(), rest.end());
   if (!reply.blob.empty()) reply.store = MetricsStore::decode(reply.blob);
+  return reply;
+}
+
+namespace {
+
+void putDistribution(ByteWriter& w, const Distribution& d) {
+  w.f64(d.min);
+  w.f64(d.max);
+  w.f64(d.mean);
+  w.f64(d.p50);
+  w.f64(d.p99);
+}
+
+Distribution takeDistribution(ByteReader& r) {
+  Distribution d;
+  d.min = r.f64();
+  d.max = r.f64();
+  d.mean = r.f64();
+  d.p50 = r.f64();
+  d.p99 = r.f64();
+  return d;
+}
+
+}  // namespace
+
+ByteWriter encodeListTracesReply(const std::vector<FedTraceEntry>& entries) {
+  ByteWriter w = okHeader();
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const FedTraceEntry& e : entries) {
+    w.u32(e.globalId);
+    w.lstring(e.backend);
+    w.lstring(e.name);
+    w.u8(e.live ? 1 : 0);
+    w.u64(e.totalStart);
+    w.u64(e.totalEnd);
+    w.u32(e.frames);
+    w.u64(e.generation);
+  }
+  return w;
+}
+
+std::vector<FedTraceEntry> decodeListTracesReply(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  const std::uint32_t count = r.u32();
+  std::vector<FedTraceEntry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FedTraceEntry e;
+    e.globalId = r.u32();
+    e.backend = r.lstring();
+    e.name = r.lstring();
+    e.live = r.u8() != 0;
+    e.totalStart = r.u64();
+    e.totalEnd = r.u64();
+    e.frames = r.u32();
+    e.generation = r.u64();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+ByteWriter encodeAggregateReply(const AggregateReply& reply) {
+  ByteWriter w = okHeader();
+  w.u32(static_cast<std::uint32_t>(reply.runs.size()));
+  for (const AggregateRun& run : reply.runs) {
+    w.u32(run.globalId);
+    w.lstring(run.backend);
+    w.lstring(run.name);
+    w.f64(run.commFraction);
+    w.f64(run.loadImbalance);
+    w.f64(run.lateSenderFraction);
+  }
+  putDistribution(w, reply.commFraction);
+  putDistribution(w, reply.loadImbalance);
+  putDistribution(w, reply.lateSenderFraction);
+  return w;
+}
+
+AggregateReply decodeAggregateReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  AggregateReply reply;
+  const std::uint32_t count = r.u32();
+  reply.runs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AggregateRun run;
+    run.globalId = r.u32();
+    run.backend = r.lstring();
+    run.name = r.lstring();
+    run.commFraction = r.f64();
+    run.loadImbalance = r.f64();
+    run.lateSenderFraction = r.f64();
+    reply.runs.push_back(std::move(run));
+  }
+  reply.commFraction = takeDistribution(r);
+  reply.loadImbalance = takeDistribution(r);
+  reply.lateSenderFraction = takeDistribution(r);
+  return reply;
+}
+
+ByteWriter encodeCompareReply(const CompareReply& reply) {
+  ByteWriter w = okHeader();
+  w.u32(reply.bins);
+  w.f64(reply.maxAbsCommDelta);
+  w.f64(reply.maxAbsImbalanceDelta);
+  for (double v : reply.commDelta) w.f64(v);
+  for (double v : reply.imbalanceDelta) w.f64(v);
+  return w;
+}
+
+CompareReply decodeCompareReply(std::span<const std::uint8_t> payload) {
+  ByteReader r = openReply(payload);
+  CompareReply reply;
+  reply.bins = r.u32();
+  reply.maxAbsCommDelta = r.f64();
+  reply.maxAbsImbalanceDelta = r.f64();
+  reply.commDelta.reserve(reply.bins);
+  reply.imbalanceDelta.reserve(reply.bins);
+  for (std::uint32_t i = 0; i < reply.bins; ++i) {
+    reply.commDelta.push_back(r.f64());
+  }
+  for (std::uint32_t i = 0; i < reply.bins; ++i) {
+    reply.imbalanceDelta.push_back(r.f64());
+  }
   return reply;
 }
 
@@ -677,6 +842,20 @@ RequestOutcome dispatch(TraceService& service,
         return outcome;
       }
       outcome.response = w.take();
+      return outcome;
+    }
+    case Opcode::kListTraces:
+    case Opcode::kAggregateMetrics:
+    case Opcode::kCompareTraces:
+    case Opcode::kAddBackend:
+    case Opcode::kRemoveBackend: {
+      // Federation ops are answered by uterouter; a plain backend
+      // declines them explicitly so a misdirected client gets a clear
+      // answer instead of "unknown opcode".
+      outcome.response = encodeErrorReply(
+          ErrorCode::kBadRequest,
+          "federation op " + std::to_string(static_cast<unsigned>(op)) +
+              " requires a uterouter, not a plain backend");
       return outcome;
     }
   }

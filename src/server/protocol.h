@@ -60,6 +60,19 @@ enum class Opcode : std::uint8_t {
   kTailFrames = 12,
   /// The incrementally extended live metrics blob + watermark.
   kTailMetrics = 13,
+  // Federation ops (docs/FEDERATION.md), answered by uterouter. A plain
+  // backend answers them with kBadRequest; the single-trace ops above
+  // keep their frozen layouts so a router is byte-transparent for them.
+  /// Merged registry view: every trace on every registered backend.
+  kListTraces = 14,
+  /// Scatter kGetMetrics to backends whose traces match a name pattern,
+  /// reduce the per-trace .utm blobs into cross-trace series.
+  kAggregateMetrics = 15,
+  /// Pairwise binned-metrics delta between two federated traces.
+  kCompareTraces = 16,
+  /// Admin: add/remove a backend in the router's registry at runtime.
+  kAddBackend = 17,
+  kRemoveBackend = 18,
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -107,6 +120,57 @@ struct ServiceStats {
   WorkerPool::Stats pool;
 };
 
+// --- federation wire types --------------------------------------------------
+// Defined here (not in src/fed) because they are protocol surface: the
+// router encodes them, any client decodes them, and protocol_test.cpp
+// pins their layouts alongside the single-trace ops.
+
+/// One row of the merged registry view (kListTraces).
+struct FedTraceEntry {
+  std::uint32_t globalId = 0;
+  std::string backend;  ///< registry name of the owning backend
+  std::string name;     ///< trace path/name as the backend reports it
+  bool live = false;
+  Tick totalStart = 0;
+  Tick totalEnd = 0;
+  std::uint32_t frames = 0;
+  /// Bumped whenever the backend's view of this trace may have changed
+  /// (reconnect, re-enumeration); versions the router's reply cache.
+  std::uint64_t generation = 0;
+};
+
+/// Five-number summary of a per-run series (nearest-rank percentiles).
+struct Distribution {
+  double min = 0, max = 0, mean = 0, p50 = 0, p99 = 0;
+};
+
+/// Whole-run scalars for one trace inside an aggregate.
+struct AggregateRun {
+  std::uint32_t globalId = 0;
+  std::string backend;
+  std::string name;
+  double commFraction = 0;       ///< Σ mpi / Σ (busy + mpi + io)
+  double loadImbalance = 0;      ///< (max - mean) / max of per-task busy
+  double lateSenderFraction = 0; ///< Σ late-sender / Σ (busy + mpi + io)
+};
+
+struct AggregateReply {
+  std::vector<AggregateRun> runs;
+  Distribution commFraction;
+  Distribution loadImbalance;
+  Distribution lateSenderFraction;
+};
+
+/// Per-bin deltas (B - A) after rebinning both traces onto a common
+/// relative-time axis of `bins` bins.
+struct CompareReply {
+  std::uint32_t bins = 0;
+  double maxAbsCommDelta = 0;
+  double maxAbsImbalanceDelta = 0;
+  std::vector<double> commDelta;
+  std::vector<double> imbalanceDelta;
+};
+
 // --- request encoding (client side) ---------------------------------------
 
 /// v2 hello advertising `accept`, a bitmask of FrameEncoding values.
@@ -129,6 +193,17 @@ ByteWriter encodeTailFramesRequest(std::uint32_t traceId,
                                    std::uint64_t cursor,
                                    std::uint32_t maxFrames);
 ByteWriter encodeTailMetricsRequest(std::uint32_t traceId);
+// Federation requests (router-only ops).
+ByteWriter encodeListTracesRequest();
+/// `pattern` is a substring match against "backend/name" (empty matches
+/// everything); bins = 0 asks for the router default.
+ByteWriter encodeAggregateMetricsRequest(const std::string& pattern,
+                                         std::uint32_t bins);
+ByteWriter encodeCompareTracesRequest(std::uint32_t idA, std::uint32_t idB,
+                                      std::uint32_t bins);
+ByteWriter encodeAddBackendRequest(const std::string& name,
+                                   const std::string& hostPort);
+ByteWriter encodeRemoveBackendRequest(const std::string& name);
 
 // --- response decoding (client side) ---------------------------------------
 // Each checks the status byte and throws ServiceError on an error frame.
@@ -185,6 +260,16 @@ struct TailMetricsReply {
   MetricsStore store;
 };
 TailMetricsReply decodeTailMetricsReply(std::span<const std::uint8_t> payload);
+
+// Federation replies. The encoders live beside the decoders because the
+// router (not TraceService) produces these frames.
+ByteWriter encodeListTracesReply(const std::vector<FedTraceEntry>& entries);
+std::vector<FedTraceEntry> decodeListTracesReply(
+    std::span<const std::uint8_t> payload);
+ByteWriter encodeAggregateReply(const AggregateReply& reply);
+AggregateReply decodeAggregateReply(std::span<const std::uint8_t> payload);
+ByteWriter encodeCompareReply(const CompareReply& reply);
+CompareReply decodeCompareReply(std::span<const std::uint8_t> payload);
 
 // --- server dispatch --------------------------------------------------------
 

@@ -1,8 +1,10 @@
 #include "server/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -44,7 +46,8 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
   return *this;
 }
 
-TcpSocket TcpSocket::connectTo(const std::string& host, std::uint16_t port) {
+TcpSocket TcpSocket::connectTo(const std::string& host, std::uint16_t port,
+                               int timeoutMs) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throwErrno("socket");
   TcpSocket socket(fd);
@@ -52,11 +55,45 @@ TcpSocket TcpSocket::connectTo(const std::string& host, std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw IoError("bad host address: " + host);
+    throw IoError("bad host address" + netContext(host, port));
   }
+  if (timeoutMs <= 0) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      throw IoError(std::string("connect failed: ") + std::strerror(errno) +
+                    netContext(host, port));
+    }
+    setNoDelay(fd);
+    return socket;
+  }
+  // Bounded connect: go non-blocking for the handshake, poll for
+  // writability, read SO_ERROR for the verdict, then restore blocking
+  // mode for the plain send/recv loops.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    throwErrno("connect to " + host + ":" + std::to_string(port));
+    if (errno != EINPROGRESS) {
+      throw IoError(std::string("connect failed: ") + std::strerror(errno) +
+                    netContext(host, port));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, timeoutMs);
+    } while (ready < 0 && errno == EINTR);
+    if (ready == 0) {
+      throw IoError("connect timed out after " + std::to_string(timeoutMs) +
+                    "ms" + netContext(host, port));
+    }
+    if (ready < 0) throwErrno("poll");
+    int soError = 0;
+    socklen_t len = sizeof soError;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len);
+    if (soError != 0) {
+      throw IoError(std::string("connect failed: ") +
+                    std::strerror(soError) + netContext(host, port));
+    }
   }
+  ::fcntl(fd, F_SETFL, flags);
   setNoDelay(fd);
   return socket;
 }

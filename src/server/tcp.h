@@ -27,8 +27,13 @@ class TcpSocket {
   TcpSocket(const TcpSocket&) = delete;
   TcpSocket& operator=(const TcpSocket&) = delete;
 
-  /// Connects to host:port; throws IoError on failure.
-  static TcpSocket connectTo(const std::string& host, std::uint16_t port);
+  /// Connects to host:port; throws IoError on failure. With
+  /// `timeoutMs > 0` the connect itself is bounded: a peer that neither
+  /// accepts nor refuses within the budget fails with "connect timed
+  /// out" instead of blocking for the kernel's (minutes-long) SYN
+  /// retry cycle. Every failure names the endpoint (netContext).
+  static TcpSocket connectTo(const std::string& host, std::uint16_t port,
+                             int timeoutMs = 0);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }

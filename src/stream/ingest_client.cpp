@@ -9,7 +9,9 @@ namespace ute {
 
 IngestClient::IngestClient(const std::string& host, std::uint16_t port,
                            NodeId node, std::size_t maxBatchBytes)
-    : socket_(TcpSocket::connectTo(host, port)),
+    // Bounded connect (5s): an unreachable ingest endpoint fails fast
+    // with the endpoint named instead of hanging in the SYN retry cycle.
+    : socket_(TcpSocket::connectTo(host, port, 5000)),
       node_(node),
       maxBatchBytes_(maxBatchBytes == 0 ? 1 : maxBatchBytes) {
   roundTrip(encodeIngestHello(node));

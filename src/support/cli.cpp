@@ -57,6 +57,12 @@ Endpoint parseEndpoint(const std::string& text, const std::string& what) {
 }
 
 std::optional<Endpoint> CliParser::endpoint() const {
+  // --router is the federation spelling of --connect: same address
+  // syntax, but it names a uterouter front door instead of a single
+  // backend. The wire protocol is identical, so tools treat both alike.
+  if (const auto router = value("router")) {
+    return parseEndpoint(*router, "--router");
+  }
   if (const auto connect = value("connect")) {
     return parseEndpoint(*connect, "--connect");
   }

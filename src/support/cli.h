@@ -41,10 +41,11 @@ class CliParser {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
-  /// The shared server-address convention: --connect HOST:PORT (or a
-  /// bare port), else the --host/--port pair. nullopt when no address
-  /// was given; throws UsageError on a malformed one. Callers listing
-  /// value options must include "connect", "host" and "port".
+  /// The shared server-address convention: --router HOST:PORT (a
+  /// uterouter front door), else --connect HOST:PORT (or a bare port),
+  /// else the --host/--port pair. nullopt when no address was given;
+  /// throws UsageError on a malformed one. Callers listing value
+  /// options must include "router", "connect", "host" and "port".
   std::optional<Endpoint> endpoint() const;
 
   /// The shared --trace N trace-selection option (default trace 0).

@@ -55,4 +55,12 @@ inline std::string ioContext(const std::string& path, std::uint64_t offset) {
   return " in '" + path + "' at byte " + std::to_string(offset);
 }
 
+/// The network counterpart of ioContext: socket errors name *which peer*
+/// the way file errors name which file, so "connection refused" from a
+/// tool or the federation router always carries the endpoint:
+///   throw IoError("connect failed: ..." + netContext(host, port));
+inline std::string netContext(const std::string& host, std::uint16_t port) {
+  return " at endpoint '" + host + ":" + std::to_string(port) + "'";
+}
+
 }  // namespace ute

@@ -1,0 +1,194 @@
+// Sharded byte-budgeted LRU cache of shared immutable values.
+//
+// Extracted from the server's FrameCache so every hot-set tier in the
+// tree — decoded SLOG frames in uteserve, proxied reply payloads in
+// uterouter — is the same implementation with the same locking
+// discipline. The cache is sharded: each shard owns its own mutex, LRU
+// list, byte budget slice and counters, so concurrent readers touching
+// different keys do not serialize on one lock. Values are
+// shared_ptr<const V>: an entry can be evicted while callers still hold
+// (and keep using) it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "support/thread_annotations.h"
+
+namespace ute {
+
+/// Aggregated over all shards. hits+misses counts lookups; evictions
+/// counts entries dropped to stay within the byte budget.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+template <typename V>
+class ShardedCache {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+  /// What a loader returns: the shared immutable handle plus its budget
+  /// charge (the cache never guesses a value's size).
+  struct Loaded {
+    ValuePtr value;
+    std::size_t bytes = 0;
+  };
+  using Stats = CacheStats;
+
+  /// `byteBudget` is split evenly across `shards` (each shard evicts
+  /// independently once its slice is full).
+  ShardedCache(std::size_t byteBudget, std::size_t shards)
+      : byteBudget_(byteBudget),
+        shardCount_(shards < 1 ? 1 : shards),
+        shardBudget_(byteBudget_ / shardCount_ < 1
+                         ? 1
+                         : byteBudget_ / shardCount_),
+        shards_(std::make_unique<Shard[]>(shardCount_)) {}
+
+  /// Returns the cached value for `key`, or obtains it via `loader` on a
+  /// miss. The loader returns the shared handle directly (no copy into
+  /// the cache) and runs outside the shard lock, so a slow load never
+  /// blocks hits on other keys in the same shard; if two threads miss on
+  /// the same key at once, both load and the first insert wins — every
+  /// caller then holds the same single value.
+  ValuePtr getOrLoad(std::uint64_t key,
+                     const std::function<Loaded()>& loader) {
+    Shard& shard = shardFor(key);
+    {
+      MutexLock lock(shard.mu);
+      const auto it = shard.byKey.find(key);
+      if (it != shard.byKey.end()) {
+        ++shard.hits;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return it->second->value;
+      }
+      ++shard.misses;
+    }
+    Loaded loaded = loader();
+    return insertOrReuse(shard, key, std::move(loaded));
+  }
+
+  /// Hit-or-nullptr probe (counts toward hits/misses).
+  ValuePtr lookup(std::uint64_t key) {
+    Shard& shard = shardFor(key);
+    MutexLock lock(shard.mu);
+    const auto it = shard.byKey.find(key);
+    if (it == shard.byKey.end()) {
+      ++shard.misses;
+      return nullptr;
+    }
+    ++shard.hits;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) an already-loaded value. Returns the cached
+  /// handle — the existing one when another thread won an insert race.
+  ValuePtr insert(std::uint64_t key, ValuePtr value, std::size_t bytes) {
+    Shard& shard = shardFor(key);
+    return insertOrReuse(shard, key, Loaded{std::move(value), bytes});
+  }
+
+  Stats stats() const {
+    Stats total;
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+      const Shard& shard = shards_[s];
+      MutexLock lock(shard.mu);
+      total.hits += shard.hits;
+      total.misses += shard.misses;
+      total.evictions += shard.evictions;
+      total.bytes += shard.bytes;
+      total.entries += shard.lru.size();
+    }
+    return total;
+  }
+
+  void clear() {
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+      Shard& shard = shards_[s];
+      MutexLock lock(shard.mu);
+      shard.lru.clear();
+      shard.byKey.clear();
+      shard.bytes = 0;
+    }
+  }
+
+  std::size_t byteBudget() const { return byteBudget_; }
+  std::size_t shardCount() const { return shardCount_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    ValuePtr value;
+    std::size_t bytes = 0;
+  };
+  /// Front of `lru` is most recently used. Each shard is its own
+  /// capability: two threads touching different shards never share a
+  /// lock, and the analysis checks every field access against the
+  /// owning shard's mutex.
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru UTE_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, typename std::list<Entry>::iterator>
+        byKey UTE_GUARDED_BY(mu);
+    std::size_t bytes UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t hits UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t misses UTE_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions UTE_GUARDED_BY(mu) = 0;
+  };
+
+  /// splitmix64: keys are often sequential composites ((traceId << 32) |
+  /// frameIdx), so neighboring keys differ only in low bits; mixing
+  /// spreads them across shards.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  Shard& shardFor(std::uint64_t key) {
+    return shards_[mix(key) % shardCount_];
+  }
+
+  ValuePtr insertOrReuse(Shard& shard, std::uint64_t key, Loaded loaded) {
+    MutexLock lock(shard.mu);
+    const auto it = shard.byKey.find(key);
+    if (it != shard.byKey.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return it->second->value;
+    }
+    shard.lru.push_front(Entry{key, loaded.value, loaded.bytes});
+    shard.byKey.emplace(key, shard.lru.begin());
+    shard.bytes += loaded.bytes;
+    evictOver(shard);
+    return loaded.value;
+  }
+
+  void evictOver(Shard& shard) UTE_REQUIRES(shard.mu) {
+    // The most recent entry survives even when it alone exceeds the
+    // shard budget (evicting what was just inserted would make oversized
+    // values uncacheable and the cache would thrash on them).
+    while (shard.bytes > shardBudget_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      shard.byKey.erase(victim.key);
+      shard.lru.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  std::size_t byteBudget_;
+  std::size_t shardCount_;
+  std::size_t shardBudget_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace ute

@@ -1,0 +1,110 @@
+// Circuit breaker state machine (src/fed/circuit.h), driven with
+// injected steady_clock time points so every transition is
+// deterministic: Closed -> Open after the failure threshold, cooldown
+// gating, the single HalfOpen probe, exponential cooldown growth on a
+// failed probe, and the forced-probe escape hatch.
+#include <gtest/gtest.h>
+
+#include "fed/circuit.h"
+
+namespace ute {
+namespace {
+
+using State = CircuitBreaker::State;
+using Clock = CircuitBreaker::Clock;
+
+Clock::time_point at(int ms) {
+  return Clock::time_point() + std::chrono::milliseconds(ms);
+}
+
+CircuitBreaker::Options fastOptions() {
+  CircuitBreaker::Options o;
+  o.failureThreshold = 3;
+  o.cooldownBaseMs = 100;
+  o.cooldownMaxMs = 400;
+  return o;
+}
+
+TEST(CircuitBreaker, StaysClosedBelowTheFailureThreshold) {
+  CircuitBreaker cb(fastOptions());
+  EXPECT_EQ(cb.state(), State::kClosed);
+  cb.recordFailure(at(0));
+  cb.recordFailure(at(1));
+  EXPECT_EQ(cb.state(), State::kClosed);
+  EXPECT_TRUE(cb.allow(at(2)));
+  cb.recordFailure(at(3));  // third consecutive failure opens it
+  EXPECT_EQ(cb.state(), State::kOpen);
+  EXPECT_FALSE(cb.allow(at(4)));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureCount) {
+  CircuitBreaker cb(fastOptions());
+  cb.recordFailure(at(0));
+  cb.recordFailure(at(1));
+  cb.recordSuccess();
+  cb.recordFailure(at(2));
+  cb.recordFailure(at(3));
+  EXPECT_EQ(cb.state(), State::kClosed);  // count restarted at success
+}
+
+TEST(CircuitBreaker, OpenAdmitsOneProbeAfterTheCooldown) {
+  CircuitBreaker cb(fastOptions());
+  for (int i = 0; i < 3; ++i) cb.recordFailure(at(0));
+  ASSERT_EQ(cb.state(), State::kOpen);
+
+  EXPECT_FALSE(cb.allow(at(50)));   // cooldown (100ms) not elapsed
+  EXPECT_TRUE(cb.allow(at(100)));   // admits exactly one probe
+  EXPECT_EQ(cb.state(), State::kHalfOpen);
+  EXPECT_FALSE(cb.allow(at(101)));  // second caller waits for the probe
+
+  cb.recordSuccess();
+  EXPECT_EQ(cb.state(), State::kClosed);
+  EXPECT_TRUE(cb.allow(at(102)));
+}
+
+TEST(CircuitBreaker, FailedProbeDoublesTheCooldownUpToTheCap) {
+  CircuitBreaker cb(fastOptions());
+  for (int i = 0; i < 3; ++i) cb.recordFailure(at(0));
+
+  // Probe at t=100 fails: cooldown 100 -> 200.
+  ASSERT_TRUE(cb.allow(at(100)));
+  cb.recordFailure(at(100));
+  EXPECT_EQ(cb.state(), State::kOpen);
+  EXPECT_FALSE(cb.allow(at(250)));
+  ASSERT_TRUE(cb.allow(at(300)));
+
+  // Probe at t=300 fails: cooldown 200 -> 400 (the cap).
+  cb.recordFailure(at(300));
+  EXPECT_FALSE(cb.allow(at(650)));
+  ASSERT_TRUE(cb.allow(at(700)));
+
+  // Another failure is capped at 400, not 800.
+  cb.recordFailure(at(700));
+  EXPECT_TRUE(cb.allow(at(1100)));
+}
+
+TEST(CircuitBreaker, SuccessfulProbeRestoresTheBaseCooldown) {
+  CircuitBreaker cb(fastOptions());
+  for (int i = 0; i < 3; ++i) cb.recordFailure(at(0));
+  ASSERT_TRUE(cb.allow(at(100)));
+  cb.recordFailure(at(100));  // cooldown now 200
+  ASSERT_TRUE(cb.allow(at(300)));
+  cb.recordSuccess();
+
+  // Re-open: the cooldown must be back at the 100ms base.
+  for (int i = 0; i < 3; ++i) cb.recordFailure(at(400));
+  EXPECT_FALSE(cb.allow(at(450)));
+  EXPECT_TRUE(cb.allow(at(500)));
+}
+
+TEST(CircuitBreaker, ResetCooldownForcesAnImmediateProbe) {
+  CircuitBreaker cb(fastOptions());
+  for (int i = 0; i < 3; ++i) cb.recordFailure(at(0));
+  EXPECT_FALSE(cb.allow(at(10)));
+  cb.resetCooldown();
+  EXPECT_TRUE(cb.allow(at(10)));  // forced probe admitted right away
+  EXPECT_EQ(cb.state(), State::kHalfOpen);
+}
+
+}  // namespace
+}  // namespace ute

@@ -31,6 +31,12 @@ clang-tidy can express (see docs/STATIC_ANALYSIS.md):
                 `|= 0x80` / `>>= 7`) anywhere else in src/, tools/ or
                 bench/. One codec, one set of overflow/truncation checks
                 (docs/FORMAT.md section 4a).
+  fed-socket-containment
+                federation code (src/fed and tools/uterouter.cpp) never
+                touches BSD socket APIs or headers directly — every byte it
+                moves goes through src/server/tcp.h (TcpListener/TcpSocket),
+                so connect/read timeouts, EINTR handling and peer error
+                context stay in one place (docs/FEDERATION.md).
 
 Run locally:   python3 tools/utelint.py [--root REPO]
 Run via ctest: ctest -R utelint   (registered in tests/CMakeLists.txt)
@@ -229,6 +235,39 @@ class Linter:
                             "use putVarint/getVarint from "
                             "src/slog/slog_codec.h")
 
+    # ---- fed-socket-containment -----------------------------------------
+    SOCKET_API = re.compile(
+        r"\b(socket|connect|bind|listen|accept4?|setsockopt|getsockopt"
+        r"|recv|send|recvfrom|sendto|getaddrinfo|freeaddrinfo|inet_pton"
+        r"|inet_ntop|inet_addr|htons|ntohs|htonl|ntohl)\s*\(")
+    SOCKET_HEADER = re.compile(
+        r"#include\s+<(sys/socket\.h|netinet/[\w./]+|arpa/inet\.h|netdb\.h)>")
+
+    def fed_files(self):
+        yield from self.files("src/fed")
+        router_tool = self.root / "tools" / "uterouter.cpp"
+        if router_tool.exists():
+            yield router_tool
+
+    def check_fed_socket_containment(self) -> None:
+        for path in self.fed_files():
+            code = strip_comments_and_strings(path.read_text())
+            for m in self.SOCKET_HEADER.finditer(code):
+                self.report(
+                    path, line_of(code, m.start()), "fed-socket-containment",
+                    f"{m.group(0).strip()} in federation code — sockets are "
+                    "reached only through src/server/tcp.h")
+            for m in self.SOCKET_API.finditer(code):
+                # Member calls (socket_.connect(...)) are the tcp.h wrapper
+                # surface itself; only the global BSD functions are banned.
+                before = code[: m.start()].rstrip()
+                if before.endswith((".", "->", "::")):
+                    continue
+                self.report(
+                    path, line_of(code, m.start()), "fed-socket-containment",
+                    f"raw {m.group(1)}() in federation code — use "
+                    "TcpListener/TcpSocket from src/server/tcp.h")
+
     def run(self) -> int:
         self.check_raw_io()
         self.check_io_context()
@@ -236,6 +275,7 @@ class Linter:
         self.check_ts_escape()
         self.check_bench_determinism()
         self.check_codec_containment()
+        self.check_fed_socket_containment()
         for v in self.violations:
             print(v)
         count = len(self.violations)

@@ -7,7 +7,12 @@
 //              [--tsv] [--derived]
 //   utemetrics --utm RUN.utm [--tsv] [--derived]
 //   utemetrics --connect HOST:PORT [--trace I] [--bins N] [--tsv] ...
+//   utemetrics --router HOST:PORT [--trace I] [--bins N] [--tsv] ...
+//   utemetrics --router HOST:PORT --aggregate [PATTERN] [--bins N]
 //
+// --router points at a uterouter front door (docs/FEDERATION.md); the
+// single-trace mode behaves exactly like --connect (the router proxies
+// it), --aggregate prints cross-trace distributions instead.
 // --tsv      one row per (bin, task) with every base column
 // --derived  one row per bin with the derived series (commfrac,
 //            load imbalance, late-sender total)
@@ -101,8 +106,8 @@ int main(int argc, char** argv) {
   using namespace ute;
   try {
     CliParser cli(argc, argv,
-                  {"slog", "utm", "bins", "jobs", "out", "connect", "host",
-                   "port", "trace"});
+                  {"slog", "utm", "bins", "jobs", "out", "router", "connect",
+                   "host", "port", "trace"});
     const auto slogPath = cli.value("slog");
     const auto utmPath = cli.value("utm");
     const auto endpoint = cli.endpoint();
@@ -111,9 +116,40 @@ int main(int argc, char** argv) {
                    "usage: utemetrics --slog RUN.slog [--bins N] [--jobs N] "
                    "[--out RUN.utm] [--tsv] [--derived]\n"
                    "       utemetrics --utm RUN.utm [--tsv] [--derived]\n"
-                   "       utemetrics --connect HOST:PORT [--trace I] "
-                   "[--bins N] [--tsv] [--derived]\n");
+                   "       utemetrics --connect|--router HOST:PORT "
+                   "[--trace I] [--bins N] [--tsv] [--derived]\n"
+                   "       utemetrics --router HOST:PORT --aggregate "
+                   "[PATTERN] [--bins N]\n");
       return 2;
+    }
+
+    if (cli.hasFlag("aggregate")) {
+      if (!endpoint) {
+        std::fprintf(stderr,
+                     "utemetrics: --aggregate needs --router HOST:PORT\n");
+        return 2;
+      }
+      const std::string pattern =
+          cli.positional().empty() ? "" : cli.positional()[0];
+      TraceClient client(endpoint->host, endpoint->port);
+      const AggregateReply reply = client.aggregateMetrics(
+          pattern,
+          static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0})));
+      std::printf("run\tbackend\ttrace\tcomm_fraction\tload_imbalance\t"
+                  "late_sender_fraction\n");
+      for (const AggregateRun& run : reply.runs) {
+        std::printf("%u\t%s\t%s\t%.6f\t%.6f\t%.6f\n", run.globalId,
+                    run.backend.c_str(), run.name.c_str(), run.commFraction,
+                    run.loadImbalance, run.lateSenderFraction);
+      }
+      const auto printDist = [](const char* label, const Distribution& d) {
+        std::printf("# %s: min %.6f p50 %.6f mean %.6f p99 %.6f max %.6f\n",
+                    label, d.min, d.p50, d.mean, d.p99, d.max);
+      };
+      printDist("comm_fraction", reply.commFraction);
+      printDist("load_imbalance", reply.loadImbalance);
+      printDist("late_sender_fraction", reply.lateSenderFraction);
+      return 0;
     }
 
     MetricsStore store = [&] {

@@ -1,7 +1,8 @@
-// utequery — command-line client for a running uteserve.
+// utequery — command-line client for a running uteserve or uterouter.
 //
 // Usage:
 //   utequery --connect HOST:PORT [--trace I] COMMAND [ARGS]
+//   utequery --router HOST:PORT [--trace I] COMMAND [ARGS]
 //   utequery --port N [--host H] [--trace I] COMMAND [ARGS]
 //
 // Commands (T0/T1/T are seconds relative to the trace's start, like
@@ -17,6 +18,15 @@
 //   metrics [--bins B]       per-task time-resolved metric totals
 //   stats                    server cache/pool counters
 //   shutdown                 stop the server
+//
+// Federation commands (a --router endpoint; docs/FEDERATION.md):
+//   list-traces              merged registry view across all backends
+//   aggregate [PATTERN]      cross-trace metric distributions
+//                            [--bins B]
+//   compare IDA IDB          binned-metrics delta between two traces
+//                            [--bins B]
+//   add-backend NAME H:P     register a backend at runtime
+//   remove-backend NAME      unregister a backend
 #include <cstdio>
 #include <exception>
 
@@ -47,14 +57,15 @@ std::string stateNameOf(const std::vector<SlogStateDef>& states,
 int main(int argc, char** argv) {
   try {
     CliParser cli(argc, argv,
-                  {"connect", "host", "port", "trace", "node", "thread",
-                   "states", "bins"});
+                  {"router", "connect", "host", "port", "trace", "node",
+                   "thread", "states", "bins"});
     const auto endpoint = cli.endpoint();
     if (!endpoint || cli.positional().empty()) {
       std::fprintf(stderr,
-                   "usage: utequery --connect HOST:PORT [--trace I] "
+                   "usage: utequery --connect|--router HOST:PORT [--trace I] "
                    "info|states|threads|preview|window|summary|frame-at|"
-                   "metrics|stats|shutdown [args]\n");
+                   "metrics|stats|shutdown|list-traces|aggregate|compare|"
+                   "add-backend|remove-backend [args]\n");
       return 2;
     }
     const std::uint32_t traceId = cli.traceId();
@@ -146,6 +157,82 @@ int main(int argc, char** argv) {
     if (command == "shutdown") {
       client.shutdownServer();
       std::printf("server shutting down\n");
+      return 0;
+    }
+    if (command == "list-traces") {
+      for (const FedTraceEntry& e : client.listTraces()) {
+        std::printf("%6u %s/%s%s [%.6fs, %.6fs] %u frames (gen %llu)\n",
+                    e.globalId, e.backend.c_str(), e.name.c_str(),
+                    e.live ? " (live)" : "", 0.0,
+                    static_cast<double>(e.totalEnd - e.totalStart) / 1e9,
+                    e.frames,
+                    static_cast<unsigned long long>(e.generation));
+      }
+      return 0;
+    }
+    if (command == "aggregate") {
+      const std::string pattern =
+          cli.positional().size() > 1 ? cli.positional()[1] : "";
+      const auto bins =
+          static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0}));
+      const AggregateReply reply = client.aggregateMetrics(pattern, bins);
+      std::printf("aggregate over %zu trace%s:\n", reply.runs.size(),
+                  reply.runs.size() == 1 ? "" : "s");
+      for (const AggregateRun& run : reply.runs) {
+        std::printf("  %6u %s/%s: comm %.4f, imbalance %.4f, "
+                    "late-sender %.4f\n",
+                    run.globalId, run.backend.c_str(), run.name.c_str(),
+                    run.commFraction, run.loadImbalance,
+                    run.lateSenderFraction);
+      }
+      const auto printDist = [](const char* label, const Distribution& d) {
+        std::printf("  %-12s min %.4f  p50 %.4f  mean %.4f  p99 %.4f  "
+                    "max %.4f\n",
+                    label, d.min, d.p50, d.mean, d.p99, d.max);
+      };
+      printDist("comm", reply.commFraction);
+      printDist("imbalance", reply.loadImbalance);
+      printDist("late-sender", reply.lateSenderFraction);
+      return 0;
+    }
+    if (command == "compare") {
+      if (cli.positional().size() != 3) {
+        std::fprintf(stderr, "utequery: compare wants IDA IDB\n");
+        return 2;
+      }
+      const auto idA =
+          static_cast<std::uint32_t>(parseU64(cli.positional()[1]));
+      const auto idB =
+          static_cast<std::uint32_t>(parseU64(cli.positional()[2]));
+      const auto bins =
+          static_cast<std::uint32_t>(cli.valueOr("bins", std::uint64_t{0}));
+      const CompareReply reply = client.compareTraces(idA, idB, bins);
+      std::printf("compare %u vs %u over %u bins: max |comm delta| %.4f, "
+                  "max |imbalance delta| %.4f\n",
+                  idA, idB, reply.bins, reply.maxAbsCommDelta,
+                  reply.maxAbsImbalanceDelta);
+      for (std::uint32_t b = 0; b < reply.bins; ++b) {
+        std::printf("  bin %4u: comm %+.4f, imbalance %+.4f\n", b,
+                    reply.commDelta[b], reply.imbalanceDelta[b]);
+      }
+      return 0;
+    }
+    if (command == "add-backend") {
+      if (cli.positional().size() != 3) {
+        std::fprintf(stderr, "utequery: add-backend wants NAME HOST:PORT\n");
+        return 2;
+      }
+      client.addBackend(cli.positional()[1], cli.positional()[2]);
+      std::printf("backend '%s' added\n", cli.positional()[1].c_str());
+      return 0;
+    }
+    if (command == "remove-backend") {
+      if (cli.positional().size() != 2) {
+        std::fprintf(stderr, "utequery: remove-backend wants NAME\n");
+        return 2;
+      }
+      client.removeBackend(cli.positional()[1]);
+      std::printf("backend '%s' removed\n", cli.positional()[1].c_str());
       return 0;
     }
 
