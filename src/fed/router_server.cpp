@@ -1,74 +1,70 @@
 #include "fed/router_server.h"
 
-#include "server/protocol.h"
-#include "support/errors.h"
-
 namespace ute {
 
+namespace {
+
+ReactorOptions reactorOptions(const RouterServerOptions& options) {
+  ReactorOptions reactor;
+  reactor.idleTimeoutMs = options.idleTimeoutMs;
+  reactor.readTimeoutMs = options.readTimeoutMs;
+  reactor.maxPipeline = options.maxPipeline;
+  reactor.drainTimeoutMs = options.drainTimeoutMs;
+  reactor.maxMessageBytes = kMaxMessageBytes;
+  return reactor;
+}
+
+}  // namespace
+
 RouterServer::RouterServer(RouterService& service, std::uint16_t port)
-    : service_(service), listener_(port) {
-  acceptThread_ = std::thread([this] { acceptLoop(); });
+    : RouterServer(service, [port] {
+        RouterServerOptions options;
+        options.port = port;
+        return options;
+      }()) {}
+
+RouterServer::RouterServer(RouterService& service,
+                           const RouterServerOptions& options)
+    : service_(service) {
+  pool_ = std::make_unique<WorkerPool>(options.workers, options.queueDepth);
+  Reactor::Handler& handler = *this;
+  reactor_ = std::make_unique<Reactor>(options.port, handler,
+                                       reactorOptions(options));
 }
 
 RouterServer::~RouterServer() { stop(); }
 
-void RouterServer::stop() {
-  stopping_.store(true);
-  listener_.close();
-  if (acceptThread_.joinable()) acceptThread_.join();
-  {
-    MutexLock lock(connectionsMu_);
-    for (auto& conn : connections_) conn->socket.shutdownBoth();
-  }
-  std::list<std::unique_ptr<Connection>> drained;
-  {
-    MutexLock lock(connectionsMu_);
-    drained.swap(connections_);
-  }
-  for (auto& conn : drained) {
-    if (conn->thread.joinable()) conn->thread.join();
+void RouterServer::stop() { reactor_->shutdown(); }
+
+void RouterServer::onRequest(Reactor::Request req,
+                             std::vector<std::uint8_t> payload) {
+  auto [it, inserted] = contexts_.try_emplace(req.conn, nullptr);
+  if (inserted) it->second = std::make_shared<ConnectionContext>();
+  std::shared_ptr<ConnectionContext> ctx = it->second;
+
+  // The relay blocks on backend round trips; it must leave the reactor
+  // thread. Concurrency across clients comes from the pool width.
+  auto body = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
+  const bool accepted = pool_->trySubmit([this, req, ctx, body] {
+    RequestOutcome outcome = service_.handle(*body, *ctx);
+    if (outcome.shutdown) stopRequested_.store(true);
+    req.reactor->complete(req, std::move(outcome.response), outcome.shutdown);
+  });
+  if (!accepted) {
+    req.reactor->complete(
+        req, encodeErrorReply(ErrorCode::kOverloaded,
+                              "router relay queue full (" +
+                                  std::to_string(pool_->maxQueue()) +
+                                  " deep)"));
   }
 }
 
-void RouterServer::acceptLoop() {
-  for (;;) {
-    std::optional<TcpSocket> client = listener_.accept();
-    if (!client) return;  // listener closed
-    if (stopping_.load()) return;
-    auto conn = std::make_unique<Connection>();
-    conn->socket = std::move(*client);
-    Connection* raw = conn.get();
-    {
-      MutexLock lock(connectionsMu_);
-      connections_.push_back(std::move(conn));
-    }
-    raw->thread = std::thread([this, raw] { serveConnection(*raw); });
-  }
+std::vector<std::uint8_t> RouterServer::onConnError(
+    Reactor::ConnId /*conn*/, Reactor::ConnError /*kind*/,
+    const std::string& detail) {
+  return encodeErrorReply(ErrorCode::kBadRequest, detail);
 }
 
-void RouterServer::serveConnection(Connection& conn) {
-  ConnectionContext ctx;
-  try {
-    for (;;) {
-      const auto request = recvMessage(conn.socket);
-      if (!request) return;  // client hung up
-      RequestOutcome outcome = service_.handle(*request, ctx);
-      sendMessage(conn.socket, outcome.response);
-      if (outcome.shutdown) {
-        stopRequested_.store(true);
-        return;
-      }
-    }
-  } catch (const FormatError& e) {
-    try {
-      sendMessage(conn.socket,
-                  encodeErrorReply(ErrorCode::kBadRequest, e.what()));
-    } catch (const std::exception&) {
-      // The connection is already too broken to carry the explanation.
-    }
-  } catch (const std::exception&) {
-    // Torn connection: drop the client.
-  }
-}
+void RouterServer::onClosed(Reactor::ConnId conn) { contexts_.erase(conn); }
 
 }  // namespace ute

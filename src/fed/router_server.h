@@ -1,62 +1,84 @@
 // RouterServer: the TCP front end of RouterService (src/fed).
 //
-// The same accept-loop shape as TraceServer (src/server/server.h): one
-// accept thread, one lightweight thread per connection decoding
-// length-prefixed requests. Unlike the backend there is no worker pool —
-// router requests are I/O-bound relays, and each connection thread
-// blocks on its own backend round trip, so concurrency comes from the
-// per-connection threads themselves. A client can stop the router with
-// kShutdown exactly like a backend.
+// Runs on the shared epoll Reactor (src/server/reactor.h) like the
+// backend TraceServer, but with its own WorkerPool: router requests are
+// I/O-bound relays that block on backend round trips, so they must not
+// run on the reactor thread. Each request is handed to the pool and the
+// worker posts the response back with Reactor::complete(); when every
+// worker is busy and the queue is full the router sheds load with a
+// kOverloaded frame instead of queueing unboundedly. A client can stop
+// the router with kShutdown exactly like a backend.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <thread>
+#include <unordered_map>
 
 #include "fed/router_service.h"
-#include "server/tcp.h"
+#include "server/protocol.h"
+#include "server/reactor.h"
+#include "server/worker_pool.h"
 #include "support/thread_annotations.h"
 
 namespace ute {
 
-class RouterServer {
+struct RouterServerOptions {
+  std::uint16_t port = 0;
+  /// Relay workers: each one can block on a backend round trip, so this
+  /// bounds the router's concurrent upstream fan-out.
+  std::size_t workers = 16;
+  std::size_t queueDepth = 256;
+  /// Reactor hardening knobs (0 = off; the uterouter CLI sets real
+  /// timeouts, embedded test routers stay permissive).
+  int idleTimeoutMs = 0;
+  int readTimeoutMs = 0;
+  std::size_t maxPipeline = 64;
+  int drainTimeoutMs = 5'000;
+};
+
+class RouterServer : private Reactor::Handler {
  public:
   /// Starts listening and accepting immediately. `service` must outlive
   /// the server.
   RouterServer(RouterService& service, std::uint16_t port);
-  ~RouterServer();
+  RouterServer(RouterService& service, const RouterServerOptions& options);
+  ~RouterServer() override;
 
   RouterServer(const RouterServer&) = delete;
   RouterServer& operator=(const RouterServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return reactor_->port(); }
+  Reactor::Stats reactorStats() const { return reactor_->stats(); }
 
   /// True once a client issued kShutdown (the owner should call stop()).
   bool stopRequested() const { return stopRequested_.load(); }
 
-  /// Closes the listener, unblocks live connections, joins all threads.
-  /// Idempotent; also run by the destructor.
-  void stop() UTE_EXCLUDES(connectionsMu_);
+  /// Graceful stop: no new connections, in-flight relays drained with a
+  /// deadline, then the loop joins. Idempotent; also the destructor.
+  void stop();
 
  private:
-  struct Connection {
-    TcpSocket socket;
-    std::thread thread;
-  };
+  void onRequest(Reactor::Request req,
+                 std::vector<std::uint8_t> payload) override;
+  std::vector<std::uint8_t> onConnError(Reactor::ConnId conn,
+                                        Reactor::ConnError kind,
+                                        const std::string& detail) override;
+  void onClosed(Reactor::ConnId conn) override;
 
-  void acceptLoop() UTE_EXCLUDES(connectionsMu_);
-  void serveConnection(Connection& conn);
-
+  /// Declared first = destroyed last: pool workers joined by ~WorkerPool
+  /// below may still post completions into it.
+  std::unique_ptr<Reactor> reactor_;
   RouterService& service_;
-  TcpListener listener_;
-  std::atomic<bool> stopping_{false};
   std::atomic<bool> stopRequested_{false};
-  std::thread acceptThread_;
-  Mutex connectionsMu_;
-  std::list<std::unique_ptr<Connection>> connections_
-      UTE_GUARDED_BY(connectionsMu_);
+
+  /// Per-connection negotiated hello state; reactor-thread confined map,
+  /// contexts shared with at most one worker at a time (serial
+  /// per-connection dispatch).
+  std::unordered_map<Reactor::ConnId, std::shared_ptr<ConnectionContext>>
+      contexts_;
+
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace ute

@@ -1,0 +1,758 @@
+#include "server/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "support/bytes.h"
+#include "support/errors.h"
+
+namespace ute {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 64u << 10;      ///< recv() granularity
+constexpr std::size_t kShrinkThreshold = 256u << 10;
+constexpr int kMaxEpollEvents = 256;
+constexpr int kMaxWriteIov = 16;  ///< outbox segments per sendmsg()
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int elapsedMs(Clock::time_point since, Clock::time_point now) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - since)
+          .count());
+}
+
+}  // namespace
+
+/// One connection's whole state machine. Loop-thread confined.
+struct Reactor::Conn {
+  int fd = -1;
+  ConnId id = 0;
+
+  // -- reading header / reading body ----------------------------------------
+  // Buffered, so one recv() can carry many pipelined frames. [rdPos,
+  // rdEnd) is the unparsed window; midMessage marks a partial frame
+  // whose slowloris clock (messageStart) is ticking.
+  std::vector<std::uint8_t> rdbuf;
+  std::size_t rdPos = 0;
+  std::size_t rdEnd = 0;
+  bool midMessage = false;
+
+  // -- awaiting service -------------------------------------------------------
+  // Parsed requests wait here; exactly one is dispatched at a time, so
+  // per-connection handler state (negotiated encoding, session state)
+  // needs no locking and responses are naturally in request order.
+  std::deque<std::vector<std::uint8_t>> pending;
+  bool inflight = false;
+  std::uint64_t token = 0;
+
+  // -- draining writes --------------------------------------------------------
+  struct OutMsg {
+    std::uint8_t prefix[4] = {};
+    std::size_t prefixSent = 0;
+    SharedReply payload;  ///< may be null (close without bytes)
+    std::size_t payloadSent = 0;
+    bool closeAfter = false;
+  };
+  std::deque<OutMsg> outbox;
+  std::size_t outboxBytes = 0;
+
+  std::uint32_t events = EPOLLIN;  ///< currently registered epoll mask
+  bool readPaused = false;
+  bool peerClosed = false;  ///< EOF seen; replies still drain
+  bool closing = false;     ///< close once inflight + outbox drain
+  bool zombie = false;      ///< fd closed, awaiting the last completion
+
+  Clock::time_point lastActivity{};
+  Clock::time_point messageStart{};
+  std::list<ConnId>::iterator idleIt{};
+  std::list<ConnId>::iterator partialIt{};
+  bool inPartialList = false;
+};
+
+Reactor::Reactor(std::uint16_t port, Handler& handler, ReactorOptions options)
+    : handler_(handler), options_(options), listener_(port) {
+  epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epollFd_ < 0) {
+    throw IoError(std::string("epoll_create1: ") + std::strerror(errno));
+  }
+  eventFd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (eventFd_ < 0) {
+    const int err = errno;
+    ::close(epollFd_);
+    throw IoError(std::string("eventfd: ") + std::strerror(err));
+  }
+  setNonBlocking(listener_.fd());
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = listener
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+  epoll_event wev{};
+  wev.events = EPOLLIN;
+  wev.data.u64 = ~std::uint64_t{0};  // ~0 = eventfd
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, eventFd_, &wev);
+  thread_ = std::thread([this] { loop(); });
+}
+
+Reactor::~Reactor() {
+  shutdown();
+  ::close(eventFd_);
+  ::close(epollFd_);
+}
+
+void Reactor::complete(Request req, SharedReply payload, bool closeAfter) {
+  {
+    MutexLock lock(mu_);
+    if (loopExited_) return;
+    completions_.push_back({req, std::move(payload), closeAfter});
+  }
+  // Compare against the id the loop published about itself, not
+  // thread_.get_id(): thread_ is still being move-assigned in the
+  // constructor while the freshly started loop can already dispatch
+  // requests, so reading the member here would race with that write.
+  if (std::this_thread::get_id() != loopThreadId_.load(std::memory_order_relaxed)) {
+    wake();
+  }
+}
+
+void Reactor::complete(Request req, std::vector<std::uint8_t> payload,
+                       bool closeAfter) {
+  complete(req,
+           std::make_shared<const std::vector<std::uint8_t>>(
+               std::move(payload)),
+           closeAfter);
+}
+
+void Reactor::shutdown() {
+  {
+    MutexLock lock(mu_);
+    if (!shutdownRequested_) shutdownRequested_ = true;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+Reactor::Stats Reactor::stats() const {
+  Stats out;
+  out.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  out.closed = stats_.closed.load(std::memory_order_relaxed);
+  out.peakConnections = stats_.peakConnections.load(std::memory_order_relaxed);
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.responses = stats_.responses.load(std::memory_order_relaxed);
+  out.bytesIn = stats_.bytesIn.load(std::memory_order_relaxed);
+  out.bytesOut = stats_.bytesOut.load(std::memory_order_relaxed);
+  out.recvCalls = stats_.recvCalls.load(std::memory_order_relaxed);
+  out.sendCalls = stats_.sendCalls.load(std::memory_order_relaxed);
+  out.epollWaits = stats_.epollWaits.load(std::memory_order_relaxed);
+  out.eventfdWakeups = stats_.eventfdWakeups.load(std::memory_order_relaxed);
+  out.partialWrites = stats_.partialWrites.load(std::memory_order_relaxed);
+  out.readPauses = stats_.readPauses.load(std::memory_order_relaxed);
+  out.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  out.badFrames = stats_.badFrames.load(std::memory_order_relaxed);
+  out.forcedCloses = stats_.forcedCloses.load(std::memory_order_relaxed);
+  return out;
+}
+
+void Reactor::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(eventFd_, &one, sizeof one);
+}
+
+// --- the loop ---------------------------------------------------------------
+
+void Reactor::loop() {
+  loopThreadId_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  epoll_event events[kMaxEpollEvents];
+  for (;;) {
+    progress();
+    bool wantShutdown;
+    {
+      MutexLock lock(mu_);
+      wantShutdown = shutdownRequested_;
+    }
+    if (wantShutdown && !draining_) beginDrain();
+    if (draining_ && drainFinished()) break;
+
+    const int n =
+        ::epoll_wait(epollFd_, events, kMaxEpollEvents, waitTimeoutMs());
+    stats_.epollWaits.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll set itself is broken; nothing recoverable
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        handleAccepts();
+      } else if (tag == ~std::uint64_t{0}) {
+        std::uint64_t drainCounter = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(eventFd_, &drainCounter, sizeof drainCounter);
+        stats_.eventfdWakeups.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        handleEvent(tag, events[i].events);
+      }
+    }
+    sweepTimeouts();
+  }
+
+  // Drain deadline passed (or orderly finish): force-close everything
+  // still alive, then let late completions drop at the mutex.
+  std::vector<Conn*> leftovers;
+  leftovers.reserve(conns_.size());
+  for (auto& [id, conn] : conns_) leftovers.push_back(conn.get());
+  for (Conn* conn : leftovers) {
+    if (!conn->zombie) {
+      stats_.forcedCloses.fetch_add(1, std::memory_order_relaxed);
+    }
+    conn->inflight = false;  // the completion, if any, will be dropped
+    conn->zombie = false;
+    closeConn(*conn);
+  }
+  {
+    MutexLock lock(mu_);
+    loopExited_ = true;
+    completions_.clear();
+  }
+}
+
+int Reactor::waitTimeoutMs() const {
+  if (draining_) return 20;
+  int bound = -1;
+  if (options_.idleTimeoutMs > 0) bound = options_.idleTimeoutMs;
+  if (options_.readTimeoutMs > 0 &&
+      (bound < 0 || options_.readTimeoutMs < bound)) {
+    bound = options_.readTimeoutMs;
+  }
+  if (bound < 0) return -1;  // eventfd/shutdown wakes us
+  const int quarter = bound / 4;
+  return quarter < 10 ? 10 : (quarter > 250 ? 250 : quarter);
+}
+
+void Reactor::handleAccepts() {
+  for (;;) {
+    const int fd = ::accept4(listener_.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, EMFILE, or the listener closed
+    if (draining_ ||
+        (options_.maxConnections != 0 &&
+         conns_.size() >= options_.maxConnections)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.sndbufBytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbufBytes,
+                   sizeof options_.sndbufBytes);
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = nextConnId_++;
+    conn->lastActivity = Clock::now();
+    idleOrder_.push_back(conn->id);
+    conn->idleIt = std::prev(idleOrder_.end());
+    epoll_event ev{};
+    ev.events = conn->events;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      idleOrder_.erase(conn->idleIt);
+      ::close(fd);
+      continue;
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    conns_.emplace(conn->id, std::move(conn));
+    const auto live = static_cast<std::uint64_t>(conns_.size());
+    if (live > stats_.peakConnections.load(std::memory_order_relaxed)) {
+      stats_.peakConnections.store(live, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Reactor::handleEvent(ConnId id, std::uint32_t events) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;  // closed earlier this batch
+  Conn& conn = *it->second;
+  if (conn.zombie) return;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 &&
+      (events & (EPOLLIN | EPOLLOUT)) == 0) {
+    closeConn(conn);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!flushWrites(conn)) return;  // connection died mid-write
+  }
+  if ((events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0 && !conn.readPaused &&
+      !conn.closing) {
+    handleRead(conn);
+  }
+}
+
+void Reactor::touchIdle(Conn& conn) {
+  conn.lastActivity = Clock::now();
+  idleOrder_.splice(idleOrder_.end(), idleOrder_, conn.idleIt);
+}
+
+void Reactor::handleRead(Conn& conn) {
+  for (;;) {
+    // Compact and make room for at least one chunk.
+    if (conn.rdPos > 0) {
+      if (conn.rdPos == conn.rdEnd) {
+        conn.rdPos = conn.rdEnd = 0;
+        if (conn.rdbuf.size() > kShrinkThreshold) {
+          conn.rdbuf.resize(kReadChunk);
+          conn.rdbuf.shrink_to_fit();
+        }
+      } else if (conn.rdEnd + kReadChunk > conn.rdbuf.size()) {
+        std::memmove(conn.rdbuf.data(), conn.rdbuf.data() + conn.rdPos,
+                     conn.rdEnd - conn.rdPos);
+        conn.rdEnd -= conn.rdPos;
+        conn.rdPos = 0;
+      }
+    }
+    if (conn.rdbuf.size() < conn.rdEnd + kReadChunk) {
+      conn.rdbuf.resize(conn.rdEnd + kReadChunk);
+    }
+    const std::size_t room = conn.rdbuf.size() - conn.rdEnd;
+    const ssize_t n =
+        ::recv(conn.fd, conn.rdbuf.data() + conn.rdEnd, room, 0);
+    stats_.recvCalls.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      closeConn(conn);
+      return;
+    }
+    if (n == 0) {
+      conn.peerClosed = true;
+      parseFrames(conn);
+      if (conns_.count(conn.id) == 0) return;  // parse error closed it
+      if (!conn.inflight && conn.pending.empty() && conn.outbox.empty()) {
+        closeConn(conn);
+      }
+      return;
+    }
+    stats_.bytesIn.fetch_add(static_cast<std::uint64_t>(n),
+                             std::memory_order_relaxed);
+    conn.rdEnd += static_cast<std::size_t>(n);
+    touchIdle(conn);
+    parseFrames(conn);
+    if (conns_.count(conn.id) == 0) return;
+    if (conn.readPaused || conn.closing) return;
+    if (static_cast<std::size_t>(n) < room) return;  // kernel drained
+  }
+}
+
+void Reactor::parseFrames(Conn& conn) {
+  while (!conn.readPaused && !conn.closing) {
+    const std::size_t avail = conn.rdEnd - conn.rdPos;
+    if (avail == 0) break;
+    if (avail < 4) {
+      if (!conn.midMessage) {
+        conn.midMessage = true;
+        conn.messageStart = Clock::now();
+        partialOrder_.push_back(conn.id);
+        conn.partialIt = std::prev(partialOrder_.end());
+        conn.inPartialList = true;
+      }
+      break;
+    }
+    ByteReader prefix(std::span<const std::uint8_t>(
+        conn.rdbuf.data() + conn.rdPos, 4));
+    const std::uint32_t length = prefix.u32();
+    if (length > options_.maxMessageBytes) {
+      stats_.badFrames.fetch_add(1, std::memory_order_relaxed);
+      failConn(conn, ConnError::kOversizedFrame,
+               "message length " + std::to_string(length) +
+                   " exceeds protocol maximum");
+      return;
+    }
+    const std::size_t total = 4 + static_cast<std::size_t>(length);
+    if (avail < total) {
+      if (!conn.midMessage) {
+        conn.midMessage = true;
+        conn.messageStart = Clock::now();
+        partialOrder_.push_back(conn.id);
+        conn.partialIt = std::prev(partialOrder_.end());
+        conn.inPartialList = true;
+      }
+      // Grow so the whole frame fits without another compaction cycle.
+      if (conn.rdbuf.size() < conn.rdPos + total) {
+        conn.rdbuf.resize(conn.rdPos + total);
+      }
+      break;
+    }
+    if (conn.midMessage) {
+      conn.midMessage = false;
+      if (conn.inPartialList) {
+        partialOrder_.erase(conn.partialIt);
+        conn.inPartialList = false;
+      }
+    }
+    std::vector<std::uint8_t> payload(
+        conn.rdbuf.begin() + static_cast<std::ptrdiff_t>(conn.rdPos + 4),
+        conn.rdbuf.begin() + static_cast<std::ptrdiff_t>(conn.rdPos + total));
+    conn.rdPos += total;
+    stats_.requests.fetch_add(1, std::memory_order_relaxed);
+    conn.pending.push_back(std::move(payload));
+    dirty_.push_back(conn.id);
+    updateReadPause(conn);
+  }
+}
+
+// Dispatch + completion fixpoint: applying a completion can ready the
+// next pending request, whose inline completion re-enters the queue —
+// loop until both are empty.
+void Reactor::progress() {
+  for (;;) {
+    std::vector<Completion> batch;
+    {
+      MutexLock lock(mu_);
+      batch.swap(completions_);
+    }
+    if (batch.empty() && dirty_.empty()) return;
+    for (Completion& completion : batch) {
+      applyCompletion(std::move(completion));
+    }
+    std::vector<ConnId> ready;
+    ready.swap(dirty_);
+    for (const ConnId id : ready) {
+      const auto it = conns_.find(id);
+      if (it != conns_.end() && !it->second->zombie) serviceConn(*it->second);
+    }
+  }
+}
+
+void Reactor::serviceConn(Conn& conn) {
+  if (conn.inflight || conn.closing || conn.pending.empty()) return;
+  if (draining_) {
+    conn.pending.clear();  // parked requests are dropped at shutdown
+    if (conn.outbox.empty()) closeConn(conn);
+    return;
+  }
+  std::vector<std::uint8_t> payload = std::move(conn.pending.front());
+  conn.pending.pop_front();
+  conn.inflight = true;
+  ++conn.token;
+  touchIdle(conn);
+  handler_.onRequest(Request{this, conn.id, conn.token}, std::move(payload));
+  // An inline complete() landed in completions_; progress() picks it up.
+}
+
+void Reactor::applyCompletion(Completion completion) {
+  const auto it = conns_.find(completion.req.conn);
+  if (it == conns_.end()) return;  // connection long gone
+  Conn& conn = *it->second;
+  if (!conn.inflight || conn.token != completion.req.token) return;
+  conn.inflight = false;
+  stats_.responses.fetch_add(1, std::memory_order_relaxed);
+  if (conn.zombie) {
+    finalizeConn(conn);
+    return;
+  }
+  touchIdle(conn);
+  if (completion.payload != nullptr) {
+    Conn::OutMsg msg;
+    ByteWriter prefix;
+    prefix.u32(static_cast<std::uint32_t>(completion.payload->size()));
+    std::memcpy(msg.prefix, prefix.view().data(), 4);
+    msg.payload = std::move(completion.payload);
+    msg.closeAfter = completion.closeAfter;
+    conn.outboxBytes += 4 + msg.payload->size();
+    conn.outbox.push_back(std::move(msg));
+  } else if (completion.closeAfter) {
+    conn.closing = true;
+  }
+  if (completion.closeAfter) conn.closing = true;
+  if (!flushWrites(conn)) return;
+  updateReadPause(conn);
+  if (!conn.closing) dirty_.push_back(conn.id);  // next pipelined request
+}
+
+/// Drains the outbox opportunistically. Returns false when the
+/// connection was closed (error or closeAfter reached).
+bool Reactor::flushWrites(Conn& conn) {
+  while (!conn.outbox.empty()) {
+    iovec iov[kMaxWriteIov];
+    int iovCount = 0;
+    for (const Conn::OutMsg& msg : conn.outbox) {
+      if (iovCount >= kMaxWriteIov - 1) break;
+      if (msg.prefixSent < 4) {
+        iov[iovCount].iov_base =
+            const_cast<std::uint8_t*>(msg.prefix) + msg.prefixSent;
+        iov[iovCount].iov_len = 4 - msg.prefixSent;
+        ++iovCount;
+      }
+      const std::size_t payloadSize =
+          msg.payload != nullptr ? msg.payload->size() : 0;
+      if (msg.payloadSent < payloadSize) {
+        iov[iovCount].iov_base =
+            const_cast<std::uint8_t*>(msg.payload->data()) + msg.payloadSent;
+        iov[iovCount].iov_len = payloadSize - msg.payloadSent;
+        ++iovCount;
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovCount);
+    const ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
+    stats_.sendCalls.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if ((conn.events & EPOLLOUT) == 0) {
+          stats_.partialWrites.fetch_add(1, std::memory_order_relaxed);
+          conn.events |= EPOLLOUT;
+          updateEpoll(conn);
+        }
+        // The write-stall clock: outbox pending counts as a partial
+        // "message" the peer must drain within readTimeoutMs.
+        if (!conn.inPartialList) {
+          conn.messageStart = Clock::now();
+          partialOrder_.push_back(conn.id);
+          conn.partialIt = std::prev(partialOrder_.end());
+          conn.inPartialList = true;
+        }
+        return true;
+      }
+      closeConn(conn);
+      return false;
+    }
+    stats_.bytesOut.fetch_add(static_cast<std::uint64_t>(n),
+                              std::memory_order_relaxed);
+    std::size_t left = static_cast<std::size_t>(n);
+    while (left > 0 && !conn.outbox.empty()) {
+      Conn::OutMsg& msg = conn.outbox.front();
+      if (msg.prefixSent < 4) {
+        const std::size_t take = std::min<std::size_t>(4 - msg.prefixSent,
+                                                       left);
+        msg.prefixSent += take;
+        left -= take;
+      }
+      const std::size_t payloadSize =
+          msg.payload != nullptr ? msg.payload->size() : 0;
+      if (left > 0 && msg.payloadSent < payloadSize) {
+        const std::size_t take =
+            std::min<std::size_t>(payloadSize - msg.payloadSent, left);
+        msg.payloadSent += take;
+        left -= take;
+      }
+      if (msg.prefixSent == 4 && msg.payloadSent == payloadSize) {
+        conn.outboxBytes -= 4 + payloadSize;
+        const bool closeAfter = msg.closeAfter;
+        conn.outbox.pop_front();
+        if (closeAfter) {
+          closeConn(conn);
+          return false;
+        }
+      }
+    }
+    touchIdle(conn);
+    // Progress was made; clear the write-stall clock. A still-partial
+    // *outgoing* message restarts it below on the next EAGAIN, and a
+    // partial *incoming* frame re-enters via parseFrames.
+    if (conn.inPartialList && !conn.midMessage) {
+      partialOrder_.erase(conn.partialIt);
+      conn.inPartialList = false;
+    }
+  }
+  if ((conn.events & EPOLLOUT) != 0) {
+    conn.events &= ~static_cast<std::uint32_t>(EPOLLOUT);
+    updateEpoll(conn);
+  }
+  if (conn.outbox.empty() &&
+      (conn.closing ||
+       (conn.peerClosed && !conn.inflight && conn.pending.empty()))) {
+    closeConn(conn);
+    return false;
+  }
+  return true;
+}
+
+void Reactor::updateReadPause(Conn& conn) {
+  const bool shouldPause = conn.pending.size() >= options_.maxPipeline ||
+                           conn.outboxBytes >= options_.maxOutboxBytes;
+  if (shouldPause == conn.readPaused) return;
+  conn.readPaused = shouldPause;
+  if (shouldPause) {
+    stats_.readPauses.fetch_add(1, std::memory_order_relaxed);
+    conn.events &= ~static_cast<std::uint32_t>(EPOLLIN);
+    updateEpoll(conn);
+  } else {
+    conn.events |= EPOLLIN;
+    updateEpoll(conn);
+    // Frames read before the pause may be sitting unparsed in rdbuf;
+    // level-triggered epoll only re-fires for *kernel* bytes, so parse
+    // the user-space backlog now. (Recursion is bounded: parseFrames
+    // only re-enters here in the pause direction, which doesn't recurse.)
+    parseFrames(conn);
+  }
+}
+
+void Reactor::updateEpoll(Conn& conn) {
+  epoll_event ev{};
+  ev.events = conn.events;
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+/// Structured violation path: ask the handler for an error frame, queue
+/// it (close-after-drain), or close silently when it declines.
+void Reactor::failConn(Conn& conn, ConnError kind, const std::string& detail) {
+  conn.closing = true;
+  conn.pending.clear();
+  std::vector<std::uint8_t> reply;
+  if (kind != ConnError::kWriteStall) {
+    reply = handler_.onConnError(conn.id, kind, detail);
+  }
+  if (reply.empty() || conn.inflight) {
+    // No reply to carry (or a request is mid-service whose response
+    // ordering we will not entangle with an error frame): close now if
+    // idle, else once the in-flight request finishes.
+    if (!conn.inflight && conn.outbox.empty()) closeConn(conn);
+    return;
+  }
+  Conn::OutMsg msg;
+  ByteWriter prefix;
+  prefix.u32(static_cast<std::uint32_t>(reply.size()));
+  std::memcpy(msg.prefix, prefix.view().data(), 4);
+  msg.payload =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(reply));
+  msg.closeAfter = true;
+  conn.outboxBytes += 4 + msg.payload->size();
+  conn.outbox.push_back(std::move(msg));
+  flushWrites(conn);
+}
+
+void Reactor::closeConn(Conn& conn) {
+  if (conn.fd >= 0) {
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+    ::close(conn.fd);
+    conn.fd = -1;
+    idleOrder_.erase(conn.idleIt);
+    if (conn.inPartialList) {
+      partialOrder_.erase(conn.partialIt);
+      conn.inPartialList = false;
+    }
+  }
+  if (conn.inflight) {
+    // A worker still owns this request; defer the handler's onClosed
+    // (and the state teardown it implies) until that completion lands.
+    conn.zombie = true;
+    return;
+  }
+  finalizeConn(conn);
+}
+
+void Reactor::finalizeConn(Conn& conn) {
+  const ConnId id = conn.id;
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  conns_.erase(id);  // invalidates `conn`
+  handler_.onClosed(id);
+}
+
+void Reactor::sweepTimeouts() {
+  if (options_.idleTimeoutMs <= 0 && options_.readTimeoutMs <= 0) return;
+  const auto now = Clock::now();
+  if (options_.readTimeoutMs > 0) {
+    while (!partialOrder_.empty()) {
+      const auto it = conns_.find(partialOrder_.front());
+      if (it == conns_.end()) {  // stale entry; cannot happen, but safe
+        partialOrder_.pop_front();
+        continue;
+      }
+      Conn& conn = *it->second;
+      if (elapsedMs(conn.messageStart, now) < options_.readTimeoutMs) break;
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      // Pop the entry first: failConn may leave the connection draining
+      // an error reply, and a stale front entry would spin this sweep.
+      partialOrder_.pop_front();
+      conn.inPartialList = false;
+      const ConnId id = conn.id;
+      if (conn.midMessage) {
+        failConn(conn, ConnError::kReadTimeout,
+                 "read timed out: frame incomplete after " +
+                     std::to_string(options_.readTimeoutMs) + "ms");
+      } else {
+        // Write stall: the peer is not reading; no reply can help.
+        failConn(conn, ConnError::kWriteStall, "peer stopped reading");
+        const auto again = conns_.find(id);
+        if (again != conns_.end() && !again->second->zombie) {
+          closeConn(*again->second);
+        }
+      }
+    }
+  }
+  if (options_.idleTimeoutMs > 0) {
+    while (!idleOrder_.empty()) {
+      const auto it = conns_.find(idleOrder_.front());
+      if (it == conns_.end()) {
+        idleOrder_.pop_front();
+        continue;
+      }
+      Conn& conn = *it->second;
+      if (elapsedMs(conn.lastActivity, now) < options_.idleTimeoutMs) break;
+      if (conn.inflight || !conn.outbox.empty() || conn.midMessage) {
+        // Being serviced / draining / mid-frame: not idle. Refresh so
+        // the sweep can make progress past it.
+        touchIdle(conn);
+        continue;
+      }
+      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+      failConn(conn, ConnError::kIdleTimeout,
+               "idle timeout: no request for " +
+                   std::to_string(options_.idleTimeoutMs) + "ms");
+    }
+  }
+}
+
+void Reactor::beginDrain() {
+  draining_ = true;
+  drainDeadline_ =
+      Clock::now() + std::chrono::milliseconds(options_.drainTimeoutMs);
+  listener_.close();
+  std::vector<ConnId> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const ConnId id : ids) {
+    const auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    if (conn.zombie) continue;
+    conn.pending.clear();
+    // closing makes flushWrites close the moment the outbox drains —
+    // in particular right after the in-flight response is queued+sent.
+    conn.closing = true;
+    if (!conn.readPaused) {
+      conn.readPaused = true;
+      conn.events &= ~static_cast<std::uint32_t>(EPOLLIN);
+      updateEpoll(conn);
+    }
+    if (!conn.inflight && conn.outbox.empty()) closeConn(conn);
+  }
+}
+
+bool Reactor::drainFinished() {
+  if (conns_.empty()) return true;
+  return Clock::now() >= drainDeadline_;
+}
+
+}  // namespace ute

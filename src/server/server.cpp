@@ -1,10 +1,5 @@
 #include "server/server.h"
 
-#include <future>
-
-#include "server/protocol.h"
-#include "support/errors.h"
-
 namespace ute {
 
 namespace {
@@ -15,107 +10,72 @@ ServiceOptions withLiveDefaults(const ServerOptions& options) {
   return service;
 }
 
+ReactorOptions reactorOptions(const ServerOptions& options) {
+  ReactorOptions reactor;
+  reactor.idleTimeoutMs = options.idleTimeoutMs;
+  reactor.readTimeoutMs = options.readTimeoutMs;
+  reactor.maxPipeline = options.maxPipeline;
+  reactor.drainTimeoutMs = options.drainTimeoutMs;
+  reactor.maxMessageBytes = kMaxMessageBytes;
+  return reactor;
+}
+
 }  // namespace
 
 TraceServer::TraceServer(const std::vector<std::string>& slogPaths,
                          const ServerOptions& options)
-    : service_(slogPaths, withLiveDefaults(options)),
-      listener_(options.port) {
-  // Attach before the accept thread exists so no client can observe the
-  // trace count changing.
+    : service_(slogPaths, withLiveDefaults(options)) {
+  // Attach before the reactor exists so no client can observe the trace
+  // count changing.
   if (options.liveFeed != nullptr) {
     service_.attachLiveFeed(options.liveName, options.liveFeed);
   }
-  acceptThread_ = std::thread([this] { acceptLoop(); });
+  // The derived-to-base conversion is only accessible in member scope
+  // (private inheritance), so it cannot happen inside make_unique.
+  Reactor::Handler& handler = *this;
+  reactor_ = std::make_unique<Reactor>(options.port, handler,
+                                       reactorOptions(options));
 }
 
 TraceServer::~TraceServer() { stop(); }
 
-void TraceServer::stop() {
-  if (stopping_.exchange(true)) {
-    // A second caller still waits for the accept thread below.
-  }
-  listener_.close();
-  if (acceptThread_.joinable()) acceptThread_.join();
-  {
-    MutexLock lock(connectionsMu_);
-    for (auto& conn : connections_) conn->socket.shutdownBoth();
-  }
-  // Joining outside the lock: connection threads never re-enter the list
-  // except to be erased here.
-  std::list<std::unique_ptr<Connection>> drained;
-  {
-    MutexLock lock(connectionsMu_);
-    drained.swap(connections_);
-  }
-  for (auto& conn : drained) {
-    if (conn->thread.joinable()) conn->thread.join();
+void TraceServer::stop() { reactor_->shutdown(); }
+
+void TraceServer::onRequest(Reactor::Request req,
+                            std::vector<std::uint8_t> payload) {
+  // Negotiated hello state, created on the connection's first request.
+  // Workers hold the shared_ptr, so a context outlives its connection if
+  // a request is still being serviced when the peer vanishes.
+  auto [it, inserted] = contexts_.try_emplace(req.conn, nullptr);
+  if (inserted) it->second = std::make_shared<ConnectionContext>();
+  std::shared_ptr<ConnectionContext> ctx = it->second;
+
+  // The query runs on the worker pool; the reactor thread only does I/O.
+  auto body = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
+  const bool accepted = service_.trySubmit([this, req, ctx, body] {
+    RequestOutcome outcome = processRequest(service_, *body, *ctx);
+    if (outcome.shutdown) stopRequested_.store(true);
+    req.reactor->complete(req, std::move(outcome.response), outcome.shutdown);
+  });
+  if (!accepted) {
+    req.reactor->complete(
+        req, encodeErrorReply(
+                 ErrorCode::kOverloaded,
+                 "request queue full (" +
+                     std::to_string(service_.pool().maxQueue()) + " deep)"));
   }
 }
 
-void TraceServer::acceptLoop() {
-  for (;;) {
-    std::optional<TcpSocket> client = listener_.accept();
-    if (!client) return;  // listener closed
-    if (stopping_.load()) return;
-    auto conn = std::make_unique<Connection>();
-    conn->socket = std::move(*client);
-    Connection* raw = conn.get();
-    {
-      MutexLock lock(connectionsMu_);
-      connections_.push_back(std::move(conn));
-    }
-    raw->thread = std::thread([this, raw] { serveConnection(*raw); });
-  }
+std::vector<std::uint8_t> TraceServer::onConnError(Reactor::ConnId /*conn*/,
+                                                   Reactor::ConnError /*kind*/,
+                                                   const std::string& detail) {
+  // Framing violations and liveness timeouts get a structured
+  // kBadRequest reply before the close — the client sees why instead of
+  // a bare EOF (same contract the thread-per-connection server had for
+  // oversized frames).
+  return encodeErrorReply(ErrorCode::kBadRequest, detail);
 }
 
-void TraceServer::serveConnection(Connection& conn) {
-  // Negotiated hello state for this connection (frame encoding). The
-  // protocol is strictly request/response, so only one request at a
-  // time ever touches it — no locking needed.
-  ConnectionContext ctx;
-  try {
-    for (;;) {
-      const auto request = recvMessage(conn.socket);
-      if (!request) return;  // client hung up
-      bool shutdown = false;
-      std::vector<std::uint8_t> response;
-
-      // The query runs on the worker pool; this thread only does I/O.
-      std::packaged_task<RequestOutcome()> task([this, &request, &ctx] {
-        return processRequest(service_, *request, ctx);
-      });
-      std::future<RequestOutcome> future = task.get_future();
-      if (service_.trySubmit([&task] { task(); })) {
-        RequestOutcome outcome = future.get();
-        response = std::move(outcome.response);
-        shutdown = outcome.shutdown;
-      } else {
-        response = encodeErrorReply(
-            ErrorCode::kOverloaded,
-            "request queue full (" +
-                std::to_string(service_.pool().maxQueue()) + " deep)");
-      }
-
-      sendMessage(conn.socket, response);
-      if (shutdown) {
-        stopRequested_.store(true);
-        return;
-      }
-    }
-  } catch (const FormatError& e) {
-    // A framing violation (oversized length prefix, garbled frame) gets
-    // a structured kBadRequest reply before the drop — the client sees
-    // why instead of a bare EOF.
-    try {
-      sendMessage(conn.socket,
-                  encodeErrorReply(ErrorCode::kBadRequest, e.what()));
-    } catch (const std::exception&) {
-      // The connection is already too broken to carry the explanation.
-    }
-  } catch (const std::exception&) {
-    // Torn connection (EOF mid-message, send failure): drop the client.
-  }
-}
+void TraceServer::onClosed(Reactor::ConnId conn) { contexts_.erase(conn); }
 
 }  // namespace ute

@@ -69,6 +69,8 @@ class TcpListener {
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  /// Raw listening fd for event-loop registration (-1 once closed).
+  int fd() const { return fd_.load(); }
 
   /// Blocks for the next connection; nullopt once close() was called.
   std::optional<TcpSocket> accept();

@@ -44,7 +44,6 @@ IngestServer::IngestServer(const Profile& profile, IngestServerOptions options,
     : profile_(profile),
       options_(std::move(options)),
       feed_(feed),
-      listener_(options_.port),
       channel_(options_.channelCapacity == 0 ? 64 : options_.channelCapacity) {
   if (options_.expectedNodes.empty()) {
     throw UsageError("ingest server needs at least one expected node");
@@ -63,7 +62,19 @@ IngestServer::IngestServer(const Profile& profile, IngestServerOptions options,
     claimed_.assign(options_.expectedNodes.size(), false);
   }
   mergeThread_ = std::thread(&IngestServer::mergeLoop, this);
-  acceptThread_ = std::thread(&IngestServer::acceptLoop, this);
+  // One worker per expected node plus slack: every node can block on its
+  // ByteBudget simultaneously without starving a stray connection's
+  // (quick) error reply. Sized before the reactor exists — onRequest
+  // needs the pool.
+  const std::size_t inputs = options_.expectedNodes.size();
+  pool_ = std::make_unique<WorkerPool>(inputs + 2, inputs * 4 + 64);
+  ReactorOptions reactor;
+  reactor.idleTimeoutMs = options_.sessionTimeoutMs;
+  reactor.readTimeoutMs = options_.sessionTimeoutMs;
+  // maxMessageBytes keeps its default: the ingest protocol shares the
+  // 64 MiB framing cap with the query protocol (tcp.cpp recvMessage).
+  Reactor::Handler& handler = *this;
+  reactor_ = std::make_unique<Reactor>(options_.port, handler, reactor);
 }
 
 IngestServer::~IngestServer() { stop(); }
@@ -71,28 +82,18 @@ IngestServer::~IngestServer() { stop(); }
 void IngestServer::stop() {
   {
     MutexLock lock(mu_);
+    if (stopped_) {
+      // A second caller still waits for the reactor below (idempotent
+      // shutdown joins, or returns at once when already joined).
+    }
     stopped_ = true;
-    // Wake sessions blocked in recvMessage (their loops then exit and
-    // enqueue aborts — or find the channel closed below).
-    for (TcpSocket* s : liveSockets_) s->shutdownBoth();
   }
-  listener_.close();
+  // Unblock workers stuck in budget acquire / channel send so their
+  // completions reach the reactor, then drain + join the loop. Sessions
+  // still open at that point surface as aborts via onClosed.
   channel_.close();
   for (auto& budget : budgets_) budget->close();
-  {
-    MutexLock lock(mu_);
-    if (joined_) return;
-    joined_ = true;
-  }
-  if (acceptThread_.joinable()) acceptThread_.join();
-  // The accept thread has exited, so no new session threads appear; the
-  // joins happen outside the lock because session teardown needs mu_.
-  std::vector<std::thread> sessions;
-  {
-    MutexLock lock(mu_);
-    sessions.swap(sessionThreads_);
-  }
-  for (auto& t : sessions) t.join();
+  reactor_->shutdown();
   if (mergeThread_.joinable()) mergeThread_.join();
 }
 
@@ -111,16 +112,7 @@ void IngestServer::markDone(StreamMergeResult result, std::string error) {
   doneCv_.notifyAll();
 }
 
-// --- accept + session threads -----------------------------------------------
-
-void IngestServer::acceptLoop() {
-  while (auto socket = listener_.accept()) {
-    MutexLock lock(mu_);
-    if (stopped_) break;
-    sessionThreads_.emplace_back(&IngestServer::serveSession, this,
-                                 std::move(*socket));
-  }
-}
+// --- reactor handler --------------------------------------------------------
 
 std::size_t IngestServer::claimNode(NodeId node) {
   MutexLock lock(mu_);
@@ -142,138 +134,164 @@ std::size_t IngestServer::claimNode(NodeId node) {
       "node " + std::to_string(node) + " is not part of this run");
 }
 
-void IngestServer::serveSession(TcpSocket socket) {
-  if (options_.sessionTimeoutMs > 0) {
-    socket.setRecvTimeout(options_.sessionTimeoutMs);
+void IngestServer::onRequest(Reactor::Request req,
+                             std::vector<std::uint8_t> payload) {
+  auto [it, inserted] = sessions_.try_emplace(req.conn, nullptr);
+  if (inserted) it->second = std::make_shared<Session>();
+  std::shared_ptr<Session> session = it->second;
+
+  auto body = std::make_shared<std::vector<std::uint8_t>>(std::move(payload));
+  const bool accepted = pool_->trySubmit([this, req, session, body] {
+    serviceMessage(req, *session, *body);
+  });
+  if (!accepted) {
+    // The pool is sized so this only happens under a connection flood;
+    // shed the stray with a structured reply (never a hung session).
+    req.reactor->complete(req,
+                          encodeIngestReply(IngestStatus::kShuttingDown,
+                                            "ingest server overloaded"),
+                          /*closeAfter=*/true);
   }
-  {
-    MutexLock lock(mu_);
-    liveSockets_.push_back(&socket);
-  }
-  std::optional<std::size_t> input;
-  bool sawThreads = false;
-  bool sawBye = false;
+}
+
+void IngestServer::serviceMessage(Reactor::Request req, Session& session,
+                                  const std::vector<std::uint8_t>& msg) {
+  std::vector<std::uint8_t> reply;
+  bool fatal = false;
   try {
-    while (!sawBye) {
-      auto msg = recvMessage(socket);
-      if (!msg) break;  // clean EOF without kBye: disconnect -> abort
-      std::vector<std::uint8_t> reply;
-      bool fatal = false;
-      try {
-        const IngestOp op = peekIngestOp(*msg);
-        if (!input) {
-          if (op != IngestOp::kHello) {
-            throw IngestError(IngestStatus::kBadRequest,
-                              "first message must be the ingest hello");
-          }
-          input = claimNode(decodeIngestHello(*msg).node);
-        } else {
-          switch (op) {
-            case IngestOp::kHello:
-              throw IngestError(IngestStatus::kBadRequest, "duplicate hello");
-            case IngestOp::kThreads: {
-              if (sawThreads) {
-                throw IngestError(IngestStatus::kBadRequest,
-                                  "duplicate thread table");
-              }
-              SessionEvent ev;
-              ev.kind = SessionEvent::Kind::kThreads;
-              ev.input = *input;
-              ev.threads = decodeIngestThreads(*msg);
-              if (!channel_.send(std::move(ev))) {
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              sawThreads = true;
-              break;
-            }
-            case IngestOp::kMarker: {
-              SessionEvent ev;
-              ev.kind = SessionEvent::Kind::kMarker;
-              ev.input = *input;
-              std::tie(ev.markerId, ev.markerName) = decodeIngestMarker(*msg);
-              if (!channel_.send(std::move(ev))) {
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              break;
-            }
-            case IngestOp::kClockPairs: {
-              SessionEvent ev;
-              ev.kind = SessionEvent::Kind::kClockPairs;
-              ev.input = *input;
-              ev.clockPairs = decodeIngestClockPairs(*msg);
-              if (!channel_.send(std::move(ev))) {
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              break;
-            }
-            case IngestOp::kRecords: {
-              if (!sawThreads) {
-                throw IngestError(IngestStatus::kBadRequest,
-                                  "records before the thread table");
-              }
-              SessionEvent ev;
-              ev.kind = SessionEvent::Kind::kRecords;
-              ev.input = *input;
-              ev.records = decodeIngestRecords(*msg);
-              for (const auto& body : ev.records) ev.bytes += body.size();
-              // The ack below happens only after both gates pass, which
-              // is what makes the reply an explicit backpressure signal.
-              if (!budgets_[*input]->acquire(ev.bytes)) {
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              const std::size_t bytes = ev.bytes;
-              if (!channel_.send(std::move(ev))) {
-                budgets_[*input]->release(bytes);
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              break;
-            }
-            case IngestOp::kBye: {
-              SessionEvent ev;
-              ev.kind = SessionEvent::Kind::kClose;
-              ev.input = *input;
-              if (!channel_.send(std::move(ev))) {
-                throw IngestError(IngestStatus::kShuttingDown,
-                                  "ingest is shutting down");
-              }
-              sawBye = true;
-              break;
-            }
-            default:
-              throw IngestError(IngestStatus::kBadRequest,
-                                "unknown ingest op");
-          }
+    try {
+      const IngestOp op = peekIngestOp(msg);
+      if (!session.input) {
+        if (op != IngestOp::kHello) {
+          throw IngestError(IngestStatus::kBadRequest,
+                            "first message must be the ingest hello");
         }
-        reply = encodeIngestReply(IngestStatus::kOk);
-      } catch (const IngestError& e) {
-        // Structured error reply before close — the client sees why, not
-        // a bare EOF. The session is over either way.
-        reply = encodeIngestReply(e.status(), e.what());
-        fatal = true;
+        session.input = claimNode(decodeIngestHello(msg).node);
+      } else {
+        const std::size_t input = *session.input;
+        switch (op) {
+          case IngestOp::kHello:
+            throw IngestError(IngestStatus::kBadRequest, "duplicate hello");
+          case IngestOp::kThreads: {
+            if (session.sawThreads) {
+              throw IngestError(IngestStatus::kBadRequest,
+                                "duplicate thread table");
+            }
+            SessionEvent ev;
+            ev.kind = SessionEvent::Kind::kThreads;
+            ev.input = input;
+            ev.threads = decodeIngestThreads(msg);
+            if (!channel_.send(std::move(ev))) {
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            session.sawThreads = true;
+            break;
+          }
+          case IngestOp::kMarker: {
+            SessionEvent ev;
+            ev.kind = SessionEvent::Kind::kMarker;
+            ev.input = input;
+            std::tie(ev.markerId, ev.markerName) = decodeIngestMarker(msg);
+            if (!channel_.send(std::move(ev))) {
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            break;
+          }
+          case IngestOp::kClockPairs: {
+            SessionEvent ev;
+            ev.kind = SessionEvent::Kind::kClockPairs;
+            ev.input = input;
+            ev.clockPairs = decodeIngestClockPairs(msg);
+            if (!channel_.send(std::move(ev))) {
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            break;
+          }
+          case IngestOp::kRecords: {
+            if (!session.sawThreads) {
+              throw IngestError(IngestStatus::kBadRequest,
+                                "records before the thread table");
+            }
+            SessionEvent ev;
+            ev.kind = SessionEvent::Kind::kRecords;
+            ev.input = input;
+            ev.records = decodeIngestRecords(msg);
+            for (const auto& body : ev.records) ev.bytes += body.size();
+            // The ack below happens only after both gates pass, which is
+            // what makes the reply an explicit backpressure signal.
+            if (!budgets_[input]->acquire(ev.bytes)) {
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            const std::size_t bytes = ev.bytes;
+            if (!channel_.send(std::move(ev))) {
+              budgets_[input]->release(bytes);
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            break;
+          }
+          case IngestOp::kBye: {
+            SessionEvent ev;
+            ev.kind = SessionEvent::Kind::kClose;
+            ev.input = input;
+            if (!channel_.send(std::move(ev))) {
+              throw IngestError(IngestStatus::kShuttingDown,
+                                "ingest is shutting down");
+            }
+            session.sawBye = true;
+            break;
+          }
+          default:
+            throw IngestError(IngestStatus::kBadRequest, "unknown ingest op");
+        }
       }
-      sendMessage(socket, reply);
-      if (fatal) break;
+      reply = encodeIngestReply(IngestStatus::kOk);
+    } catch (const IngestError& e) {
+      // Structured error reply before close — the client sees why, not a
+      // bare EOF. The session is over either way.
+      reply = encodeIngestReply(e.status(), e.what());
+      fatal = true;
     }
   } catch (const std::exception&) {
-    // Recv timeout, torn frame, or send failure: a disconnect.
+    // Torn frame (decode failure outside the ingest-status taxonomy):
+    // drop the client silently; onClosed synthesizes the abort.
+    req.reactor->complete(req, nullptr, /*closeAfter=*/true);
+    return;
   }
-  if (input && !sawBye) {
+  // A session ends after its kBye ack (or a fatal reply) — the reactor
+  // drains the reply first, then closes, then onClosed fires.
+  req.reactor->complete(req, std::move(reply),
+                        /*closeAfter=*/fatal || session.sawBye);
+}
+
+std::vector<std::uint8_t> IngestServer::onConnError(
+    Reactor::ConnId /*conn*/, Reactor::ConnError /*kind*/,
+    const std::string& /*detail*/) {
+  // Framing violations and liveness timeouts are disconnects in the
+  // ingest protocol (same as the old per-session recv timeout): no
+  // reply; onClosed turns the claim into an abort.
+  return {};
+}
+
+void IngestServer::onClosed(Reactor::ConnId conn) {
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
+  const std::shared_ptr<Session> session = it->second;
+  sessions_.erase(it);
+  if (session->input && !session->sawBye) {
+    // Disconnect without kBye = abort. onClosed is only fired after the
+    // session's last in-flight message completed, so this can never
+    // overtake records still being admitted. The send may briefly block
+    // on a full channel; the merge thread drains it independently, and a
+    // closed channel (merge already over) returns false immediately.
     SessionEvent ev;
     ev.kind = SessionEvent::Kind::kAbort;
-    ev.input = *input;
-    channel_.send(std::move(ev));  // closed channel = merge already over
-  }
-  MutexLock lock(mu_);
-  for (auto it = liveSockets_.begin(); it != liveSockets_.end(); ++it) {
-    if (*it == &socket) {
-      liveSockets_.erase(it);
-      break;
-    }
+    ev.input = *session->input;
+    channel_.send(std::move(ev));
   }
 }
 

@@ -6,12 +6,16 @@
 // (docs/STREAMING.md).
 //
 // Threads:
-//   - the accept thread turns connections into session threads;
-//   - each session thread speaks the ingest protocol (ingest_protocol.h)
-//     and forwards decoded messages into a bounded Channel<SessionEvent>;
-//   - the single merge thread drains the channel, drives the
-//     StreamMerger, and owns the output writers — StreamMerger and
-//     SlogWriter stay single-threaded by construction.
+//   - the shared epoll Reactor (src/server/reactor.h) owns every
+//     session's socket and state machine on one event-loop thread;
+//   - a small worker pool (one slot per expected node plus slack) runs
+//     the per-message protocol work, because admitting a kRecords batch
+//     legitimately blocks on the session's ByteBudget; the reactor
+//     dispatches one message per session at a time, so session state
+//     needs no locking and acks stay in order;
+//   - the single merge thread drains a bounded Channel<SessionEvent>,
+//     drives the StreamMerger, and owns the output writers —
+//     StreamMerger and SlogWriter stay single-threaded by construction.
 //
 // Backpressure: each session has its own ByteBudget. A kRecords batch is
 // acked only after its bytes fit the session's budget and the event is
@@ -22,9 +26,11 @@
 //
 // Teardown: a session that disconnects without kBye is an abort — the
 // merge synthesizes end pieces for the node's open states
-// (StreamMerger::abortInput) so the merged output stays well-formed. A
-// node that aborted cannot reconnect: its closures are already in the
-// stream.
+// (StreamMerger::abortInput) so the merged output stays well-formed. The
+// reactor fires onClosed only after the session's last in-flight message
+// finished, so the abort event can never overtake records already being
+// admitted. A node that aborted cannot reconnect: its closures are
+// already in the stream.
 #pragma once
 
 #include <cstddef>
@@ -33,10 +39,12 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "interval/profile.h"
-#include "server/tcp.h"
+#include "server/reactor.h"
+#include "server/worker_pool.h"
 #include "slog/slog_writer.h"
 #include "stream/ingest_protocol.h"
 #include "stream/live_feed.h"
@@ -62,8 +70,10 @@ struct IngestServerOptions {
   /// clock fit may only freeze at end of stream. A batch larger than the
   /// whole budget is admitted alone once the budget is empty.
   std::size_t sessionBudgetBytes = 8 << 20;
-  /// Recv timeout per session; a session silent this long is treated as
-  /// a disconnect (abort). 0 = wait forever.
+  /// Liveness bound per session: a session idle (no message) or stuck
+  /// mid-frame this long is treated as a disconnect (abort). Sessions
+  /// whose message is being serviced — e.g. blocked on the byte budget —
+  /// are exempt. 0 = wait forever.
   int sessionTimeoutMs = 30'000;
   std::size_t channelCapacity = 64;
 };
@@ -89,19 +99,20 @@ class ByteBudget {
   bool closed_ UTE_GUARDED_BY(mu_) = false;
 };
 
-class IngestServer {
+class IngestServer : private Reactor::Handler {
  public:
-  /// Binds, spawns the merge and accept threads. `feed` (optional, not
-  /// owned, must outlive the server) receives sealed frames, the
+  /// Binds, spawns the merge thread and the reactor. `feed` (optional,
+  /// not owned, must outlive the server) receives sealed frames, the
   /// watermark, and live metrics.
   IngestServer(const Profile& profile, IngestServerOptions options,
                LiveFeed* feed = nullptr);
-  ~IngestServer();
+  ~IngestServer() override;
 
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return reactor_->port(); }
+  Reactor::Stats reactorStats() const { return reactor_->stats(); }
 
   /// Blocks until the merge finished (every expected node closed or the
   /// server was stopped). Rethrows a merge-side failure as FormatError.
@@ -113,8 +124,7 @@ class IngestServer {
   void stop();
 
  private:
-  /// One decoded client message, forwarded session thread -> merge
-  /// thread.
+  /// One decoded client message, forwarded worker -> merge thread.
   struct SessionEvent {
     enum class Kind : std::uint8_t {
       kThreads,
@@ -134,8 +144,27 @@ class IngestServer {
     std::size_t bytes = 0;  ///< budget charge carried by kRecords
   };
 
-  void acceptLoop();
-  void serveSession(TcpSocket socket);
+  /// Ingest-protocol progress of one connection. The map is reactor-
+  /// thread confined; each Session object is shared with at most one
+  /// worker at a time (the reactor serializes per-connection dispatch).
+  struct Session {
+    std::optional<std::size_t> input;
+    bool sawThreads = false;
+    bool sawBye = false;
+  };
+
+  void onRequest(Reactor::Request req,
+                 std::vector<std::uint8_t> payload) override;
+  std::vector<std::uint8_t> onConnError(Reactor::ConnId conn,
+                                        Reactor::ConnError kind,
+                                        const std::string& detail) override;
+  void onClosed(Reactor::ConnId conn) override;
+
+  /// Protocol work for one message; runs on the session pool because
+  /// kRecords admission blocks on the ByteBudget.
+  void serviceMessage(Reactor::Request req, Session& session,
+                      const std::vector<std::uint8_t>& msg);
+
   void mergeLoop();
   /// Creates the output writers once every thread table arrived (merge
   /// thread only).
@@ -149,10 +178,9 @@ class IngestServer {
   const Profile& profile_;
   IngestServerOptions options_;
   LiveFeed* feed_ = nullptr;  ///< not owned; may be null
-  TcpListener listener_;
   Channel<SessionEvent> channel_;
   /// One budget per expected node; the objects are immortal for the
-  /// server's lifetime, so session threads index without a lock.
+  /// server's lifetime, so workers index without a lock.
   std::vector<std::unique_ptr<ByteBudget>> budgets_;
 
   // Merge-thread-confined state (created in the constructor before the
@@ -163,16 +191,21 @@ class IngestServer {
   mutable Mutex mu_;
   CondVar doneCv_;
   std::vector<bool> claimed_ UTE_GUARDED_BY(mu_);
-  std::vector<TcpSocket*> liveSockets_ UTE_GUARDED_BY(mu_);
-  std::vector<std::thread> sessionThreads_ UTE_GUARDED_BY(mu_);
   bool stopped_ UTE_GUARDED_BY(mu_) = false;
-  bool joined_ UTE_GUARDED_BY(mu_) = false;
   bool done_ UTE_GUARDED_BY(mu_) = false;
   std::string error_ UTE_GUARDED_BY(mu_);
   StreamMergeResult result_ UTE_GUARDED_BY(mu_);
 
   std::thread mergeThread_;
-  std::thread acceptThread_;
+
+  /// Reactor-thread confined (see Session).
+  std::unordered_map<Reactor::ConnId, std::shared_ptr<Session>> sessions_;
+
+  /// Declaration order = teardown contract: pool_ (last) is destroyed
+  /// first and joins its workers while reactor_ is still alive to absorb
+  /// their complete() calls.
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace ute

@@ -26,6 +26,7 @@
 // std::mutex / std::lock_guard / std::condition_variable.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -139,6 +140,16 @@ class CondVar {
     // caller's MutexLock still owns the capability.
     std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
     cv_.wait(native);
+    native.release();
+  }
+
+  /// Bounded wait (same adopt/release protocol as wait()); returns after
+  /// `timeout` even without a notify — for deadline-polling loops.
+  template <typename Rep, typename Period>
+  void waitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      UTE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait_for(native, timeout);
     native.release();
   }
 

@@ -37,6 +37,15 @@ clang-tidy can express (see docs/STATIC_ANALYSIS.md):
                 moves goes through src/server/tcp.h (TcpListener/TcpSocket),
                 so connect/read timeouts, EINTR handling and peer error
                 context stay in one place (docs/FEDERATION.md).
+  reactor-containment
+                the event loop has exactly one home: epoll/eventfd calls and
+                headers appear nowhere in src/ or tools/ outside
+                src/server/reactor.{h,cpp}, and fcntl/O_NONBLOCK nowhere
+                outside reactor.* and src/server/tcp.cpp (whose client
+                connect uses it for bounded timeouts). Servers integrate by
+                implementing Reactor::Handler, never by running their own
+                readiness loop (docs/SERVER.md "Reactor"). bench/ is exempt:
+                the concurrency bench drives its own epoll client harness.
 
 Run locally:   python3 tools/utelint.py [--root REPO]
 Run via ctest: ctest -R utelint   (registered in tests/CMakeLists.txt)
@@ -268,6 +277,47 @@ class Linter:
                     f"raw {m.group(1)}() in federation code — use "
                     "TcpListener/TcpSocket from src/server/tcp.h")
 
+    # ---- reactor-containment --------------------------------------------
+    REACTOR_API = re.compile(
+        r"\b(epoll_create1?|epoll_ctl|epoll_wait|epoll_pwait2?|eventfd)\s*\(")
+    REACTOR_HEADER = re.compile(r"#include\s+<sys/(epoll|eventfd)\.h>")
+    NONBLOCK_API = re.compile(r"\bfcntl\s*\(|\bO_NONBLOCK\b|\bSOCK_NONBLOCK\b")
+
+    @staticmethod
+    def is_reactor_file(path: Path) -> bool:
+        posix = path.as_posix()
+        return posix.endswith(("src/server/reactor.h", "src/server/reactor.cpp"))
+
+    def check_reactor_containment(self) -> None:
+        for subdir in ("src", "tools"):
+            for path in self.files(subdir):
+                if self.is_reactor_file(path):
+                    continue
+                code = strip_comments_and_strings(path.read_text())
+                for m in self.REACTOR_HEADER.finditer(code):
+                    self.report(
+                        path, line_of(code, m.start()), "reactor-containment",
+                        f"{m.group(0).strip()} outside src/server/reactor.* — "
+                        "the event loop has exactly one home; implement "
+                        "Reactor::Handler instead")
+                for m in self.REACTOR_API.finditer(code):
+                    before = code[: m.start()].rstrip()
+                    if before.endswith((".", "->", "::")):
+                        continue
+                    self.report(
+                        path, line_of(code, m.start()), "reactor-containment",
+                        f"{m.group(1)}() outside src/server/reactor.* — "
+                        "implement Reactor::Handler instead of running a "
+                        "readiness loop")
+                if path.as_posix().endswith("src/server/tcp.cpp"):
+                    continue  # bounded client connect legitimately uses fcntl
+                for m in self.NONBLOCK_API.finditer(code):
+                    self.report(
+                        path, line_of(code, m.start()), "reactor-containment",
+                        f"{m.group(0).strip()} outside src/server/reactor.* "
+                        "and src/server/tcp.cpp — non-blocking fd plumbing "
+                        "belongs to the reactor")
+
     def run(self) -> int:
         self.check_raw_io()
         self.check_io_context()
@@ -276,6 +326,7 @@ class Linter:
         self.check_bench_determinism()
         self.check_codec_containment()
         self.check_fed_socket_containment()
+        self.check_reactor_containment()
         for v in self.violations:
             print(v)
         count = len(self.violations)

@@ -15,6 +15,11 @@
 //             [--shards N]      cache shards (default 8)
 //             [--health-ms N]   health probe cadence (default 1000)
 //             [--retries N]     proxy retry passes (default 2)
+//             [--workers N]     relay worker threads (default 16)
+//             [--idle-ms N]     close connections idle this long
+//                               (default 120000; 0 = never)
+//             [--read-ms N]     partial-frame / stalled-write liveness
+//                               bound (default 30000; 0 = never)
 //             [--port-file P]   write the bound port to P once listening
 //
 // Stops on SIGINT/SIGTERM or a client's shutdown request
@@ -68,7 +73,8 @@ int main(int argc, char** argv) {
   using namespace ute;
   try {
     CliParser cli(argc, argv, {"port", "cache-mb", "shards", "health-ms",
-                               "retries", "port-file"});
+                               "retries", "workers", "idle-ms", "read-ms",
+                               "port-file"});
     if (cli.positional().size() != 1) {
       std::fprintf(stderr, "usage: uterouter BACKENDS.conf [--port N] "
                            "[--cache-mb MB] [--health-ms N]\n");
@@ -87,9 +93,18 @@ int main(int argc, char** argv) {
         static_cast<int>(cli.valueOr("retries", std::uint64_t{2}));
 
     RouterService service(options);
-    RouterServer server(
-        service,
-        static_cast<std::uint16_t>(cli.valueOr("port", std::uint64_t{0})));
+    RouterServerOptions serverOptions;
+    serverOptions.port =
+        static_cast<std::uint16_t>(cli.valueOr("port", std::uint64_t{0}));
+    serverOptions.workers =
+        static_cast<std::size_t>(cli.valueOr("workers", std::uint64_t{16}));
+    // The CLI router hardens against slow/hung clients by default;
+    // embedded (test) routers keep the permissive defaults.
+    serverOptions.idleTimeoutMs =
+        static_cast<int>(cli.valueOr("idle-ms", std::uint64_t{120'000}));
+    serverOptions.readTimeoutMs =
+        static_cast<int>(cli.valueOr("read-ms", std::uint64_t{30'000}));
+    RouterServer server(service, serverOptions);
 
     const std::size_t traceCount = service.registry().listTraces().size();
     std::printf("uterouter: listening on 127.0.0.1:%u (%zu backend%s, "

@@ -12,6 +12,10 @@
 //            [--shards N]      cache shards (default 8)
 //            [--workers N]     query worker threads (default 4)
 //            [--queue N]       bounded request queue depth (default 64)
+//            [--idle-ms N]     close connections idle this long
+//                              (default 120000; 0 = never)
+//            [--read-ms N]     partial-frame / stalled-write liveness
+//                              bound (default 30000; 0 = never)
 //            [--port-file P]   write the bound port to P once listening
 //
 // Stops on SIGINT/SIGTERM or a client's shutdown request
@@ -37,7 +41,7 @@ int main(int argc, char** argv) {
   using namespace ute;
   try {
     CliParser cli(argc, argv, {"port", "cache-mb", "shards", "workers",
-                               "queue", "port-file"});
+                               "queue", "idle-ms", "read-ms", "port-file"});
     if (cli.positional().empty()) {
       std::fprintf(stderr, "usage: uteserve RUN.slog [MORE.slog ...] "
                            "[--port N] [--cache-mb MB] [--workers N]\n");
@@ -55,6 +59,12 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.valueOr("workers", std::uint64_t{4}));
     options.service.queueDepth =
         static_cast<std::size_t>(cli.valueOr("queue", std::uint64_t{64}));
+    // The CLI server hardens against slow/hung clients by default;
+    // embedded (test) servers keep the permissive ServerOptions defaults.
+    options.idleTimeoutMs =
+        static_cast<int>(cli.valueOr("idle-ms", std::uint64_t{120'000}));
+    options.readTimeoutMs =
+        static_cast<int>(cli.valueOr("read-ms", std::uint64_t{30'000}));
 
     TraceServer server(cli.positional(), options);
     std::printf("uteserve: listening on 127.0.0.1:%u (%u trace%s, "
