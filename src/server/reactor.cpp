@@ -211,6 +211,9 @@ void Reactor::loop() {
         handleEvent(tag, events[i].events);
       }
     }
+    // Idle retry for the fd-exhaustion pause (waitTimeoutMs bounds the
+    // wait at 100ms while paused); a closing connection resumes sooner.
+    if (n == 0 && acceptsPaused_ && !draining_) resumeAccepts();
     sweepTimeouts();
   }
 
@@ -236,6 +239,10 @@ void Reactor::loop() {
 
 int Reactor::waitTimeoutMs() const {
   if (draining_) return 20;
+  // Paused accepts may have no closing connection to resume them (the
+  // fd pressure can come from elsewhere in the process): retry on a
+  // bounded cadence instead of sleeping forever.
+  if (acceptsPaused_) return 100;
   int bound = -1;
   if (options_.idleTimeoutMs > 0) bound = options_.idleTimeoutMs;
   if (options_.readTimeoutMs > 0 &&
@@ -251,7 +258,13 @@ void Reactor::handleAccepts() {
   for (;;) {
     const int fd = ::accept4(listener_.fd(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) return;  // EAGAIN, EMFILE, or the listener closed
+    if (fd < 0) {
+      // Out of fds with a pending backlog: the level-triggered listener
+      // would make every epoll_wait return instantly. Deregister it and
+      // retry once a connection closes (or after a bounded backoff).
+      if (errno == EMFILE || errno == ENFILE) pauseAccepts();
+      return;  // otherwise EAGAIN or the listener closed
+    }
     if (draining_ ||
         (options_.maxConnections != 0 &&
          conns_.size() >= options_.maxConnections)) {
@@ -285,6 +298,22 @@ void Reactor::handleAccepts() {
       stats_.peakConnections.store(live, std::memory_order_relaxed);
     }
   }
+}
+
+void Reactor::pauseAccepts() {
+  if (acceptsPaused_ || listener_.fd() < 0) return;
+  ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listener_.fd(), nullptr);
+  acceptsPaused_ = true;
+}
+
+void Reactor::resumeAccepts() {
+  if (!acceptsPaused_) return;
+  acceptsPaused_ = false;
+  if (draining_ || listener_.fd() < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // id 0 = listener
+  ::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
 }
 
 void Reactor::handleEvent(ConnId id, std::uint32_t events) {
@@ -368,10 +397,15 @@ void Reactor::parseFrames(Conn& conn) {
     if (avail < 4) {
       if (!conn.midMessage) {
         conn.midMessage = true;
-        conn.messageStart = Clock::now();
-        partialOrder_.push_back(conn.id);
-        conn.partialIt = std::prev(partialOrder_.end());
-        conn.inPartialList = true;
+        // The conn may already be listed for a write stall (flushWrites
+        // EAGAIN); keep that earlier clock — a second entry would leave
+        // a stale node behind when partialIt is overwritten.
+        if (!conn.inPartialList) {
+          conn.messageStart = Clock::now();
+          partialOrder_.push_back(conn.id);
+          conn.partialIt = std::prev(partialOrder_.end());
+          conn.inPartialList = true;
+        }
       }
       break;
     }
@@ -389,20 +423,31 @@ void Reactor::parseFrames(Conn& conn) {
     if (avail < total) {
       if (!conn.midMessage) {
         conn.midMessage = true;
-        conn.messageStart = Clock::now();
-        partialOrder_.push_back(conn.id);
-        conn.partialIt = std::prev(partialOrder_.end());
-        conn.inPartialList = true;
+        // The conn may already be listed for a write stall (flushWrites
+        // EAGAIN); keep that earlier clock — a second entry would leave
+        // a stale node behind when partialIt is overwritten.
+        if (!conn.inPartialList) {
+          conn.messageStart = Clock::now();
+          partialOrder_.push_back(conn.id);
+          conn.partialIt = std::prev(partialOrder_.end());
+          conn.inPartialList = true;
+        }
       }
-      // Grow so the whole frame fits without another compaction cycle.
-      if (conn.rdbuf.size() < conn.rdPos + total) {
-        conn.rdbuf.resize(conn.rdPos + total);
+      // Grow toward the full frame, but only a few chunks past what has
+      // actually arrived: a bare length prefix claiming maxMessageBytes
+      // must not pin 64 MiB per connection on a handful of bytes.
+      const std::size_t target =
+          std::min(conn.rdPos + total, conn.rdEnd + 4 * kReadChunk);
+      if (conn.rdbuf.size() < target) {
+        conn.rdbuf.resize(target);
       }
       break;
     }
     if (conn.midMessage) {
       conn.midMessage = false;
-      if (conn.inPartialList) {
+      // A non-empty outbox means the entry doubles as the write-stall
+      // clock; it is cleared by flushWrites when the peer drains.
+      if (conn.inPartialList && conn.outbox.empty()) {
         partialOrder_.erase(conn.partialIt);
         conn.inPartialList = false;
       }
@@ -483,8 +528,17 @@ void Reactor::applyCompletion(Completion completion) {
   }
   if (completion.closeAfter) conn.closing = true;
   if (!flushWrites(conn)) return;
+  const ConnId id = conn.id;
   updateReadPause(conn);
-  if (!conn.closing) dirty_.push_back(conn.id);  // next pipelined request
+  // The unpause path re-enters parseFrames on the buffered backlog,
+  // which can close (and erase) the connection — e.g. an oversized
+  // length prefix left behind the pipeline guard. `conn` is dead then;
+  // re-look-up before touching it (mirrors the guard in handleRead).
+  const auto again = conns_.find(id);
+  if (again == conns_.end() || again->second->zombie) return;
+  if (!again->second->closing) {
+    dirty_.push_back(id);  // next pipelined request
+  }
 }
 
 /// Drains the outbox opportunistically. Returns false when the
@@ -647,6 +701,7 @@ void Reactor::closeConn(Conn& conn) {
     ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
     ::close(conn.fd);
     conn.fd = -1;
+    resumeAccepts();  // an fd just freed up for the backlog
     idleOrder_.erase(conn.idleIt);
     if (conn.inPartialList) {
       partialOrder_.erase(conn.partialIt);
@@ -681,24 +736,26 @@ void Reactor::sweepTimeouts() {
       }
       Conn& conn = *it->second;
       if (elapsedMs(conn.messageStart, now) < options_.readTimeoutMs) break;
-      stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
       // Pop the entry first: failConn may leave the connection draining
       // an error reply, and a stale front entry would spin this sweep.
       partialOrder_.pop_front();
       conn.inPartialList = false;
       const ConnId id = conn.id;
       if (conn.midMessage) {
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
         failConn(conn, ConnError::kReadTimeout,
                  "read timed out: frame incomplete after " +
                      std::to_string(options_.readTimeoutMs) + "ms");
-      } else {
+      } else if (!conn.outbox.empty()) {
         // Write stall: the peer is not reading; no reply can help.
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
         failConn(conn, ConnError::kWriteStall, "peer stopped reading");
         const auto again = conns_.find(id);
         if (again != conns_.end() && !again->second->zombie) {
           closeConn(*again->second);
         }
       }
+      // else: stale entry for a healthy connection — just dropped.
     }
   }
   if (options_.idleTimeoutMs > 0) {

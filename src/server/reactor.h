@@ -203,6 +203,8 @@ class Reactor {
 
   void loop();
   void handleAccepts();
+  void pauseAccepts();
+  void resumeAccepts();
   void handleEvent(ConnId id, std::uint32_t events);
   void handleRead(Conn& conn);
   void parseFrames(Conn& conn);
@@ -244,6 +246,8 @@ class Reactor {
   std::list<ConnId> idleOrder_;
   std::list<ConnId> partialOrder_;
   std::vector<ConnId> dirty_;
+  /// Listener deregistered after EMFILE/ENFILE; re-armed on a close.
+  bool acceptsPaused_ = false;
   bool draining_ = false;
   std::chrono::steady_clock::time_point drainDeadline_{};
 

@@ -91,6 +91,11 @@ class ParkingHandler : public Reactor::Handler {
     }
   }
 
+  std::vector<std::uint8_t> onConnError(Reactor::ConnId, Reactor::ConnError,
+                                        const std::string& detail) override {
+    return bytesOf("ERR:" + detail);
+  }
+
 
  private:
   struct Parked {
@@ -299,6 +304,92 @@ TEST(Reactor, ShutdownForceClosesPastTheDrainDeadline) {
   EXPECT_LT(elapsed, 5s);  // deadline, not forever
   EXPECT_FALSE(recvMessage(client).has_value());
   EXPECT_GE(reactor->stats().forcedCloses, 1u);
+}
+
+TEST(Reactor, UnpauseAfterCompletionSurvivesBufferedOversizedFrame) {
+  // Regression: a burst that fills the pipeline guard AND leaves an
+  // oversized length prefix buffered. The completion that re-opens the
+  // read window re-parses the user-space backlog, hits the violation,
+  // and closes the connection from *inside* applyCompletion — which
+  // must not touch the freed Conn afterwards (caught by ASan/TSan).
+  ParkingHandler handler;
+  ReactorOptions options;
+  options.maxPipeline = 2;
+  options.maxMessageBytes = 1024;
+  Reactor reactor(0, handler, options);
+
+  TcpSocket client = TcpSocket::connectTo("127.0.0.1", reactor.port());
+  ByteWriter burst;
+  for (int i = 0; i < 2; ++i) {  // fills maxPipeline: reads pause
+    const auto payload = bytesOf("q" + std::to_string(i));
+    burst.u32(static_cast<std::uint32_t>(payload.size()));
+    burst.bytes(payload);
+  }
+  burst.u32(4096);  // beyond the cap; parsed only after the unpause
+  client.sendAll(burst.view());
+
+  ASSERT_TRUE(handler.waitDispatched(1));
+  std::this_thread::sleep_for(50ms);  // let the whole burst buffer up
+  handler.releaseAll();  // completes q0 -> unpause -> parse violation
+  const auto reply = recvMessage(client);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(stringOf(*reply), "q0");
+  const auto err = recvMessage(client);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(stringOf(*err),
+            "ERR:message length 4096 exceeds protocol maximum");
+  EXPECT_FALSE(recvMessage(client).has_value());  // then EOF
+  EXPECT_EQ(reactor.stats().badFrames, 1u);
+}
+
+TEST(Reactor, WriteStallFollowedByPartialFrameDoesNotCloseHealthyConn) {
+  // Regression: a write-stall entry on the partial-frame list must not
+  // be duplicated when a partial *incoming* frame arrives on the same
+  // connection — the stale entry used to outlive the stall and close a
+  // healthy connection as "peer stopped reading".
+  EchoHandler handler;
+  ReactorOptions options;
+  options.readTimeoutMs = 500;
+  options.sndbufBytes = 16 << 10;
+  Reactor reactor(0, handler, options);
+
+  TcpSocket client = TcpSocket::connectTo("127.0.0.1", reactor.port());
+  const int small = 64 << 10;
+  ASSERT_EQ(0, setsockopt(client.fd(), SOL_SOCKET, SO_RCVBUF, &small,
+                          sizeof small));
+  std::vector<std::uint8_t> big(1u << 20, 0xAB);
+  sendMessage(client, big);
+  // Not reading yet: the echo overruns the kernel buffers and stalls.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (reactor.stats().partialWrites == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "no stall seen";
+    std::this_thread::sleep_for(5ms);
+  }
+
+  // A partial frame lands while the outbox is stalled...
+  ByteWriter second;
+  second.u32(5);
+  second.bytes(bytesOf("hello"));
+  const auto frame = second.view();
+  client.sendAll(frame.subspan(0, 2));
+  std::this_thread::sleep_for(50ms);
+  // ...then the stall resolves (client drains the echo) and the frame
+  // completes normally.
+  const auto reply = recvMessage(client);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(*reply, big);
+  client.sendAll(frame.subspan(2));
+  const auto echo = recvMessage(client);
+  ASSERT_TRUE(echo.has_value());
+  EXPECT_EQ(stringOf(*echo), "hello");
+
+  // Outlive readTimeoutMs: no stale write-stall entry may close us.
+  std::this_thread::sleep_for(700ms);
+  sendMessage(client, bytesOf("alive"));
+  const auto alive = recvMessage(client);
+  ASSERT_TRUE(alive.has_value());
+  EXPECT_EQ(stringOf(*alive), "alive");
+  EXPECT_EQ(reactor.stats().timeouts, 0u);
 }
 
 TEST(Reactor, NullCompletionClosesWithoutBytes) {
