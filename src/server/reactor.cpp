@@ -212,7 +212,8 @@ void Reactor::loop() {
       }
     }
     // Idle retry for the fd-exhaustion pause (waitTimeoutMs bounds the
-    // wait at 100ms while paused); a closing connection resumes sooner.
+    // wait at acceptRetryMs while paused); a closing connection resumes
+    // sooner.
     if (n == 0 && acceptsPaused_ && !draining_) resumeAccepts();
     sweepTimeouts();
   }
@@ -242,7 +243,7 @@ int Reactor::waitTimeoutMs() const {
   // Paused accepts may have no closing connection to resume them (the
   // fd pressure can come from elsewhere in the process): retry on a
   // bounded cadence instead of sleeping forever.
-  if (acceptsPaused_) return 100;
+  if (acceptsPaused_) return options_.acceptRetryMs;
   int bound = -1;
   if (options_.idleTimeoutMs > 0) bound = options_.idleTimeoutMs;
   if (options_.readTimeoutMs > 0 &&
@@ -341,6 +342,10 @@ void Reactor::touchIdle(Conn& conn) {
 }
 
 void Reactor::handleRead(Conn& conn) {
+  // Hoisted before the parseFrames calls below: each of them can close
+  // and erase the connection, and the liveness probe must not read
+  // conn.id through a dangling reference.
+  const ConnId id = conn.id;
   for (;;) {
     // Compact and make room for at least one chunk.
     if (conn.rdPos > 0) {
@@ -373,7 +378,7 @@ void Reactor::handleRead(Conn& conn) {
     if (n == 0) {
       conn.peerClosed = true;
       parseFrames(conn);
-      if (conns_.count(conn.id) == 0) return;  // parse error closed it
+      if (conns_.count(id) == 0) return;  // parse error closed it
       if (!conn.inflight && conn.pending.empty() && conn.outbox.empty()) {
         closeConn(conn);
       }
@@ -384,7 +389,7 @@ void Reactor::handleRead(Conn& conn) {
     conn.rdEnd += static_cast<std::size_t>(n);
     touchIdle(conn);
     parseFrames(conn);
-    if (conns_.count(conn.id) == 0) return;
+    if (conns_.count(id) == 0) return;
     if (conn.readPaused || conn.closing) return;
     if (static_cast<std::size_t>(n) < room) return;  // kernel drained
   }
@@ -527,8 +532,10 @@ void Reactor::applyCompletion(Completion completion) {
     conn.closing = true;
   }
   if (completion.closeAfter) conn.closing = true;
-  if (!flushWrites(conn)) return;
+  // Hoisted above flushWrites: when it returns false the connection is
+  // gone and conn.id must not be read afterwards.
   const ConnId id = conn.id;
+  if (!flushWrites(conn)) return;
   updateReadPause(conn);
   // The unpause path re-enters parseFrames on the buffered backlog,
   // which can close (and erase) the connection — e.g. an oversized
@@ -746,6 +753,7 @@ void Reactor::sweepTimeouts() {
         failConn(conn, ConnError::kReadTimeout,
                  "read timed out: frame incomplete after " +
                      std::to_string(options_.readTimeoutMs) + "ms");
+        // utecheck: allow(invalidate) — exclusive arm: failConn runs only when midMessage
       } else if (!conn.outbox.empty()) {
         // Write stall: the peer is not reading; no reply can help.
         stats_.timeouts.fetch_add(1, std::memory_order_relaxed);

@@ -84,6 +84,11 @@ struct ReactorOptions {
   /// SO_SNDBUF applied to accepted sockets (0 = kernel default). Tests
   /// shrink it to force partial writes without moving megabytes.
   int sndbufBytes = 0;
+  /// Retry cadence while accepts are paused after EMFILE/ENFILE: the fd
+  /// pressure can come from elsewhere in the process, so the reactor
+  /// re-arms the listener on this bound even when no connection closes.
+  /// Stress tests shrink it to recover quickly inside a tight deadline.
+  int acceptRetryMs = 100;
 };
 
 class Reactor {
@@ -216,7 +221,7 @@ class Reactor {
   void updateEpoll(Conn& conn);
   void failConn(Conn& conn, ConnError kind, const std::string& detail);
   void closeConn(Conn& conn);
-  void finalizeConn(Conn& conn);
+  void finalizeConn(Conn& conn) UTE_MAY_INVALIDATE(conns_);
   void sweepTimeouts();
   void beginDrain();
   bool drainFinished();

@@ -291,6 +291,9 @@ void IngestServer::onClosed(Reactor::ConnId conn) {
     SessionEvent ev;
     ev.kind = SessionEvent::Kind::kAbort;
     ev.input = *session->input;
+    // The merge thread drains the channel independently, and send() on
+    // a closed channel (merge already over) returns false immediately.
+    // utecheck: allow(blocking) — bounded wait: merge thread drains independently
     channel_.send(std::move(ev));
   }
 }

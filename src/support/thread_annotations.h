@@ -81,6 +81,15 @@
 #define UTE_NO_THREAD_SAFETY_ANALYSIS \
   UTE_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+/// The function may erase/clear elements of the named member
+/// container(s), invalidating pointers, references, and iterators other
+/// code obtained from them. Consumed lexically by `utecheck`'s
+/// re-entrant-invalidation rule (docs/STATIC_ANALYSIS.md); expands to
+/// nothing for every compiler. Prefer annotating the choke point every
+/// mutation funnels through (e.g. Reactor::finalizeConn) — callers
+/// inherit the effect through the call graph.
+#define UTE_MAY_INVALIDATE(...)
+
 namespace ute {
 
 class CondVar;

@@ -6,7 +6,9 @@
 #include "server/reactor.h"
 
 #include <gtest/gtest.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
@@ -425,6 +427,78 @@ TEST(Reactor, ClosedConnectionStillCompletesItsLastRequestSafely) {
   const Reactor::Stats stats = reactor.stats();
   EXPECT_EQ(stats.accepted, 1u);
   EXPECT_EQ(stats.closed, 1u);
+}
+
+/// Holds every spare fd in the process (dup(0) until EMFILE) so the
+/// reactor's accept() hits the fd wall. Restores the rlimit and releases
+/// the hoard on destruction.
+class FdExhauster {
+ public:
+  FdExhauster() {
+    getrlimit(RLIMIT_NOFILE, &saved_);
+    // Shrink the ceiling so the hoard stays small and fast to build.
+    rlimit tight = saved_;
+    tight.rlim_cur = 256;
+    setrlimit(RLIMIT_NOFILE, &tight);
+    for (;;) {
+      const int fd = ::dup(0);
+      if (fd < 0) break;
+      hoard_.push_back(fd);
+    }
+  }
+
+  /// Frees exactly one fd — enough for one client socket, nothing more.
+  void releaseOne() {
+    if (hoard_.empty()) return;
+    ::close(hoard_.back());
+    hoard_.pop_back();
+  }
+
+  void releaseAll() {
+    for (const int fd : hoard_) ::close(fd);
+    hoard_.clear();
+  }
+
+  ~FdExhauster() {
+    releaseAll();
+    setrlimit(RLIMIT_NOFILE, &saved_);
+  }
+
+ private:
+  rlimit saved_{};
+  std::vector<int> hoard_;
+};
+
+TEST(Reactor, AcceptResumesOnConfiguredCadenceAfterEmfile) {
+  EchoHandler handler;
+  ReactorOptions options;
+  options.acceptRetryMs = 25;  // stress cadence: default is 100ms
+  Reactor reactor(0, handler, options);
+
+  TcpSocket client = [&] {
+    FdExhauster hog;
+    // One fd back for the client socket; the kernel completes the
+    // handshake via the listen backlog, but the reactor's accept() now
+    // fails with EMFILE and pauses the listener.
+    hog.releaseOne();
+    TcpSocket c = TcpSocket::connectTo("127.0.0.1", reactor.port());
+    sendMessage(c, bytesOf("after-the-storm"));
+    // Give the reactor time to attempt the accept and hit the wall.
+    std::this_thread::sleep_for(60ms);
+    EXPECT_EQ(reactor.stats().accepted, 0u);
+    return c;
+  }();  // hoard released: the next retry tick has fds again
+
+  // The paused listener must come back on the acceptRetryMs cadence and
+  // serve the connection that was parked in the backlog all along.
+  const auto start = std::chrono::steady_clock::now();
+  const auto reply = recvMessage(client);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(stringOf(*reply), "after-the-storm");
+  EXPECT_EQ(reactor.stats().accepted, 1u);
+  // Generous bound: recovery needs only one or two 25ms retry ticks.
+  EXPECT_LT(waited, 2s);
 }
 
 }  // namespace

@@ -1,0 +1,25 @@
+// utecheck fixture: a CondVar::wait reachable from parseFrames through a
+// helper. The blocking rule must flag the wait call site.
+//
+// Self-contained stand-ins for the ute primitives: utecheck types
+// receivers from the classes declared in the analyzed files, so the
+// fixture carries its own CondVar/Mutex shells.
+struct Mutex {};
+struct CondVar {
+  void wait(Mutex& mu);
+};
+struct MiniServer {
+  Mutex mu_;
+  CondVar cv_;
+  bool ready_ = false;
+
+  void parseFrames() {  // reactor entry point by name
+    drainBacklog();
+  }
+
+  void drainBacklog() {
+    while (!ready_) {
+      cv_.wait(mu_);  // blocking on the reactor thread: must be flagged
+    }
+  }
+};

@@ -1,0 +1,42 @@
+// utecheck fixture: reduced reproduction of the PR 9 use-after-free.
+// applyCompletion holds a Conn& into conns_, calls flushWrites — whose
+// call graph reaches finalizeConn, which erases from conns_ — and then
+// touches the reference again. The invalidation rule must flag that
+// final use.
+#define UTE_MAY_INVALIDATE(...)
+
+#include <memory>
+#include <unordered_map>
+
+struct Conn {
+  unsigned long id = 0;
+  bool closing = false;
+};
+struct Handler {
+  virtual void onClosed(unsigned long id) = 0;
+};
+struct Reactor {
+  std::unordered_map<unsigned long, std::unique_ptr<Conn>> conns_;
+  Handler* handler_ = nullptr;
+
+  void applyCompletion(unsigned long id) {
+    const auto it = conns_.find(id);
+    Conn& conn = *it->second;
+    flushWrites(conn);    // may re-enter finalizeConn and erase conns_
+    conn.closing = true;  // use-after-free: must be flagged
+  }
+
+  bool flushWrites(Conn& conn) {
+    if (conn.closing) {
+      finalizeConn(conn);
+      return false;
+    }
+    return true;
+  }
+
+  void finalizeConn(Conn& conn) UTE_MAY_INVALIDATE(conns_) {
+    const unsigned long id = conn.id;
+    conns_.erase(id);
+    handler_->onClosed(id);  // re-entrant callback, conn already gone
+  }
+};

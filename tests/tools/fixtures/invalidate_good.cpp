@@ -1,0 +1,44 @@
+// utecheck fixture: the invalidation-rule-clean twin of
+// invalidate_bad.cpp. The id is copied out by value before the
+// re-entrant call, and the connection is re-looked-up afterwards instead
+// of trusting the stale reference.
+#define UTE_MAY_INVALIDATE(...)
+
+#include <memory>
+#include <unordered_map>
+
+struct Conn {
+  unsigned long id = 0;
+  bool closing = false;
+};
+struct Handler {
+  virtual void onClosed(unsigned long id) = 0;
+};
+struct Reactor {
+  std::unordered_map<unsigned long, std::unique_ptr<Conn>> conns_;
+  Handler* handler_ = nullptr;
+
+  void applyCompletion(unsigned long connId) {
+    const auto it = conns_.find(connId);
+    Conn& conn = *it->second;
+    const unsigned long id = conn.id;  // value copy: safe to keep
+    flushWrites(conn);                 // may erase conns_
+    const auto again = conns_.find(id);
+    if (again == conns_.end()) return;
+    again->second->closing = true;  // fresh lookup: clean
+  }
+
+  bool flushWrites(Conn& conn) {
+    if (conn.closing) {
+      finalizeConn(conn);
+      return false;
+    }
+    return true;
+  }
+
+  void finalizeConn(Conn& conn) UTE_MAY_INVALIDATE(conns_) {
+    const unsigned long id = conn.id;
+    conns_.erase(id);
+    handler_->onClosed(id);
+  }
+};

@@ -1,0 +1,21 @@
+// utecheck fixture: a two-mutex lock-order inversion. refresh() nests
+// stats_mu_ under index_mu_; evict() nests them the other way around —
+// a classic ABBA deadlock the lock-order rule must report as a cycle.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct Cache {
+  Mutex index_mu_;
+  Mutex stats_mu_;
+
+  void refresh() {
+    MutexLock index(index_mu_);
+    MutexLock stats(stats_mu_);  // index_mu_ -> stats_mu_
+  }
+
+  void evict() {
+    MutexLock stats(stats_mu_);
+    MutexLock index(index_mu_);  // stats_mu_ -> index_mu_: cycle
+  }
+};

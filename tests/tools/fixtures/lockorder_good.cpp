@@ -1,0 +1,25 @@
+// utecheck fixture: the lock-order-clean twin of lockorder_bad.cpp.
+// Every path acquires index_mu_ before stats_mu_, including the nesting
+// reached through a callee (harvested from the call graph).
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex& mu);
+};
+struct Cache {
+  Mutex index_mu_;
+  Mutex stats_mu_;
+
+  void refresh() {
+    MutexLock index(index_mu_);
+    bumpStats();  // acquires stats_mu_ under index_mu_: same order
+  }
+
+  void evict() {
+    MutexLock index(index_mu_);
+    MutexLock stats(stats_mu_);
+  }
+
+  void bumpStats() {
+    MutexLock stats(stats_mu_);
+  }
+};

@@ -1,0 +1,16 @@
+// utecheck fixture: an allow() with no justification. It must not
+// suppress the underlying blocking finding, and must itself be reported
+// as a bad-suppression.
+struct Mutex {};
+struct CondVar {
+  void wait(Mutex& mu);
+};
+struct MiniServer {
+  Mutex mu_;
+  CondVar cv_;
+
+  void parseFrames() {  // reactor entry point by name
+    // utecheck: allow(blocking)
+    cv_.wait(mu_);  // reasonless allow: still flagged, plus bad-suppression
+  }
+};

@@ -1,0 +1,44 @@
+// utecheck lexer: a minimal C++ tokenizer for whole-project static
+// analysis (docs/STATIC_ANALYSIS.md "utecheck").
+//
+// It produces just enough structure for call-graph extraction: four
+// token kinds with line numbers, comments captured per line (the
+// suppression syntax `// utecheck: allow(<rule>) — reason` lives in
+// comments), preprocessor directives skipped, and string/char literals
+// collapsed to single tokens so identifiers inside them never reach the
+// extractor. Multi-character operators are merged only where later
+// passes need the distinction (`::` vs two colons, `==` vs assignment);
+// `<`/`>` stay single so template-argument matching can use its own
+// heuristics.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ute::check {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;  ///< terminated by one kEnd token
+  /// Comment text by the line it starts on (both // and /* */ forms),
+  /// concatenated when a line carries several.
+  std::unordered_map<int, std::string> comments;
+};
+
+/// Tokenizes `text`; never throws on malformed input (analysis is
+/// best-effort, unterminated constructs run to end of file).
+LexedFile lexFile(std::string path, const std::string& text);
+
+/// Reads and tokenizes one file. Throws std::runtime_error when the
+/// file cannot be read.
+LexedFile lexPath(const std::string& path);
+
+}  // namespace ute::check

@@ -1,0 +1,43 @@
+// utecheck rules: the three whole-project checks built on the model
+// (docs/STATIC_ANALYSIS.md "utecheck").
+//
+//   blocking    — no call path from a reactor entry point (handleRead,
+//                 parseFrames, applyCompletion, Reactor::Handler
+//                 callbacks) may reach a blocking primitive.
+//   invalidate  — no use of a pointer/reference/iterator obtained from
+//                 a member container after an intervening call whose
+//                 call graph can erase/clear that container (the PR 9
+//                 use-after-free class), driven by UTE_MAY_INVALIDATE.
+//   lockorder   — ute::Mutex acquisition nesting must form a DAG; any
+//                 cycle is a potential deadlock.
+//
+// Suppression: `// utecheck: allow(<rule>) — <reason>` on the flagged
+// line or the line above. An allow() without a reason is itself a
+// finding (rule `bad-suppression`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/model.h"
+
+namespace ute::check {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// `name — description` for every rule, for --list-rules output.
+std::vector<std::string> ruleList();
+
+/// Runs all rules; returns unsuppressed findings sorted by file/line.
+std::vector<Finding> runChecks(const Project& project);
+
+/// Lexes `paths`, builds the project, and runs all rules. Unreadable
+/// files throw std::runtime_error.
+std::vector<Finding> runChecksOnFiles(const std::vector<std::string>& paths);
+
+}  // namespace ute::check

@@ -40,14 +40,21 @@ clang-tidy can express (see docs/STATIC_ANALYSIS.md):
   reactor-containment
                 the event loop has exactly one home: epoll/eventfd calls and
                 headers appear nowhere in src/ or tools/ outside
-                src/server/reactor.{h,cpp}, and fcntl/O_NONBLOCK nowhere
-                outside reactor.* and src/server/tcp.cpp (whose client
-                connect uses it for bounded timeouts). Servers integrate by
+                src/server/reactor.{h,cpp}; fcntl/O_NONBLOCK and the legacy
+                readiness calls (poll/ppoll/select/pselect) nowhere outside
+                reactor.* and src/server/tcp.cpp (whose client connect uses
+                them for bounded timeouts). Servers integrate by
                 implementing Reactor::Handler, never by running their own
                 readiness loop (docs/SERVER.md "Reactor"). bench/ is exempt:
                 the concurrency bench drives its own epoll client harness.
 
+Suppression: a violation is waived when the flagged line (or the line
+directly above it) carries `// utecheck: allow(<rule>) — <reason>` — the
+same syntax the utecheck static analyzer uses (docs/STATIC_ANALYSIS.md).
+An allow() without a reason never suppresses anything.
+
 Run locally:   python3 tools/utelint.py [--root REPO]
+List rules:    python3 tools/utelint.py --list-rules
 Run via ctest: ctest -R utelint   (registered in tests/CMakeLists.txt)
 
 Exit status is the number of violations (0 = clean).
@@ -61,6 +68,27 @@ import sys
 from pathlib import Path
 
 CXX_GLOBS = ("*.h", "*.cpp")
+
+RULES = {
+    "raw-io": "fopen/open/mmap confined to src/support (FileReader/ByteSource)",
+    "io-context": "throw IoError/CorruptFileError carries ioContext(path[, off])",
+    "raw-mutex": "no std:: sync primitives outside thread_annotations.h",
+    "ts-escape": "UTE_NO_THREAD_SAFETY_ANALYSIS carries a justification",
+    "bench-determinism": "no wall-clock or nondeterministic rand in bench/",
+    "codec-containment": "varint/zigzag codec only in src/slog",
+    "fed-socket-containment": "federation uses tcp.h, never raw sockets",
+    "reactor-containment":
+        "epoll/eventfd/fcntl/poll/select only in reactor.* (+ tcp.cpp)",
+}
+
+# Shared with utecheck (docs/STATIC_ANALYSIS.md): the allow() must name
+# the rule and carry a reason after a dash/colon separator.
+ALLOW = re.compile(r"//\s*utecheck:\s*allow\(([\w-]+)\)\s*(.*)")
+
+
+def allow_has_reason(tail: str) -> bool:
+    meaningful = [c for c in tail if not (c.isspace() or c in "-:—–")]
+    return len(meaningful) >= 3
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -108,8 +136,28 @@ class Linter:
     def __init__(self, root: Path):
         self.root = root
         self.violations: list[str] = []
+        self._lines: dict[Path, list[str]] = {}
+
+    def _raw_lines(self, path: Path) -> list[str]:
+        if path not in self._lines:
+            self._lines[path] = path.read_text().splitlines()
+        return self._lines[path]
+
+    def _allowed(self, path: Path, line: int, rule: str) -> bool:
+        """True when `line` (or the line above) carries a justified
+        `// utecheck: allow(<rule>) — reason` suppression."""
+        lines = self._raw_lines(path)
+        for ln in (line, line - 1):
+            if not 1 <= ln <= len(lines):
+                continue
+            m = ALLOW.search(lines[ln - 1])
+            if m and m.group(1) == rule and allow_has_reason(m.group(2)):
+                return True
+        return False
 
     def report(self, path: Path, line: int, rule: str, message: str) -> None:
+        if self._allowed(path, line, rule):
+            return
         rel = path.relative_to(self.root)
         self.violations.append(f"{rel}:{line}: [{rule}] {message}")
 
@@ -282,6 +330,7 @@ class Linter:
         r"\b(epoll_create1?|epoll_ctl|epoll_wait|epoll_pwait2?|eventfd)\s*\(")
     REACTOR_HEADER = re.compile(r"#include\s+<sys/(epoll|eventfd)\.h>")
     NONBLOCK_API = re.compile(r"\bfcntl\s*\(|\bO_NONBLOCK\b|\bSOCK_NONBLOCK\b")
+    LEGACY_POLL = re.compile(r"\b(poll|ppoll|select|pselect)\s*\(")
 
     @staticmethod
     def is_reactor_file(path: Path) -> bool:
@@ -317,6 +366,17 @@ class Linter:
                         f"{m.group(0).strip()} outside src/server/reactor.* "
                         "and src/server/tcp.cpp — non-blocking fd plumbing "
                         "belongs to the reactor")
+                for m in self.LEGACY_POLL.finditer(code):
+                    # Member calls (backend.poll()) are fine; the global
+                    # readiness APIs (incl. ::poll) are the ban target.
+                    before = code[: m.start()].rstrip()
+                    if before.endswith((".", "->")):
+                        continue
+                    self.report(
+                        path, line_of(code, m.start()), "reactor-containment",
+                        f"{m.group(1)}() outside src/server/reactor.* and "
+                        "src/server/tcp.cpp — readiness belongs to the "
+                        "reactor's epoll loop")
 
     def run(self) -> int:
         self.check_raw_io()
@@ -343,7 +403,14 @@ def main() -> int:
         "--root", type=Path,
         default=Path(__file__).resolve().parent.parent,
         help="repository root (default: parent of this script)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rules this linter enforces and exit")
     args = parser.parse_args()
+    if args.list_rules:
+        for name, desc in RULES.items():
+            print(f"{name} — {desc}")
+        return 0
     return min(Linter(args.root.resolve()).run(), 125)
 
 
